@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``test_bench_*.py`` module regenerates one table/figure of the paper
+at a reduced dataset scale and asserts the paper's *shape* claims (who
+wins, by roughly what factor) inside the benchmarked tests, so that
+``pytest benchmarks/ --benchmark-only`` both times the systems and checks
+the reproduction.
+
+``run_cached`` memoizes (partitioner, dataset, k, scale) cells so a cell
+that several tests assert against is computed once per session.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import pytest
+
+from repro.experiments.common import make_partitioner
+from repro.graph.datasets import load_dataset
+
+#: Default dataset scale for benchmarks (kept modest: the full benchmark
+#: suite should finish in a few minutes of pure Python).
+BENCH_SCALE = 0.15
+
+
+@lru_cache(maxsize=256)
+def run_cached(name: str, dataset: str, k: int, scale: float = BENCH_SCALE):
+    """Partition ``dataset`` at ``scale`` with partitioner ``name`` (cached)."""
+    graph = load_dataset(dataset, scale=scale)
+    return make_partitioner(name).partition(graph, k)
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE

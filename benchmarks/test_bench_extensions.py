@@ -1,0 +1,66 @@
+"""Benches for the Section VI/VII extensions and the Section I motivation.
+
+Shape claims:
+
+- **motivation**: greedy vertex partitioners keep vertex balance but blow
+  up edge balance on skewed graphs; edge partitioners hold alpha <= 1.05;
+- **dynamic**: incremental updates keep RF within a band of re-batching;
+- **staleness**: coarser sync = fewer barriers, bounded quality loss;
+- **hypergraphs**: 2PS-L-H scores O(1) per hyperedge vs MinMax's O(k)
+  while staying well below hashing's replication factor.
+"""
+
+from repro.experiments import dynamic, hypergraphs, motivation, staleness
+
+
+def test_bench_motivation(benchmark):
+    result = benchmark.pedantic(
+        lambda: motivation.run(scale=0.1, k=16), rounds=1, iterations=1
+    )
+    ours = result.rows_for(partitioner="2PS-L")[0]
+    assert ours["edge_alpha"] <= 1.06
+    for row in result.rows_for(family="vertex"):
+        if row["partitioner"] in ("LDG", "FENNEL"):
+            assert row["edge_alpha"] > 1.3  # hub concentration
+    hash_v = result.rows_for(partitioner="Hash-V")[0]
+    assert ours["rf"] < hash_v["rf"]
+
+
+def test_bench_dynamic_updates(benchmark):
+    result = benchmark.pedantic(
+        lambda: dynamic.run(scale=0.1, churn_steps=(0.0, 0.1, 0.3)),
+        rounds=1,
+        iterations=1,
+    )
+    for row in result.rows:
+        assert row["rf_gap"] < 1.4
+    assert result.rows[-1]["incremental_rf"] >= result.rows[0]["incremental_rf"]
+
+
+def test_bench_staleness(benchmark):
+    result = benchmark.pedantic(
+        lambda: staleness.run(scale=0.1, intervals=(128, 2048, 16384)),
+        rounds=1,
+        iterations=1,
+    )
+    seq = result.rows[0]
+    sharded = result.rows[1:]
+    assert all(row["rf"] < seq["rf"] * 1.4 for row in sharded)
+    syncs = [row["syncs"] for row in sharded]
+    assert syncs == sorted(syncs, reverse=True)
+
+
+def test_bench_hypergraph_partitioning(benchmark):
+    result = benchmark.pedantic(
+        lambda: hypergraphs.run(n_hyperedges=3000, ks=(8, 32)),
+        rounds=1,
+        iterations=1,
+    )
+    for k in (8, 32):
+        two = result.rows_for(partitioner="2PS-L-H", k=k)[0]
+        mm = result.rows_for(partitioner="MinMax", k=k)[0]
+        hh = result.rows_for(partitioner="HashH", k=k)[0]
+        assert two["evals_per_hyperedge"] <= 2.0
+        assert mm["evals_per_hyperedge"] == k
+        assert two["rf"] < hh["rf"]
+        assert two["alpha"] <= 1.06

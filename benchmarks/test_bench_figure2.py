@@ -1,0 +1,74 @@
+"""Figure 2 bench: 2PS-L vs HDRF vs DBH on OK across k.
+
+Shape claims asserted (paper Figure 2):
+
+- run-time: 2PS-L's operation count is flat in k while HDRF's grows
+  ~linearly; DBH is the fastest; at large k 2PS-L is far cheaper than HDRF;
+- quality: 2PS-L and HDRF both far below DBH; DBH violates the balance
+  constraint (measured alpha > 1.05) while the stateful systems hold it.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, run_cached
+from repro.experiments.common import make_partitioner
+from repro.graph.datasets import load_dataset
+
+KS = (4, 32, 128)
+
+
+def _partition(name, k):
+    graph = load_dataset("OK", scale=BENCH_SCALE)
+    return make_partitioner(name).partition(graph, k)
+
+
+def test_bench_2psl_k32(benchmark):
+    result = benchmark.pedantic(lambda: _partition("2PS-L", 32), rounds=3, iterations=1)
+    assert result.measured_alpha <= 1.06
+    # Linear-time claim: <= 2 score evaluations per edge, any k.
+    assert result.cost.score_evaluations <= 2 * result.n_edges
+
+
+def test_bench_hdrf_k32(benchmark):
+    result = benchmark.pedantic(lambda: _partition("HDRF", 32), rounds=3, iterations=1)
+    assert result.cost.score_evaluations == 32 * result.n_edges
+    assert result.measured_alpha <= 1.06
+
+
+def test_bench_dbh_k32(benchmark):
+    result = benchmark.pedantic(lambda: _partition("DBH", 32), rounds=3, iterations=1)
+    assert result.cost.score_evaluations == 0
+
+
+def test_bench_runtime_shape_across_k(benchmark):
+    """2PS-L flat in k; HDRF ~linear in k; DBH fastest of all."""
+
+    def sweep():
+        return {
+            (name, k): run_cached(name, "OK", k)
+            for name in ("2PS-L", "HDRF", "DBH")
+            for k in KS
+        }
+
+    cells = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    t = {key: cell.model_seconds() for key, cell in cells.items()}
+    # 2PS-L: growing k 32x changes the model time by < 2x.
+    assert t[("2PS-L", 128)] < 2.0 * t[("2PS-L", 4)]
+    # HDRF: growing k 32x grows the model time by > 10x.
+    assert t[("HDRF", 128)] > 10.0 * t[("HDRF", 4)]
+    # At large k the gap is wide (paper: minutes vs seconds).
+    assert t[("HDRF", 128)] > 5.0 * t[("2PS-L", 128)]
+    # Only DBH is faster than 2PS-L.
+    for k in KS:
+        assert t[("DBH", k)] < t[("2PS-L", k)] < t[("HDRF", 128)]
+
+
+def test_bench_quality_shape(benchmark):
+    """RF: stateful systems beat DBH; DBH cannot hold the balance cap."""
+
+    def sweep():
+        return {name: run_cached(name, "OK", 32) for name in ("2PS-L", "HDRF", "DBH")}
+
+    cells = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert cells["2PS-L"].replication_factor < cells["DBH"].replication_factor
+    assert cells["HDRF"].replication_factor < cells["DBH"].replication_factor
+    assert cells["2PS-L"].measured_alpha <= 1.06
+    assert cells["DBH"].measured_alpha > 1.05  # the paper's alpha annotation

@@ -1,0 +1,55 @@
+"""Figures 5 & 6 bench: 2PS-L phase breakdown and pre-partitioning ratio.
+
+Asserted (paper Figures 5-6):
+
+- the partitioning phase dominates the total run-time, the degree pass is
+  the smallest of the three phases;
+- pre-partitioning dominates on web graphs and not on social networks.
+"""
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.core import TwoPhasePartitioner
+from repro.graph.datasets import load_dataset
+
+
+def _run(dataset):
+    graph = load_dataset(dataset, scale=BENCH_SCALE)
+    return TwoPhasePartitioner().partition(graph, 32), graph
+
+
+def test_bench_phase_breakdown_social(benchmark):
+    result, _ = benchmark.pedantic(lambda: _run("OK"), rounds=3, iterations=1)
+    totals = result.timer.totals
+    partitioning = (
+        totals["mapping"] + totals["prepartition"] + totals["partitioning"]
+    )
+    assert partitioning > totals["degree"]
+    assert partitioning > totals["clustering"]
+
+
+def test_bench_phase_breakdown_web(benchmark):
+    result, _ = benchmark.pedantic(lambda: _run("IT"), rounds=3, iterations=1)
+    totals = result.timer.totals
+    partitioning = (
+        totals["mapping"] + totals["prepartition"] + totals["partitioning"]
+    )
+    assert partitioning > totals["degree"]
+
+
+def test_bench_prepartition_ratio(benchmark):
+    def sweep():
+        return {name: _run(name)[0:2] for name in ("OK", "TW", "IT", "UK", "GSH")}
+
+    cells = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    frac = {
+        name: result.extras["prepartitioned_edges"] / graph.n_edges
+        for name, (result, graph) in cells.items()
+    }
+    # Web graphs pre-partition a large share of their edges ...
+    for web in ("IT", "UK", "GSH"):
+        assert frac[web] > 0.4, f"{web}: {frac[web]}"
+    # ... social networks leave the majority to the scoring pass.
+    for social in ("OK", "TW"):
+        assert frac[social] < 0.35, f"{social}: {frac[social]}"
+    # And every web graph pre-partitions more than every social network.
+    assert min(frac["IT"], frac["UK"], frac["GSH"]) > max(frac["OK"], frac["TW"])

@@ -1,0 +1,50 @@
+"""Figure 9 bench: 2PS-HDRF vs 2PS-L.
+
+Asserted (paper Figure 9 and Section V-D):
+
+- quality: 2PS-HDRF's RF is at or below 2PS-L's (paper: up to 50 % lower);
+- cost: roughly at parity at k=4, and an order of magnitude apart at
+  k=128+ (paper: up to 12x at k=256).
+"""
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.core import TwoPhasePartitioner
+from repro.graph.datasets import load_dataset
+
+
+def _pair(dataset, k):
+    graph = load_dataset(dataset, scale=BENCH_SCALE)
+    linear = TwoPhasePartitioner(mode="linear").partition(graph, k)
+    hdrf = TwoPhasePartitioner(mode="hdrf").partition(graph, k)
+    return linear, hdrf
+
+
+def test_bench_quality_improvement(benchmark):
+    linear, hdrf = benchmark.pedantic(
+        lambda: _pair("OK", 32), rounds=1, iterations=1
+    )
+    assert hdrf.replication_factor <= linear.replication_factor * 1.02
+    assert hdrf.replication_factor >= linear.replication_factor * 0.4
+
+
+def test_bench_cost_parity_at_small_k(benchmark):
+    linear, hdrf = benchmark.pedantic(
+        lambda: _pair("IT", 4), rounds=1, iterations=1
+    )
+    assert hdrf.model_seconds() < 3.0 * linear.model_seconds()
+
+
+def test_bench_cost_gap_at_large_k(benchmark):
+    linear, hdrf = benchmark.pedantic(
+        lambda: _pair("OK", 128), rounds=1, iterations=1
+    )
+    assert hdrf.model_seconds() > 4.0 * linear.model_seconds()
+
+
+def test_bench_score_eval_counts(benchmark):
+    linear, hdrf = benchmark.pedantic(
+        lambda: _pair("TW", 32), rounds=1, iterations=1
+    )
+    remaining = linear.extras["remaining_edges"]
+    assert linear.cost.score_evaluations == 2 * remaining
+    assert hdrf.cost.score_evaluations == 32 * hdrf.extras["remaining_edges"]

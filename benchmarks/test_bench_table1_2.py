@@ -1,0 +1,74 @@
+"""Tables I & II bench: empirical complexity validation.
+
+Asserted:
+
+- Table I: 2PS-L and DBH operation counts are linear in |E| and flat in
+  k; HDRF and Greedy are linear in |E| * k;
+- Table II: 2PS-L/HDRF state grows with k (O(|V| * k)); DBH's does not
+  (O(|V|)); Grid carries no per-vertex state; NE pays >= O(|E|).
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE, run_cached
+from repro.experiments.common import make_partitioner
+from repro.graph.datasets import load_dataset
+
+
+def test_bench_time_complexity_in_edges(benchmark):
+    def sweep():
+        small = load_dataset("OK", scale=BENCH_SCALE)
+        large = load_dataset("OK", scale=BENCH_SCALE * 2)
+        out = {}
+        for name in ("2PS-L", "HDRF", "DBH"):
+            out[(name, "small")] = make_partitioner(name).partition(small, 8)
+            out[(name, "large")] = make_partitioner(name).partition(large, 8)
+        return out
+
+    cells = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for name in ("2PS-L", "HDRF", "DBH"):
+        ratio = (
+            cells[(name, "large")].cost.total_operations()
+            / cells[(name, "small")].cost.total_operations()
+        )
+        assert 1.6 < ratio < 2.6, f"{name} not linear in |E|: {ratio}"
+
+
+def test_bench_time_complexity_in_k(benchmark):
+    def sweep():
+        return {
+            (name, k): run_cached(name, "OK", k)
+            for name in ("2PS-L", "HDRF", "DBH", "Greedy")
+            for k in (8, 64)
+        }
+
+    cells = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    def k_ratio(name):
+        return (
+            cells[(name, 64)].cost.total_operations()
+            / cells[(name, 8)].cost.total_operations()
+        )
+
+    assert k_ratio("2PS-L") < 1.7  # O(|E|): flat in k
+    assert k_ratio("DBH") == pytest.approx(1.0)
+    assert k_ratio("HDRF") > 5.0  # O(|E| * k)
+    assert k_ratio("Greedy") > 5.0
+
+
+def test_bench_space_complexity(benchmark):
+    def sweep():
+        return {
+            (name, k): run_cached(name, "OK", k)
+            for name in ("2PS-L", "HDRF", "DBH", "Grid")
+            for k in (8, 128)
+        } | {("NE", 8): run_cached("NE", "OK", 8)}
+
+    cells = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    mem = {key: cell.state_bytes for key, cell in cells.items()}
+    assert mem[("2PS-L", 128)] > 3 * mem[("2PS-L", 8)]
+    assert mem[("HDRF", 128)] > 3 * mem[("HDRF", 8)]
+    assert mem[("DBH", 128)] == mem[("DBH", 8)]
+    assert mem[("Grid", 8)] == 0
+    graph = load_dataset("OK", scale=BENCH_SCALE)
+    assert mem[("NE", 8)] >= graph.edges.nbytes

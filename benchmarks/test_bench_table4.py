@@ -1,0 +1,60 @@
+"""Table IV bench: end-to-end partitioning + distributed PageRank.
+
+Asserted (the paper's key application claim): among {2PS-L, 2PS-HDRF,
+HDRF, DBH}, the *total* of partitioning time plus PageRank time is lowest
+for 2PS-L — neither the fastest partitioner (DBH, poor quality) nor the
+best-quality ones (slow partitioning) win end-to-end.
+"""
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.experiments.common import make_partitioner
+from repro.graph.datasets import DATASETS, load_dataset
+from repro.processing import PageRank, PartitionedGraph, PregelEngine
+from repro.processing.cost import ClusterSpec
+
+SYSTEMS = ("2PS-L", "2PS-HDRF", "HDRF", "DBH")
+
+
+def _end_to_end(dataset, k=32, iters=100):
+    graph = load_dataset(dataset, scale=BENCH_SCALE)
+    ratio = DATASETS[dataset].paper_edges / graph.n_edges
+    engine = PregelEngine(ClusterSpec.paper_cluster().scaled(ratio))
+    totals = {}
+    for name in SYSTEMS:
+        result = make_partitioner(name).partition(graph, k)
+        pgraph = PartitionedGraph(graph.edges, result.assignments, k, graph.n_vertices)
+        _, report = engine.run(pgraph, PageRank(), max_supersteps=iters)
+        totals[name] = {
+            "partition": result.model_seconds() * ratio,
+            "pagerank": report.total_seconds,
+            "total": result.model_seconds() * ratio + report.total_seconds,
+            "rf": result.replication_factor,
+        }
+    return totals
+
+
+def test_bench_end_to_end_ok(benchmark):
+    totals = benchmark.pedantic(lambda: _end_to_end("OK"), rounds=1, iterations=1)
+    winner = min(totals, key=lambda name: totals[name]["total"])
+    assert winner == "2PS-L", {n: round(t["total"], 1) for n, t in totals.items()}
+    # DBH partitions fastest but loses overall on quality.
+    assert totals["DBH"]["partition"] < totals["2PS-L"]["partition"]
+    assert totals["DBH"]["total"] > totals["2PS-L"]["total"]
+
+
+def test_bench_end_to_end_wi(benchmark):
+    totals = benchmark.pedantic(lambda: _end_to_end("WI"), rounds=1, iterations=1)
+    winner = min(totals, key=lambda name: totals[name]["total"])
+    assert winner == "2PS-L", {n: round(t["total"], 1) for n, t in totals.items()}
+    # 2PS-HDRF buys better RF with more partitioning time (paper Sec. V-D).
+    assert totals["2PS-HDRF"]["rf"] <= totals["2PS-L"]["rf"]
+    assert totals["2PS-HDRF"]["partition"] > totals["2PS-L"]["partition"]
+
+
+def test_bench_pagerank_time_tracks_rf(benchmark):
+    totals = benchmark.pedantic(
+        lambda: _end_to_end("OK", iters=50), rounds=1, iterations=1
+    )
+    # Higher replication factor => more mirror traffic => slower PageRank.
+    assert totals["DBH"]["rf"] > totals["2PS-L"]["rf"]
+    assert totals["DBH"]["pagerank"] > totals["2PS-L"]["pagerank"]

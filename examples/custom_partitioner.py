@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Extending the library: write and evaluate your own edge partitioner.
+
+Implements "Cluster-Hash" — a minimal third-party partitioner that reuses
+the library's Phase-1 clustering but then *hashes clusters* to partitions
+(no scoring at all).  It shows the extension surface a downstream user
+works with: subclass EdgePartitioner, implement _run over the stream
+protocol, fill in a PartitionResult, and the whole harness (validation,
+metrics, experiments) works with it unchanged.
+
+Run:  python examples/custom_partitioner.py
+"""
+
+import numpy as np
+
+from repro import EdgePartitioner, PartitionResult, PartitionState, load_dataset
+from repro.baselines import DBH
+from repro.core import TwoPhasePartitioner
+from repro.core.clustering import StreamingClustering, default_volume_cap
+from repro.graph.degrees import compute_degrees_from_stream
+from repro.metrics import validate_partition
+from repro.metrics.runtime import CostCounter, PhaseTimer
+from repro.partitioning.hashutil import hash_to_partition
+
+
+class ClusterHash(EdgePartitioner):
+    """Cluster once, then hash each cluster to a partition.
+
+    Quality sits between pure hashing (no structure) and 2PS-L (structure
+    + scoring): intra-cluster edges co-locate, but there is no balance
+    control beyond the hard cap fallback and no degree awareness.
+    """
+
+    name = "ClusterHash"
+
+    def _run(self, stream, k: int, alpha: float) -> PartitionResult:
+        timer = PhaseTimer()
+        cost = CostCounter()
+        m = stream.n_edges
+        with timer.phase("degree"):
+            degrees = compute_degrees_from_stream(stream)
+            cost.edges_streamed += m
+        n = max(self._resolve_n_vertices(stream, degrees), len(degrees))
+        with timer.phase("clustering"):
+            clustering = StreamingClustering(
+                volume_cap=default_volume_cap(m, k)
+            ).run(stream, degrees=degrees, cost=cost)
+        state = PartitionState(n, k, m, alpha)
+        assignments = np.empty(m, dtype=np.int32)
+        c2p = hash_to_partition(np.arange(clustering.n_clusters), k)
+        v2c = clustering.v2c
+        with timer.phase("assign"):
+            sizes = [0] * k
+            capacity = state.capacity
+            idx = 0
+            for chunk in stream.chunks():
+                for u, v in chunk.tolist():
+                    p = int(c2p[v2c[u]])
+                    if sizes[p] >= capacity:
+                        p = min(range(k), key=sizes.__getitem__)
+                    sizes[p] += 1
+                    state.replicas[u, p] = True
+                    state.replicas[v, p] = True
+                    assignments[idx] = p
+                    idx += 1
+            cost.edges_streamed += m
+            cost.hash_evaluations += m
+        state.sizes[:] = sizes
+        return PartitionResult(
+            partitioner=self.name,
+            k=k,
+            alpha=alpha,
+            n_vertices=n,
+            n_edges=m,
+            assignments=assignments,
+            state=state,
+            timer=timer,
+            cost=cost,
+        )
+
+
+def main() -> None:
+    graph = load_dataset("IT", scale=0.25)
+    print(f"IT stand-in: |V|={graph.n_vertices:,} |E|={graph.n_edges:,}")
+    print(f"\n{'system':12s} {'RF':>7s} {'alpha':>7s} {'wall':>8s}")
+    for partitioner in (ClusterHash(), DBH(), TwoPhasePartitioner()):
+        result = partitioner.partition(graph, 32)
+        validate_partition(graph.edges, result.assignments, 32)
+        print(
+            f"{result.partitioner:12s} {result.replication_factor:7.3f} "
+            f"{result.measured_alpha:7.3f} {result.wall_seconds:7.3f}s"
+        )
+    print(
+        "\nClusterHash already beats naive hashing on clusterable graphs, "
+        "but 2PS-L's volume-balanced mapping plus two-candidate scoring is "
+        "what closes the rest of the gap."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Dynamic graphs: keep a partitioning fresh under edge churn.
+
+The paper (Section VI) points out that 2PS-L can be made incremental for
+dynamic graphs.  This example partitions the IT web stand-in once, then
+streams 15 % edge churn through the IncrementalPartitioner (each update is
+O(1) — at most two score evaluations), watching the replication factor
+drift; finally it re-runs the batch partitioner to show what a periodic
+refresh recovers.
+
+Run:  python examples/dynamic_graph.py
+"""
+
+import numpy as np
+
+from repro import TwoPhasePartitioner, load_dataset
+from repro.core import IncrementalPartitioner
+from repro.graph import Graph
+
+
+def main() -> None:
+    k = 16
+    graph = load_dataset("IT", scale=0.25)
+    print(f"IT stand-in: |V|={graph.n_vertices:,} |E|={graph.n_edges:,}")
+
+    base = TwoPhasePartitioner(keep_state=True).partition(graph, k)
+    print(f"batch 2PS-L RF = {base.replication_factor:.3f}")
+
+    inc = IncrementalPartitioner.from_result(base)
+    inc.attach_edges(graph.edges, base.assignments)
+
+    rng = np.random.default_rng(42)
+    total_updates = int(0.15 * graph.n_edges)
+    checkpoint = max(1, total_updates // 5)
+    inserted = []
+    print(f"\nstreaming {total_updates:,} random insertions ...")
+    for i in range(1, total_updates + 1):
+        u, v = (int(x) for x in rng.integers(0, graph.n_vertices, 2))
+        inc.insert(u, v)
+        inserted.append((u, v))
+        if i % checkpoint == 0:
+            print(
+                f"  after {i:7,d} updates: RF = {inc.replication_factor():.3f} "
+                f"(staleness {inc.staleness:.3f})"
+            )
+
+    mutated = Graph(
+        np.concatenate([graph.edges, np.asarray(inserted, dtype=np.int64)]),
+        graph.n_vertices,
+    )
+    refreshed = TwoPhasePartitioner().partition(mutated, k)
+    print(
+        f"\nincremental RF after churn : {inc.replication_factor():.3f}\n"
+        f"batch re-partition RF      : {refreshed.replication_factor:.3f}\n"
+        f"gap (incremental / batch)  : "
+        f"{inc.replication_factor() / refreshed.replication_factor:.3f}"
+    )
+    print(
+        "\nEach update cost O(1); re-partitioning costs a full 4-pass "
+        "run — monitor `staleness` and refresh when the gap matters."
+    )
+
+
+if __name__ == "__main__":
+    main()

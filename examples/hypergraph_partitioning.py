@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Hypergraph partitioning with the 2PS-L generalization (future work).
+
+The paper's conclusion announces a hypergraph generalization of 2PS-L as
+future work.  This example partitions a planted-community hypergraph
+(group relationships, e.g. authors-per-paper or items-per-basket) with
+three algorithms and shows the same trade-off as on ordinary graphs:
+stateless hashing is fast but poor, full stateful streaming (MinMax,
+O(|H| * k)) is best but scales with k, and 2PS-L-H sits in between at
+constant scoring work per hyperedge.
+
+Run:  python examples/hypergraph_partitioning.py
+"""
+
+from repro.hypergraph import (
+    HashHyperedges,
+    MinMaxStreaming,
+    TwoPhaseHypergraphPartitioner,
+    planted_hypergraph,
+)
+
+
+def main() -> None:
+    hypergraph = planted_hypergraph(
+        n_communities=40, community_size=20, n_hyperedges=8000, seed=1
+    )
+    print(
+        f"hypergraph: |V|={hypergraph.n_vertices:,} "
+        f"|H|={hypergraph.n_hyperedges:,} pins={hypergraph.total_pins:,}"
+    )
+    for k in (8, 32, 128):
+        print(f"\nk = {k}")
+        print(f"  {'system':10s} {'RF':>7s} {'alpha':>7s} {'score evals/hyperedge':>22s}")
+        for partitioner in (
+            TwoPhaseHypergraphPartitioner(),
+            MinMaxStreaming(),
+            HashHyperedges(),
+        ):
+            result = partitioner.partition(hypergraph, k)
+            per_he = result.cost.score_evaluations / hypergraph.n_hyperedges
+            print(
+                f"  {result.partitioner:10s} {result.replication_factor:7.3f} "
+                f"{result.measured_alpha:7.3f} {per_he:22.2f}"
+            )
+    print(
+        "\n2PS-L-H's scoring work stays <= 2 per hyperedge at every k — the "
+        "linear-run-time property carried over to hypergraphs — while "
+        "MinMax's grows with k like HDRF's does on graphs."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Out-of-core partitioning of a web graph from (simulated) external storage.
+
+Scenario from Section V-F of the paper: the graph lives on disk as a
+binary edge list, memory is too small to cache it, and every streaming pass
+re-reads the file.  We write the UK web-graph stand-in to a temp file and
+partition it through a FileEdgeStream charged against simulated
+page-cache / SSD / HDD devices, reporting the I/O penalty per device.
+
+Run:  python examples/out_of_core_web_graph.py
+"""
+
+import os
+import tempfile
+
+from repro import TwoPhasePartitioner, load_dataset
+from repro.graph.formats import write_binary_edge_list
+from repro.storage import hdd_device, page_cache_device, ssd_device
+from repro.streaming import FileEdgeStream
+
+
+def main() -> None:
+    graph = load_dataset("UK", scale=0.25)
+    print(f"UK stand-in: |V|={graph.n_vertices:,} |E|={graph.n_edges:,}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "uk.bin")
+        nbytes = write_binary_edge_list(graph, path)
+        print(f"wrote binary edge list: {nbytes / 1e6:.1f} MB -> {path}")
+
+        results = {}
+        for factory in (page_cache_device, ssd_device, hdd_device):
+            device = factory()
+            stream = FileEdgeStream(path, n_vertices=graph.n_vertices, device=device)
+            result = TwoPhasePartitioner().partition(stream, k=32)
+            # Total = machine-neutral compute + simulated device I/O (the
+            # Table V accounting: Python wall-clock would drown the I/O).
+            total = result.model_seconds() + stream.stats.simulated_read_seconds
+            results[device.name] = (result, total, stream.stats.passes)
+
+        print(f"\n{'device':12s} {'RF':>6s} {'passes':>6s} {'compute+I/O':>12s}")
+        base = results["page-cache"][1]
+        for name, (result, total, passes) in results.items():
+            slow = f"(+{100 * (total / base - 1):.0f} %)" if name != "page-cache" else ""
+            print(
+                f"{name:12s} {result.replication_factor:6.3f} {passes:6d} "
+                f"{total:11.4f}s {slow}"
+            )
+
+    print(
+        "\nThe partitioning itself is identical on every device — only the "
+        "simulated read time differs, exactly like the paper's Table V."
+    )
+
+
+if __name__ == "__main__":
+    main()

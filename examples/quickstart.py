@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Quickstart: partition a graph with 2PS-L and inspect the result.
+
+Generates the Orkut stand-in, partitions it into 32 parts with the 2PS-L
+two-phase streaming partitioner, and prints the metrics the paper reports:
+replication factor, balance, run-time, and the phase breakdown.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import TwoPhasePartitioner, load_dataset
+from repro.baselines import DBH, HDRF
+
+
+def main() -> None:
+    print("Loading the OK (com-orkut) stand-in ...")
+    graph = load_dataset("OK", scale=0.25)
+    print(f"  |V| = {graph.n_vertices:,}   |E| = {graph.n_edges:,}")
+
+    k = 32
+    print(f"\nPartitioning into k={k} parts with 2PS-L ...")
+    result = TwoPhasePartitioner().partition(graph, k, alpha=1.05)
+
+    print(f"  replication factor : {result.replication_factor:.3f}")
+    print(f"  measured alpha     : {result.measured_alpha:.3f}")
+    print(f"  wall-clock seconds : {result.wall_seconds:.3f}")
+    print(f"  state bytes        : {result.state_bytes:,}")
+    print(f"  clusters found     : {result.extras['n_clusters']}")
+    pre = result.extras["prepartitioned_edges"]
+    print(
+        f"  pre-partitioned    : {pre:,} edges "
+        f"({100 * pre / graph.n_edges:.1f} % of the stream)"
+    )
+    print("  phase breakdown    :")
+    for phase, seconds in result.timer.totals.items():
+        print(f"    {phase:13s} {seconds:.4f} s")
+
+    print("\nComparing against the paper's main streaming baselines ...")
+    for partitioner in (HDRF(), DBH()):
+        other = partitioner.partition(graph, k)
+        print(
+            f"  {other.partitioner:6s} RF={other.replication_factor:6.3f} "
+            f"alpha={other.measured_alpha:5.3f} wall={other.wall_seconds:6.3f}s"
+        )
+    print(
+        "\n2PS-L matches or beats HDRF's quality at a fraction of the "
+        "run-time, and only hashing (DBH) is faster — the paper's headline."
+    )
+
+
+if __name__ == "__main__":
+    main()

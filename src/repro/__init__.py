@@ -1,0 +1,75 @@
+"""2PS-L: Out-of-Core Edge Partitioning at Linear Run-Time — reproduction.
+
+A from-scratch Python implementation of the ICDE 2022 paper by Mayer,
+Orujzade and Jacobsen, including the 2PS-L partitioner, every baseline
+system it is evaluated against, the out-of-core streaming substrate, a
+simulated storage layer, a distributed graph-processing simulator, and a
+harness that regenerates every table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import TwoPhasePartitioner, load_dataset
+
+    graph = load_dataset("OK", scale=0.1)
+    result = TwoPhasePartitioner().partition(graph, k=32)
+    print(result.replication_factor, result.measured_alpha)
+
+See ``examples/`` for full scenarios and ``python -m repro.experiments``
+for the paper's evaluation suite.
+"""
+
+from repro.core import TwoPhasePartitioner
+from repro.baselines import (
+    DBH,
+    HDRF,
+    HEP,
+    Adwise,
+    DistributedNE,
+    Greedy,
+    Grid,
+    MetisLike,
+    NeighborhoodExpansion,
+    RandomHash,
+    StreamingNE,
+)
+from repro.graph import Graph, load_dataset
+from repro.partitioning import EdgePartitioner, PartitionResult, PartitionState
+from repro.streaming import EdgeStream, FileEdgeStream, InMemoryEdgeStream
+from repro.processing import (
+    ConnectedComponents,
+    PageRank,
+    PartitionedGraph,
+    PregelEngine,
+    SingleSourceShortestPaths,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TwoPhasePartitioner",
+    "DBH",
+    "Grid",
+    "RandomHash",
+    "HDRF",
+    "Greedy",
+    "Adwise",
+    "NeighborhoodExpansion",
+    "StreamingNE",
+    "DistributedNE",
+    "MetisLike",
+    "HEP",
+    "Graph",
+    "load_dataset",
+    "EdgePartitioner",
+    "PartitionResult",
+    "PartitionState",
+    "EdgeStream",
+    "InMemoryEdgeStream",
+    "FileEdgeStream",
+    "PartitionedGraph",
+    "PregelEngine",
+    "PageRank",
+    "ConnectedComponents",
+    "SingleSourceShortestPaths",
+    "__version__",
+]

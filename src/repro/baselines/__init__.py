@@ -1,0 +1,48 @@
+"""Baseline partitioners (the paper's comparison systems, re-implemented).
+
+Streaming:
+
+- :class:`~repro.baselines.hashing.DBH` — degree-based hashing (stateless).
+- :class:`~repro.baselines.hashing.Grid` — grid-constrained hashing
+  (stateless).
+- :class:`~repro.baselines.hashing.RandomHash` — plain edge hashing.
+- :class:`~repro.baselines.hdrf.HDRF` — stateful streaming with the
+  high-degree-replicated-first score, O(|E| * k).
+- :class:`~repro.baselines.greedy.Greedy` — PowerGraph's greedy heuristic.
+- :class:`~repro.baselines.adwise.Adwise` — buffered/window-based streaming.
+
+In-memory / hybrid:
+
+- :class:`~repro.baselines.ne.NeighborhoodExpansion` — NE (KDD'17).
+- :class:`~repro.baselines.sne.StreamingNE` — SNE, bounded-cache NE.
+- :class:`~repro.baselines.dne.DistributedNE` — parallel NE with a
+  multi-worker wall-clock model.
+- :class:`~repro.baselines.metis_like.MetisLike` — multilevel
+  coarsen/partition/refine vertex partitioner with derived edge partition.
+- :class:`~repro.baselines.hep.HEP` — hybrid edge partitioner with the
+  tunable in-memory fraction ``tau``.
+"""
+
+from repro.baselines.hashing import DBH, Grid, RandomHash
+from repro.baselines.hdrf import HDRF
+from repro.baselines.greedy import Greedy
+from repro.baselines.adwise import Adwise
+from repro.baselines.ne import NeighborhoodExpansion
+from repro.baselines.sne import StreamingNE
+from repro.baselines.dne import DistributedNE
+from repro.baselines.metis_like import MetisLike
+from repro.baselines.hep import HEP
+
+__all__ = [
+    "DBH",
+    "Grid",
+    "RandomHash",
+    "HDRF",
+    "Greedy",
+    "Adwise",
+    "NeighborhoodExpansion",
+    "StreamingNE",
+    "DistributedNE",
+    "MetisLike",
+    "HEP",
+]

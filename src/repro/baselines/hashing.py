@@ -1,0 +1,193 @@
+"""Stateless streaming partitioners: DBH, Grid, and plain random hashing.
+
+These assign each edge with a constant-time hash and keep no replication
+state (paper Table II: DBH is O(|V|) for the degree array, Grid is O(1)).
+They are the fastest partitioners and the quality floor every stateful
+method must beat.  Because they cannot react to partition sizes, the
+balance constraint is *not enforced* — like the paper, experiments report
+the measured alpha instead (the plot annotations in Figures 2a/4).
+
+All three are fully vectorized over stream chunks: no per-edge Python loop,
+which mirrors their real-world speed advantage.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.graph.degrees import compute_degrees_from_stream
+from repro.metrics.memory import measured_state_bytes
+from repro.metrics.runtime import CostCounter, PhaseTimer
+from repro.partitioning.base import EdgePartitioner, PartitionResult
+from repro.partitioning.hashutil import splitmix64
+from repro.partitioning.state import PartitionState
+
+
+class DBH(EdgePartitioner):
+    """Degree-based hashing (Xie et al., NeurIPS'14).
+
+    Hashes each edge on the id of its *lower-degree* endpoint: cutting
+    through the high-degree vertex spreads the hub's edges while keeping
+    each low-degree vertex on one partition.  One degree pass plus one
+    assignment pass, both vectorized.
+    """
+
+    name = "DBH"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+
+    def _run(self, stream, k: int, alpha: float) -> PartitionResult:
+        timer = PhaseTimer()
+        cost = CostCounter()
+        with timer.phase("degree"):
+            degrees = compute_degrees_from_stream(stream)
+            cost.edges_streamed += stream.n_edges
+        n = max(self._resolve_n_vertices(stream, degrees), len(degrees))
+        m = stream.n_edges
+        assignments = np.empty(m, dtype=np.int32)
+        state = PartitionState(n, k, m, alpha=max(alpha, 64.0))
+        with timer.phase("partitioning"):
+            idx = 0
+            for chunk in stream.chunks():
+                u = chunk[:, 0]
+                v = chunk[:, 1]
+                lower = np.where(degrees[u] <= degrees[v], u, v)
+                parts = (splitmix64(lower, self.seed) % np.uint64(k)).astype(
+                    np.int32
+                )
+                assignments[idx : idx + chunk.shape[0]] = parts
+                state.replicas[u, parts] = True
+                state.replicas[v, parts] = True
+                idx += chunk.shape[0]
+            cost.edges_streamed += m
+            cost.hash_evaluations += m
+        state.sizes[:] = np.bincount(assignments, minlength=k)
+        return PartitionResult(
+            partitioner=self.name,
+            k=k,
+            alpha=alpha,
+            n_vertices=n,
+            n_edges=m,
+            assignments=assignments,
+            state=state,
+            timer=timer,
+            cost=cost,
+            state_bytes=measured_state_bytes(degrees),
+        )
+
+
+class Grid(EdgePartitioner):
+    """Grid-constrained hashing (GraphBuilder, Jain et al. GRADES'13).
+
+    Partitions are arranged in an ``r x c`` grid with ``r * c >= k``; each
+    vertex hashes to a grid row/column and the edge goes to the cell at the
+    intersection (modulo k when the grid overshoots).  Guarantees each
+    vertex appears in at most one row — bounded replication with zero
+    state.
+    """
+
+    name = "Grid"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+
+    @staticmethod
+    def grid_shape(k: int) -> tuple[int, int]:
+        """Smallest near-square grid covering k cells."""
+        r = max(1, int(math.isqrt(k)))
+        c = (k + r - 1) // r
+        return r, c
+
+    def _run(self, stream, k: int, alpha: float) -> PartitionResult:
+        timer = PhaseTimer()
+        cost = CostCounter()
+        n = self._resolve_n_vertices(stream)
+        m = stream.n_edges
+        r, c = self.grid_shape(k)
+        assignments = np.empty(m, dtype=np.int32)
+        state = PartitionState(n, k, m, alpha=max(alpha, 64.0))
+        with timer.phase("partitioning"):
+            idx = 0
+            for chunk in stream.chunks():
+                u = chunk[:, 0]
+                v = chunk[:, 1]
+                row = splitmix64(u, self.seed) % np.uint64(r)
+                col = splitmix64(v, self.seed + 1) % np.uint64(c)
+                parts = ((row * np.uint64(c) + col) % np.uint64(k)).astype(
+                    np.int32
+                )
+                assignments[idx : idx + chunk.shape[0]] = parts
+                state.replicas[u, parts] = True
+                state.replicas[v, parts] = True
+                idx += chunk.shape[0]
+            cost.edges_streamed += m
+            cost.hash_evaluations += 2 * m
+        state.sizes[:] = np.bincount(assignments, minlength=k)
+        return PartitionResult(
+            partitioner=self.name,
+            k=k,
+            alpha=alpha,
+            n_vertices=n,
+            n_edges=m,
+            assignments=assignments,
+            state=state,
+            timer=timer,
+            cost=cost,
+            state_bytes=0,
+        )
+
+
+class RandomHash(EdgePartitioner):
+    """Uniform random edge assignment via hashing both endpoints.
+
+    The weakest sensible baseline: expected perfect balance, worst-case
+    replication (every vertex replicated on ~min(d, k) partitions).
+    """
+
+    name = "Random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+
+    def _run(self, stream, k: int, alpha: float) -> PartitionResult:
+        timer = PhaseTimer()
+        cost = CostCounter()
+        n = self._resolve_n_vertices(stream)
+        m = stream.n_edges
+        assignments = np.empty(m, dtype=np.int32)
+        state = PartitionState(n, k, m, alpha=max(alpha, 64.0))
+        with timer.phase("partitioning"):
+            idx = 0
+            for chunk in stream.chunks():
+                u = chunk[:, 0].astype(np.uint64)
+                v = chunk[:, 1].astype(np.uint64)
+                old = np.seterr(over="ignore")
+                try:
+                    key = u * np.uint64(0x9E3779B97F4A7C15) + v
+                finally:
+                    np.seterr(**old)
+                parts = (splitmix64(key, self.seed) % np.uint64(k)).astype(
+                    np.int32
+                )
+                assignments[idx : idx + chunk.shape[0]] = parts
+                state.replicas[chunk[:, 0], parts] = True
+                state.replicas[chunk[:, 1], parts] = True
+                idx += chunk.shape[0]
+            cost.edges_streamed += m
+            cost.hash_evaluations += m
+        state.sizes[:] = np.bincount(assignments, minlength=k)
+        return PartitionResult(
+            partitioner=self.name,
+            k=k,
+            alpha=alpha,
+            n_vertices=n,
+            n_edges=m,
+            assignments=assignments,
+            state=state,
+            timer=timer,
+            cost=cost,
+            state_bytes=0,
+        )

@@ -1,0 +1,99 @@
+"""HDRF: high-degree-replicated-first streaming partitioning (CIKM'15).
+
+The paper's primary stateful streaming baseline.  For every edge, a score
+``C_REP(u, v, p) + lambda * C_BAL(p)`` is evaluated on *every* partition
+and the edge goes to the argmax — hence O(|E| * k) run-time, the exact
+bottleneck 2PS-L removes.
+
+Faithful details:
+
+- degrees are *partial*: counted on the fly as edges stream in (HDRF does
+  not get a degree pass);
+- ``lambda = 1.1`` as configured in the paper's appendix;
+- the hard balance cap is enforced by masking full partitions before the
+  argmax (capacity bound alpha * |E| / k).
+
+The score vector per edge is computed with numpy over all k partitions —
+one simulated "score evaluation" per partition per edge is charged to the
+cost counter, preserving the O(|E| * k) operation count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.scoring import HDRF_EPSILON
+from repro.metrics.memory import measured_state_bytes
+from repro.metrics.runtime import CostCounter, PhaseTimer
+from repro.partitioning.base import EdgePartitioner, PartitionResult
+from repro.partitioning.state import PartitionState
+
+
+class HDRF(EdgePartitioner):
+    """Streaming HDRF with partial degrees and hard balance cap.
+
+    Parameters
+    ----------
+    lam:
+        Weight of the balance term (paper: 1.1).
+    """
+
+    name = "HDRF"
+
+    def __init__(self, lam: float = 1.1) -> None:
+        self.lam = float(lam)
+
+    def _run(self, stream, k: int, alpha: float) -> PartitionResult:
+        timer = PhaseTimer()
+        cost = CostCounter()
+        n = self._resolve_n_vertices(stream)
+        m = stream.n_edges
+        state = PartitionState(n, k, m, alpha)
+        assignments = np.empty(m, dtype=np.int32)
+        partial_deg = [0] * n
+        replicas = state.replicas
+        sizes = np.zeros(k, dtype=np.float64)
+        capacity = state.capacity
+        lam = self.lam
+
+        with timer.phase("partitioning"):
+            idx = 0
+            for chunk in stream.chunks():
+                for u, v in chunk.tolist():
+                    partial_deg[u] += 1
+                    partial_deg[v] += 1
+                    du = partial_deg[u]
+                    dv = partial_deg[v]
+                    theta_u = du / (du + dv)
+                    # C_REP + lambda * C_BAL over all k partitions at once.
+                    scores = replicas[u] * (2.0 - theta_u) + replicas[v] * (
+                        1.0 + theta_u
+                    )
+                    maxs = sizes.max()
+                    mins = sizes.min()
+                    scores = scores + lam * (maxs - sizes) / (
+                        HDRF_EPSILON + maxs - mins
+                    )
+                    scores[sizes >= capacity] = -np.inf
+                    p = int(np.argmax(scores))
+                    sizes[p] += 1.0
+                    replicas[u, p] = True
+                    replicas[v, p] = True
+                    assignments[idx] = p
+                    idx += 1
+            cost.edges_streamed += m
+            cost.score_evaluations += m * k
+
+        state.sizes[:] = sizes.astype(np.int64)
+        return PartitionResult(
+            partitioner=self.name,
+            k=k,
+            alpha=alpha,
+            n_vertices=n,
+            n_edges=m,
+            assignments=assignments,
+            state=state,
+            timer=timer,
+            cost=cost,
+            state_bytes=measured_state_bytes(state, partial_deg),
+        )

@@ -1,0 +1,229 @@
+"""Command-line interface: generate datasets, partition files, inspect graphs.
+
+Mirrors the paper's deployment model ("2PS-L is implemented as a separate
+process that reads the graph data as a file from a given storage, partitions
+the edges, and writes back the partitioned graph data"):
+
+- ``repro-partition generate`` — materialize a dataset stand-in as a binary
+  edge list;
+- ``repro-partition partition`` — out-of-core partition a binary edge list
+  and write per-edge assignments;
+- ``repro-partition info`` — basic statistics of an edge-list file;
+- ``repro-partition experiment`` — run a table/figure reproduction
+  (delegates to :mod:`repro.experiments.__main__`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.experiments.common import ALL_PARTITIONERS, make_partitioner
+from repro.graph.datasets import DATASETS, load_dataset
+from repro.graph.formats import write_binary_edge_list
+from repro.storage import hdd_device, page_cache_device, ssd_device
+from repro.streaming import FileEdgeStream, load_partitioned, write_partitioned
+
+_DEVICES = {"page-cache": page_cache_device, "ssd": ssd_device, "hdd": hdd_device}
+
+
+def _cmd_generate(args) -> int:
+    graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    nbytes = write_binary_edge_list(graph, args.out)
+    print(
+        f"wrote {args.dataset} stand-in: |V|={graph.n_vertices} "
+        f"|E|={graph.n_edges} ({nbytes} bytes) -> {args.out}"
+    )
+    return 0
+
+
+def _cmd_partition(args) -> int:
+    device = _DEVICES[args.device]() if args.device else None
+    stream = FileEdgeStream(args.input, n_vertices=args.n_vertices, device=device)
+    partitioner = make_partitioner(args.algorithm)
+    result = partitioner.partition(stream, args.k, alpha=args.alpha)
+    print(f"partitioner       : {result.partitioner}")
+    print(f"k / alpha         : {result.k} / {result.alpha}")
+    print(f"edges / vertices  : {result.n_edges} / {result.n_vertices}")
+    print(f"replication factor: {result.replication_factor:.4f}")
+    print(f"measured alpha    : {result.measured_alpha:.4f}")
+    print(f"wall seconds      : {result.wall_seconds:.4f}")
+    print(f"model seconds     : {result.model_seconds():.4f}")
+    print(f"state bytes       : {result.state_bytes}")
+    if device is not None:
+        print(
+            f"simulated I/O     : {stream.stats.simulated_read_seconds:.4f} s "
+            f"on {args.device}"
+        )
+    if args.out:
+        result.assignments.astype("<i4").tofile(args.out)
+        print(f"assignments       : {result.assignments.shape[0]} ids -> {args.out}")
+    if args.out_dir:
+        edges = stream.materialize().edges
+        manifest = write_partitioned(
+            args.out_dir, edges, result.assignments, args.k, result.n_vertices
+        )
+        print(
+            f"partitioned data  : {sum(manifest['edge_counts'])} edges in "
+            f"{args.k} files -> {args.out_dir}"
+        )
+    return 0
+
+
+def _cmd_process(args) -> int:
+    """Run a simulated distributed workload over partitioned output."""
+    from repro.processing import (
+        ConnectedComponents,
+        GnnEpoch,
+        PageRank,
+        PartitionedGraph,
+        PregelEngine,
+    )
+
+    graphs, manifest = load_partitioned(args.dir)
+    k = manifest["k"]
+    n = manifest.get("n_vertices")
+    pieces = [g.edges for g in graphs if g.n_edges]
+    edges = np.concatenate(pieces)
+    assignments = np.concatenate(
+        [
+            np.full(g.n_edges, p, dtype=np.int32)
+            for p, g in enumerate(graphs)
+            if g.n_edges
+        ]
+    )
+    if n is None:
+        n = int(edges.max()) + 1
+    pgraph = PartitionedGraph(edges, assignments, k, n)
+    workloads = {
+        "pagerank": lambda: PageRank(),
+        "components": lambda: ConnectedComponents(),
+        "gnn": lambda: GnnEpoch(),
+    }
+    workload = workloads[args.workload]()
+    _, report = PregelEngine().run(
+        pgraph, workload, max_supersteps=args.supersteps
+    )
+    print(f"workload          : {args.workload}")
+    print(f"workers (k)       : {k}")
+    print(f"replication factor: {pgraph.replication_factor():.4f}")
+    print(f"supersteps        : {report.supersteps}")
+    print(f"converged         : {report.converged}")
+    print(f"messages          : {report.total_messages}")
+    print(f"simulated seconds : {report.total_seconds:.3f}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    stream = FileEdgeStream(args.input)
+    n_seen = -1
+    m = 0
+    for chunk in stream.chunks():
+        m += chunk.shape[0]
+        if chunk.size:
+            n_seen = max(n_seen, int(chunk.max()))
+    print(f"edges       : {m}")
+    print(f"max vertex  : {n_seen}")
+    print(f"bytes       : {m * 8}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    """Delegate to the experiment dispatcher."""
+    from repro.experiments.__main__ import main as experiments_main
+
+    argv = [args.name]
+    if args.scale is not None:
+        argv += ["--scale", str(args.scale)]
+    return experiments_main(argv)
+
+
+def _cmd_list(args) -> int:
+    print("datasets:")
+    for spec in DATASETS.values():
+        print(
+            f"  {spec.name:4s} {spec.kind:6s} paper |E|={spec.paper_edges:>14,d} "
+            f"stand-in |E|~{spec.standin_edges:>9,d}"
+        )
+    print("algorithms:")
+    for name in ALL_PARTITIONERS:
+        print(f"  {name}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro-partition argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-partition",
+        description="2PS-L out-of-core edge partitioning toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="write a dataset stand-in to disk")
+    gen.add_argument("--dataset", required=True, choices=sorted(DATASETS))
+    gen.add_argument("--scale", type=float, default=1.0)
+    gen.add_argument("--seed", type=int, default=7)
+    gen.add_argument("--out", required=True)
+    gen.set_defaults(func=_cmd_generate)
+
+    part = sub.add_parser("partition", help="partition a binary edge list")
+    part.add_argument("--input", required=True)
+    part.add_argument(
+        "--algorithm", default="2PS-L", choices=sorted(ALL_PARTITIONERS)
+    )
+    part.add_argument("--k", type=int, required=True)
+    part.add_argument("--alpha", type=float, default=1.05)
+    part.add_argument("--n-vertices", type=int, default=None)
+    part.add_argument("--device", choices=sorted(_DEVICES), default=None)
+    part.add_argument("--out", default=None, help="write int32 assignments")
+    part.add_argument(
+        "--out-dir",
+        default=None,
+        help="write the partitioned graph (one edge file per partition + manifest)",
+    )
+    part.set_defaults(func=_cmd_partition)
+
+    proc = sub.add_parser(
+        "process", help="run a simulated distributed workload on partitioned data"
+    )
+    proc.add_argument("--dir", required=True, help="partitioned output directory")
+    proc.add_argument(
+        "--workload",
+        choices=("pagerank", "components", "gnn"),
+        default="pagerank",
+    )
+    proc.add_argument("--supersteps", type=int, default=30)
+    proc.set_defaults(func=_cmd_process)
+
+    info = sub.add_parser("info", help="statistics of a binary edge list")
+    info.add_argument("--input", required=True)
+    info.set_defaults(func=_cmd_info)
+
+    exp = sub.add_parser(
+        "experiment", help="regenerate a paper table/figure (or 'all')"
+    )
+    exp.add_argument("name", help="experiment id, e.g. figure2, table4, all")
+    exp.add_argument("--scale", type=float, default=None)
+    exp.set_defaults(func=_cmd_experiment)
+
+    lst = sub.add_parser("list", help="list datasets and algorithms")
+    lst.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

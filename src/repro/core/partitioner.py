@@ -1,0 +1,307 @@
+"""The 2PS-L partitioner: two-phase streaming edge partitioning (Alg. 2).
+
+Pipeline (each step is a separate streaming pass, timed separately so the
+Figure 5 breakdown can be reproduced):
+
+1. **Degree pass** — one linear pass counting true vertex degrees.
+2. **Clustering pass(es)** — Phase 1 (:mod:`repro.core.clustering`).
+3. **Cluster mapping** — Graham sorted list scheduling of cluster volumes
+   onto partitions (:mod:`repro.core.scheduling`).  No streaming.
+4. **Pre-partitioning pass** — edges whose endpoints share a cluster, or
+   whose clusters are mapped to the same partition, go straight to that
+   partition (Algorithm 2, lines 16-26).
+5. **Remaining pass** — every other edge is scored on exactly **two**
+   candidate partitions (the partitions of its endpoints' clusters) with
+   the constant-time 2PS-L score (lines 27-44).
+
+Fallback chain when a target partition is at the hard cap: hash on the
+higher-degree endpoint, then the least-loaded open partition as a last
+resort — both from the paper (line 40-41 and the prose below them).
+
+Setting ``mode="hdrf"`` replaces step 5's two-candidate scoring with the
+full HDRF score over all k partitions, which is the paper's **2PS-HDRF**
+variant (Section V-D): better replication factor, O(|E| * k) run-time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.clustering import (
+    StreamingClustering,
+    default_volume_cap,
+)
+from repro.core.scheduling import graham_schedule
+from repro.core.scoring import HDRF_EPSILON
+from repro.errors import ConfigurationError
+from repro.graph.degrees import compute_degrees_from_stream
+from repro.metrics.memory import measured_state_bytes
+from repro.metrics.runtime import CostCounter, PhaseTimer
+from repro.partitioning.base import EdgePartitioner, PartitionResult
+from repro.partitioning.hashutil import splitmix64
+from repro.partitioning.state import PartitionState
+
+
+class TwoPhasePartitioner(EdgePartitioner):
+    """2PS-L (default) or 2PS-HDRF (``mode="hdrf"``).
+
+    Parameters
+    ----------
+    clustering_passes:
+        Streaming clustering passes (1 = the paper's recommended default,
+        i.e. no re-streaming; Figures 7-8 sweep this).
+    volume_cap_factor:
+        Cluster volume cap as a multiple of ``|E| / k``; see
+        :func:`repro.core.clustering.default_volume_cap`.
+    mode:
+        ``"linear"`` for 2PS-L's two-candidate constant-time scoring,
+        ``"hdrf"`` for full HDRF scoring over all k partitions (2PS-HDRF).
+    hdrf_lambda:
+        Balance weight of the HDRF score (paper appendix: 1.1).
+    hash_seed:
+        Seed of the fallback hash.
+    keep_state:
+        When True, the result's ``extras`` carry the Phase-1 clustering and
+        the cluster-to-partition map (keys ``_clustering`` / ``_c2p``), so
+        an :class:`~repro.core.incremental.IncrementalPartitioner` can be
+        built from it for dynamic-graph updates.
+    """
+
+    def __init__(
+        self,
+        clustering_passes: int = 1,
+        volume_cap_factor: float = 0.5,
+        mode: str = "linear",
+        hdrf_lambda: float = 1.1,
+        hash_seed: int = 0,
+        keep_state: bool = False,
+    ) -> None:
+        if mode not in ("linear", "hdrf"):
+            raise ConfigurationError(
+                f"mode must be 'linear' or 'hdrf', got {mode!r}"
+            )
+        if volume_cap_factor <= 0:
+            raise ConfigurationError(
+                f"volume_cap_factor must be positive, got {volume_cap_factor}"
+            )
+        self.clustering_passes = int(clustering_passes)
+        self.volume_cap_factor = float(volume_cap_factor)
+        self.mode = mode
+        self.hdrf_lambda = float(hdrf_lambda)
+        self.hash_seed = int(hash_seed)
+        self.keep_state = bool(keep_state)
+        self.name = "2PS-L" if mode == "linear" else "2PS-HDRF"
+
+    # ------------------------------------------------------------------
+    def _run(self, stream, k: int, alpha: float) -> PartitionResult:
+        timer = PhaseTimer()
+        cost = CostCounter()
+        m = stream.n_edges
+
+        # Pass 1: true vertex degrees (Figure 5: "Degree").
+        with timer.phase("degree"):
+            degrees = compute_degrees_from_stream(stream)
+            cost.edges_streamed += m
+        n = max(self._resolve_n_vertices(stream, degrees), len(degrees))
+        if len(degrees) < n:
+            grown = np.zeros(n, dtype=np.int64)
+            grown[: len(degrees)] = degrees
+            degrees = grown
+
+        # Phase 1: streaming clustering (Figure 5: "Clustering").
+        with timer.phase("clustering"):
+            cap = default_volume_cap(m, k, self.volume_cap_factor)
+            clustering = StreamingClustering(
+                n_passes=self.clustering_passes, volume_cap=cap
+            ).run(stream, degrees=degrees, cost=cost)
+
+        # Phase 2 Step 1: map clusters to partitions (no streaming).
+        with timer.phase("mapping"):
+            c2p, loads = graham_schedule(clustering.volumes, k, cost=cost)
+
+        state = PartitionState(n, k, m, alpha)
+        assignments = np.full(m, -1, dtype=np.int32)
+        sizes: list[int] = [0] * k  # Python-list mirror of state.sizes (hot loop)
+
+        # Phase 2 Step 2: pre-partitioning pass.
+        with timer.phase("prepartition"):
+            n_pre = self._prepartition_pass(
+                stream, clustering, c2p, state, sizes, assignments, degrees, k, cost
+            )
+
+        # Phase 2 Step 3: score remaining edges.
+        with timer.phase("partitioning"):
+            if self.mode == "linear":
+                self._remaining_pass_linear(
+                    stream, clustering, c2p, state, sizes, assignments, degrees, k, cost
+                )
+            else:
+                self._remaining_pass_hdrf(
+                    stream, clustering, c2p, state, sizes, assignments, degrees, k, cost
+                )
+
+        state.sizes[:] = sizes
+        state_bytes = measured_state_bytes(
+            state, clustering.v2c, clustering.volumes, clustering.degrees, c2p, loads
+        )
+        extra_state = (
+            {"_clustering": clustering, "_c2p": c2p} if self.keep_state else {}
+        )
+        return PartitionResult(
+            partitioner=self.name,
+            k=k,
+            alpha=alpha,
+            n_vertices=n,
+            n_edges=m,
+            assignments=assignments,
+            state=state,
+            timer=timer,
+            cost=cost,
+            state_bytes=state_bytes,
+            extras={
+                "n_clusters": clustering.n_nonempty_clusters,
+                "clustering_passes": clustering.passes,
+                "volume_cap": clustering.volume_cap,
+                "prepartitioned_edges": n_pre,
+                "remaining_edges": m - n_pre,
+                "mode": self.mode,
+                **extra_state,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    def _fallback_partition(
+        self, u: int, v: int, deg: list, sizes: list, capacity: int, k: int, cost
+    ) -> int:
+        """Hash on the higher-degree endpoint; least-loaded open as last resort."""
+        hv = u if deg[u] >= deg[v] else v
+        p = int(splitmix64(hv, self.hash_seed) % np.uint64(k))
+        cost.hash_evaluations += 1
+        if sizes[p] >= capacity:
+            p = min(range(k), key=sizes.__getitem__)
+        return p
+
+    def _prepartition_pass(
+        self, stream, clustering, c2p, state, sizes, assignments, degrees, k, cost
+    ) -> int:
+        """Algorithm 2 lines 16-26; returns the number of edges assigned."""
+        v2c = clustering.v2c.tolist()
+        c2p_l = c2p.tolist()
+        deg = degrees.tolist()
+        replicas = state.replicas
+        capacity = state.capacity
+        idx = 0
+        n_pre = 0
+        for chunk in stream.chunks():
+            for u, v in chunk.tolist():
+                c1 = v2c[u]
+                c2 = v2c[v]
+                p1 = c2p_l[c1]
+                if c1 == c2 or p1 == c2p_l[c2]:
+                    p = p1
+                    if sizes[p] >= capacity:
+                        p = self._fallback_partition(
+                            u, v, deg, sizes, capacity, k, cost
+                        )
+                    sizes[p] += 1
+                    replicas[u, p] = True
+                    replicas[v, p] = True
+                    assignments[idx] = p
+                    n_pre += 1
+                idx += 1
+        cost.edges_streamed += stream.n_edges
+        return n_pre
+
+    def _remaining_pass_linear(
+        self, stream, clustering, c2p, state, sizes, assignments, degrees, k, cost
+    ) -> None:
+        """Algorithm 2 lines 27-44 with the two-candidate 2PS-L score."""
+        v2c = clustering.v2c.tolist()
+        c2p_l = c2p.tolist()
+        vol = clustering.volumes.tolist()
+        deg = degrees.tolist()
+        replicas = state.replicas
+        capacity = state.capacity
+        idx = 0
+        n_scored = 0
+        for chunk in stream.chunks():
+            for u, v in chunk.tolist():
+                c1 = v2c[u]
+                c2 = v2c[v]
+                p1 = c2p_l[c1]
+                p2 = c2p_l[c2]
+                if c1 == c2 or p1 == p2:
+                    idx += 1  # pre-partitioned in the previous pass
+                    continue
+                du = deg[u]
+                dv = deg[v]
+                dsum = du + dv
+                vol1 = vol[c1]
+                vol2 = vol[c2]
+                vsum = vol1 + vol2
+                # Score candidate p1: c1 is mapped to p1 (and c2 is not).
+                s1 = vol1 / vsum if vsum else 0.0
+                if replicas[u, p1]:
+                    s1 += 2.0 - du / dsum
+                if replicas[v, p1]:
+                    s1 += 2.0 - dv / dsum
+                # Score candidate p2 symmetrically.
+                s2 = vol2 / vsum if vsum else 0.0
+                if replicas[u, p2]:
+                    s2 += 2.0 - du / dsum
+                if replicas[v, p2]:
+                    s2 += 2.0 - dv / dsum
+                n_scored += 2
+                p = p1 if s1 >= s2 else p2
+                if sizes[p] >= capacity:
+                    p = self._fallback_partition(u, v, deg, sizes, capacity, k, cost)
+                sizes[p] += 1
+                replicas[u, p] = True
+                replicas[v, p] = True
+                assignments[idx] = p
+                idx += 1
+        cost.score_evaluations += n_scored
+        cost.edges_streamed += stream.n_edges
+
+    def _remaining_pass_hdrf(
+        self, stream, clustering, c2p, state, sizes, assignments, degrees, k, cost
+    ) -> None:
+        """2PS-HDRF: full HDRF scoring over all k partitions (Section V-D)."""
+        v2c = clustering.v2c.tolist()
+        c2p_l = c2p.tolist()
+        deg = degrees.tolist()
+        replicas = state.replicas
+        capacity = state.capacity
+        lam = self.hdrf_lambda
+        sizes_np = np.asarray(sizes, dtype=np.float64)
+        idx = 0
+        n_scored = 0
+        for chunk in stream.chunks():
+            for u, v in chunk.tolist():
+                c1 = v2c[u]
+                c2 = v2c[v]
+                if c1 == c2 or c2p_l[c1] == c2p_l[c2]:
+                    idx += 1
+                    continue
+                du = deg[u]
+                dv = deg[v]
+                theta_u = du / (du + dv)
+                scores = replicas[u] * (2.0 - theta_u) + replicas[v] * (
+                    1.0 + theta_u
+                )
+                maxs = sizes_np.max()
+                mins = sizes_np.min()
+                scores = scores + lam * (maxs - sizes_np) / (
+                    HDRF_EPSILON + maxs - mins
+                )
+                scores[sizes_np >= capacity] = -np.inf
+                p = int(np.argmax(scores))
+                n_scored += k
+                sizes[p] += 1
+                sizes_np[p] += 1.0
+                replicas[u, p] = True
+                replicas[v, p] = True
+                assignments[idx] = p
+                idx += 1
+        cost.score_evaluations += n_scored
+        cost.edges_streamed += stream.n_edges

@@ -1,0 +1,24 @@
+"""Experiment runners: one module per table/figure of the paper.
+
+Each module exposes ``run(...) -> ExperimentResult`` plus a ``main()`` that
+prints the reproduced rows next to the paper's reported shape.  The
+``python -m repro.experiments <name>`` entry point dispatches to them; see
+``python -m repro.experiments --list``.
+"""
+
+from repro.experiments.common import (
+    ALL_PARTITIONERS,
+    ExperimentResult,
+    make_partitioner,
+    run_one,
+)
+from repro.experiments.report import format_table, render_result
+
+__all__ = [
+    "ALL_PARTITIONERS",
+    "ExperimentResult",
+    "make_partitioner",
+    "run_one",
+    "format_table",
+    "render_result",
+]

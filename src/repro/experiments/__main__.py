@@ -1,0 +1,110 @@
+"""Experiment dispatcher: ``python -m repro.experiments <name> [options]``.
+
+``--list`` enumerates every reproducible table/figure; ``all`` runs the
+complete suite (several minutes at the default scale).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import report
+from repro.experiments import (  # noqa: F401 - imported for dispatch
+    clustering_quality,
+    dynamic,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    hypergraphs,
+    motivation,
+    staleness,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+
+EXPERIMENTS = {
+    "figure1": figure1,
+    "figure2": figure2,
+    "figure3": figure3,
+    "figure4": figure4,
+    "figure5": figure5,
+    "figure6": figure6,
+    "figure7": figure7,
+    "figure8": figure8,
+    "figure9": figure9,
+    "table1": table1,
+    "table2": table2,
+    "table3": table3,
+    "table4": table4,
+    "table5": table5,
+    # Beyond the paper's numbered exhibits:
+    "motivation": motivation,  # Section I: vertex vs edge partitioning
+    "dynamic": dynamic,  # Section VI: incremental updates
+    "staleness": staleness,  # Section VI: CuSP-style parallel sharding
+    "hypergraphs": hypergraphs,  # Section VII: hypergraph generalization
+    "clustering": clustering_quality,  # Section III-A: Phase-1 quality sweep
+}
+
+#: Experiments whose run() accepts a scale parameter.
+SCALED = {
+    name
+    for name in EXPERIMENTS
+    if name not in ("figure1", "figure3", "hypergraphs")
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        help="experiment id (figure1..figure9, table1..table5) or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="dataset scale factor (default: per-experiment)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiment:
+        for name, module in EXPERIMENTS.items():
+            doc = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:10s} {doc}")
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        if name not in EXPERIMENTS:
+            print(
+                f"unknown experiment {name!r}; use --list", file=sys.stderr
+            )
+            return 2
+        module = EXPERIMENTS[name]
+        kwargs = {}
+        if args.scale is not None and name in SCALED:
+            kwargs["scale"] = args.scale
+        result = module.run(**kwargs)
+        print(report.render_result(result))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

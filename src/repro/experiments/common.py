@@ -1,0 +1,160 @@
+"""Shared experiment infrastructure.
+
+Provides the partitioner registry (string name -> configured instance), a
+uniform single-run helper producing a flat metrics row, and the
+:class:`ExperimentResult` container that every figure/table module returns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines import (
+    DBH,
+    HDRF,
+    HEP,
+    Adwise,
+    DistributedNE,
+    Greedy,
+    Grid,
+    MetisLike,
+    NeighborhoodExpansion,
+    RandomHash,
+    StreamingNE,
+)
+from repro.core import TwoPhasePartitioner
+from repro.errors import ConfigurationError
+from repro.graph.datasets import load_dataset
+from repro.metrics import validate_partition
+
+#: Factory per canonical partitioner name.  Callables so that every run
+#: gets a fresh, stateless instance.
+ALL_PARTITIONERS: dict[str, callable] = {
+    "2PS-L": lambda: TwoPhasePartitioner(),
+    "2PS-HDRF": lambda: TwoPhasePartitioner(mode="hdrf"),
+    "HDRF": lambda: HDRF(),
+    "DBH": lambda: DBH(),
+    "Grid": lambda: Grid(),
+    "Random": lambda: RandomHash(),
+    "Greedy": lambda: Greedy(),
+    "ADWISE": lambda: Adwise(buffer_size=128),
+    "NE": lambda: NeighborhoodExpansion(),
+    "SNE": lambda: StreamingNE(),
+    "DNE": lambda: DistributedNE(),
+    "METIS": lambda: MetisLike(),
+    "HEP-1": lambda: HEP(tau=1.0),
+    "HEP-10": lambda: HEP(tau=10.0),
+    "HEP-100": lambda: HEP(tau=100.0),
+}
+
+#: The streaming subset used in the paper's figure 2.
+FIGURE2_PARTITIONERS = ("2PS-L", "HDRF", "DBH")
+
+#: The full figure-4 line-up (paper Figure 4 legend order).
+FIGURE4_PARTITIONERS = (
+    "2PS-L",
+    "ADWISE",
+    "HDRF",
+    "DBH",
+    "SNE",
+    "HEP-1",
+    "HEP-10",
+    "HEP-100",
+    "NE",
+    "DNE",
+    "METIS",
+)
+
+
+def make_partitioner(name: str):
+    """Instantiate a partitioner by canonical name.
+
+    Raises
+    ------
+    ConfigurationError
+        For unknown names (message lists the registry).
+    """
+    try:
+        factory = ALL_PARTITIONERS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown partitioner {name!r}; available: {sorted(ALL_PARTITIONERS)}"
+        ) from None
+    return factory()
+
+
+def run_one(
+    partitioner_name: str,
+    dataset: str,
+    k: int,
+    scale: float = 1.0,
+    alpha: float = 1.05,
+) -> dict:
+    """Run one (partitioner, dataset, k) cell and return a metrics row.
+
+    The assignment is validated (full coverage, ids in range) before the
+    row is returned; balance is *measured*, not asserted, because the
+    stateless baselines cannot enforce it (the paper annotates their alpha
+    in the plots instead).
+    """
+    graph = load_dataset(dataset, scale=scale)
+    partitioner = make_partitioner(partitioner_name)
+    result = partitioner.partition(graph, k, alpha=alpha)
+    validate_partition(graph.edges, result.assignments, k, alpha=None)
+    row = {
+        "partitioner": result.partitioner,
+        "dataset": dataset,
+        "k": k,
+        "rf": round(result.replication_factor, 3),
+        "alpha": round(result.measured_alpha, 3),
+        "wall_s": round(result.wall_seconds, 4),
+        "model_s": round(result.model_seconds(), 4),
+        "mem_bytes": result.state_bytes,
+    }
+    row.update(
+        {
+            f"phase_{name}": round(seconds, 4)
+            for name, seconds in result.timer.totals.items()
+        }
+    )
+    for key in ("prepartitioned_edges", "remaining_edges", "n_clusters"):
+        if key in result.extras:
+            row[key] = result.extras[key]
+    return row
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment module.
+
+    Attributes
+    ----------
+    experiment:
+        Identifier ("figure2", "table4", ...).
+    title:
+        Human-readable title matching the paper's caption.
+    rows:
+        Flat metric dicts (one per plotted point / table cell).
+    paper_reference:
+        What the paper reports, for side-by-side reading.
+    notes:
+        Reproduction caveats (substitutions, scaling).
+    """
+
+    experiment: str
+    title: str
+    rows: list = field(default_factory=list)
+    paper_reference: str = ""
+    notes: str = ""
+
+    def rows_for(self, **filters) -> list:
+        """Rows matching all ``column=value`` filters."""
+        out = []
+        for row in self.rows:
+            if all(row.get(key) == value for key, value in filters.items()):
+                out.append(row)
+        return out
+
+    def column(self, name: str, **filters) -> list:
+        """Values of one column over the filtered rows."""
+        return [row[name] for row in self.rows_for(**filters) if name in row]

@@ -1,0 +1,66 @@
+"""Plain-text table rendering for experiment results.
+
+The experiments print ASCII tables whose rows correspond 1:1 to the
+paper's plotted series / table cells, so paper-vs-reproduction comparison
+is a visual diff.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+
+
+def format_table(rows: list[dict], columns: list[str] | None = None, title: str = "") -> str:
+    """Render ``rows`` as a fixed-width ASCII table.
+
+    Parameters
+    ----------
+    rows:
+        List of dicts; missing cells render blank.
+    columns:
+        Column order; defaults to the union of keys in first-seen order.
+    title:
+        Optional heading line.
+    """
+    if not rows:
+        return f"{title}\n(no rows)\n" if title else "(no rows)\n"
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    widths = {c: len(str(c)) for c in columns}
+    rendered: list[list[str]] = []
+    for row in rows:
+        cells = []
+        for c in columns:
+            value = row.get(c, "")
+            if isinstance(value, float):
+                text = f"{value:.4g}"
+            else:
+                text = str(value)
+            widths[c] = max(widths[c], len(text))
+            cells.append(text)
+        rendered.append(cells)
+    header = "  ".join(str(c).ljust(widths[c]) for c in columns)
+    rule = "-" * len(header)
+    lines = []
+    if title:
+        lines.extend([title, "=" * len(title)])
+    lines.extend([header, rule])
+    for cells in rendered:
+        lines.append(
+            "  ".join(cell.ljust(widths[c]) for cell, c in zip(cells, columns))
+        )
+    return "\n".join(lines) + "\n"
+
+
+def render_result(result: ExperimentResult, columns: list[str] | None = None) -> str:
+    """Full report block for one experiment: title, table, paper reference."""
+    parts = [format_table(result.rows, columns=columns, title=result.title)]
+    if result.paper_reference:
+        parts.append(f"Paper reports: {result.paper_reference}")
+    if result.notes:
+        parts.append(f"Notes: {result.notes}")
+    return "\n".join(parts) + "\n"

@@ -1,0 +1,51 @@
+"""Graph substrate: in-memory graphs, generators, datasets and file formats.
+
+This package provides everything the partitioners need to obtain graph data:
+
+- :class:`~repro.graph.graph.Graph` — a compact in-memory edge-list graph
+  with lazily computed degrees and CSR adjacency.
+- :mod:`~repro.graph.generators` — deterministic synthetic graph generators
+  (Chung-Lu power law, R-MAT, planted partition, ring lattice, ...).
+- :mod:`~repro.graph.datasets` — the registry of scaled synthetic stand-ins
+  for the paper's real-world datasets (Table III).
+- :mod:`~repro.graph.formats` — binary (32-bit ids, as in the paper) and
+  text edge-list serialization.
+- :mod:`~repro.graph.degrees` — out-of-core degree computation.
+"""
+
+from repro.graph.graph import Graph
+from repro.graph.generators import (
+    chung_lu_graph,
+    planted_partition_graph,
+    ring_of_cliques,
+    rmat_graph,
+    star_graph,
+    two_cluster_toy_graph,
+)
+from repro.graph.datasets import DATASETS, DatasetSpec, load_dataset
+from repro.graph.formats import (
+    read_binary_edge_list,
+    read_text_edge_list,
+    write_binary_edge_list,
+    write_text_edge_list,
+)
+from repro.graph.degrees import compute_degrees, compute_degrees_from_stream
+
+__all__ = [
+    "Graph",
+    "chung_lu_graph",
+    "rmat_graph",
+    "planted_partition_graph",
+    "ring_of_cliques",
+    "star_graph",
+    "two_cluster_toy_graph",
+    "DATASETS",
+    "DatasetSpec",
+    "load_dataset",
+    "read_binary_edge_list",
+    "write_binary_edge_list",
+    "read_text_edge_list",
+    "write_text_edge_list",
+    "compute_degrees",
+    "compute_degrees_from_stream",
+]

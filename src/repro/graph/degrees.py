@@ -1,0 +1,54 @@
+"""Out-of-core degree computation.
+
+2PS-L needs the *true* vertex degree before clustering (Section III-A.2:
+"we compute the degree of each vertex upfront ... in a pass through the edge
+set, keeping a counter for each vertex ID").  This is a linear-time pass and
+its cost is reported separately in the paper's Figure 5 breakdown.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+
+def compute_degrees(graph: Graph) -> np.ndarray:
+    """Degrees of an in-memory graph (delegates to :attr:`Graph.degrees`)."""
+    return graph.degrees
+
+
+def compute_degrees_from_stream(stream, n_vertices: int | None = None) -> np.ndarray:
+    """One streaming pass that counts every endpoint occurrence.
+
+    Parameters
+    ----------
+    stream:
+        Any edge stream exposing ``chunks()`` (see :mod:`repro.streaming`).
+    n_vertices:
+        Vertex-count hint.  If omitted, taken from the stream, and if the
+        stream does not know either, the array grows as larger ids appear.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``int64`` degree array of length ``n_vertices`` (or large enough to
+        cover every id seen).
+    """
+    if n_vertices is None:
+        n_vertices = getattr(stream, "n_vertices", None)
+    size = int(n_vertices) if n_vertices else 0
+    deg = np.zeros(size, dtype=np.int64)
+    for chunk in stream.chunks():
+        if chunk.size == 0:
+            continue
+        top = int(chunk.max())
+        if top >= deg.shape[0]:
+            grown = np.zeros(max(top + 1, 2 * max(deg.shape[0], 1)), dtype=np.int64)
+            grown[: deg.shape[0]] = deg
+            deg = grown
+        np.add.at(deg, chunk[:, 0], 1)
+        np.add.at(deg, chunk[:, 1], 1)
+    if n_vertices and deg.shape[0] > int(n_vertices):
+        deg = deg[: int(n_vertices)]
+    return deg

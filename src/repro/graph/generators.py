@@ -1,0 +1,279 @@
+"""Deterministic synthetic graph generators.
+
+The paper evaluates on large proprietary crawls (Table III).  These
+generators produce scaled stand-ins with the structural properties the
+algorithms are sensitive to:
+
+- **Power-law degree distributions** (``chung_lu_graph``, ``rmat_graph``) —
+  social networks such as OK/TW/FR are heavy-tailed; DBH and HDRF exploit
+  degree skew.
+- **Community structure** (``planted_partition_graph``,
+  ``ring_of_cliques``) — web graphs such as IT/UK/GSH/WDC cluster extremely
+  well, which drives 2PS-L's pre-partitioning ratio (Fig. 6).
+- **Toy/adversarial graphs** (``star_graph``, ``two_cluster_toy_graph``) —
+  used by tests and by the Figure 3 concept experiment.
+
+All generators take an explicit ``seed`` and are fully deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.graph.graph import Graph
+
+
+def _validate_positive(name: str, value: int) -> None:
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be positive, got {value}")
+
+
+def chung_lu_graph(
+    n_vertices: int,
+    n_edges: int,
+    gamma: float = 2.2,
+    seed: int = 0,
+    min_weight: float = 1.0,
+) -> Graph:
+    """Power-law random graph via the Chung-Lu model.
+
+    Vertices receive weights ``w_i ~ i^{-1/(gamma-1)}`` (Zipf-like) and edge
+    endpoints are drawn independently proportional to weight, which yields an
+    expected power-law degree distribution with exponent ``gamma``.  Self
+    loops are rejected and duplicates are allowed (multigraph semantics, as
+    in a raw edge stream).
+
+    Parameters
+    ----------
+    n_vertices, n_edges:
+        Target sizes; exactly ``n_edges`` edges are emitted.
+    gamma:
+        Power-law exponent; real social networks sit around 2-2.5.
+    seed:
+        RNG seed (deterministic output).
+    min_weight:
+        Floor on vertex weight, keeps the tail from vanishing.
+    """
+    _validate_positive("n_vertices", n_vertices)
+    _validate_positive("n_edges", n_edges)
+    if gamma <= 1.0:
+        raise ConfigurationError(f"gamma must be > 1, got {gamma}")
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, n_vertices + 1, dtype=np.float64)
+    weights = np.maximum(ranks ** (-1.0 / (gamma - 1.0)), min_weight / n_vertices)
+    probs = weights / weights.sum()
+    # Draw in bulk with a modest oversample to cover rejected self-loops.
+    edges = np.empty((0, 2), dtype=np.int64)
+    needed = n_edges
+    while needed > 0:
+        batch = max(needed + 16, int(needed * 1.1))
+        u = rng.choice(n_vertices, size=batch, p=probs)
+        v = rng.choice(n_vertices, size=batch, p=probs)
+        ok = u != v
+        chunk = np.column_stack([u[ok], v[ok]])[:needed]
+        edges = np.concatenate([edges, chunk]) if edges.size else chunk
+        needed = n_edges - edges.shape[0]
+    # Shuffle so that high-degree vertices are not front-loaded in the stream.
+    rng.shuffle(edges)
+    return Graph(edges, n_vertices)
+
+
+def rmat_graph(
+    scale: int,
+    edge_factor: int = 16,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int = 0,
+) -> Graph:
+    """R-MAT (recursive matrix) graph, the Graph500 generator.
+
+    Produces ``2**scale`` vertices and ``edge_factor * 2**scale`` edges with
+    a skewed, self-similar structure.  ``a + b + c`` must be < 1; the
+    remaining mass ``d = 1 - a - b - c`` completes the quadrant
+    probabilities.
+    """
+    if scale <= 0 or scale > 26:
+        raise ConfigurationError(f"scale must be in [1, 26], got {scale}")
+    _validate_positive("edge_factor", edge_factor)
+    d = 1.0 - a - b - c
+    if min(a, b, c, d) < 0:
+        raise ConfigurationError("R-MAT probabilities must be non-negative")
+    n = 1 << scale
+    m = edge_factor * n
+    rng = np.random.default_rng(seed)
+    u = np.zeros(m, dtype=np.int64)
+    v = np.zeros(m, dtype=np.int64)
+    thresholds = np.array([a, a + b, a + b + c])
+    for level in range(scale):
+        r = rng.random(m)
+        bit = 1 << (scale - 1 - level)
+        # quadrant: 0 -> (0,0), 1 -> (0,1), 2 -> (1,0), 3 -> (1,1)
+        quad = np.searchsorted(thresholds, r, side="right")
+        u += np.where(quad >= 2, bit, 0)
+        v += np.where((quad == 1) | (quad == 3), bit, 0)
+    mask = u != v
+    edges = np.column_stack([u[mask], v[mask]])
+    rng.shuffle(edges)
+    return Graph(edges, n)
+
+
+def planted_partition_graph(
+    n_communities: int,
+    community_size: int,
+    p_intra: float = 0.3,
+    p_inter: float = 0.005,
+    seed: int = 0,
+) -> Graph:
+    """Planted-partition (stochastic block) graph with dense communities.
+
+    The canonical model for web-graph-like clusterability: most edges fall
+    inside a community.  Edge counts are drawn per block pair (binomial),
+    then endpoints are sampled uniformly within the blocks.
+
+    Parameters
+    ----------
+    n_communities, community_size:
+        Block structure; ``n = n_communities * community_size``.
+    p_intra, p_inter:
+        Within- and between-community edge probabilities.
+    """
+    _validate_positive("n_communities", n_communities)
+    _validate_positive("community_size", community_size)
+    if not (0.0 <= p_inter <= p_intra <= 1.0):
+        raise ConfigurationError(
+            "need 0 <= p_inter <= p_intra <= 1, got "
+            f"p_intra={p_intra}, p_inter={p_inter}"
+        )
+    rng = np.random.default_rng(seed)
+    n = n_communities * community_size
+    blocks: list[np.ndarray] = []
+    pairs_within = community_size * (community_size - 1) // 2
+    for ci in range(n_communities):
+        base = ci * community_size
+        m_in = rng.binomial(pairs_within, p_intra)
+        if m_in:
+            u = base + rng.integers(0, community_size, size=m_in)
+            v = base + rng.integers(0, community_size, size=m_in)
+            ok = u != v
+            blocks.append(np.column_stack([u[ok], v[ok]]))
+    pairs_between = community_size * community_size
+    for ci in range(n_communities):
+        for cj in range(ci + 1, n_communities):
+            m_out = rng.binomial(pairs_between, p_inter)
+            if m_out:
+                u = ci * community_size + rng.integers(0, community_size, size=m_out)
+                v = cj * community_size + rng.integers(0, community_size, size=m_out)
+                blocks.append(np.column_stack([u, v]))
+    if blocks:
+        edges = np.concatenate(blocks)
+        rng.shuffle(edges)
+    else:
+        edges = np.empty((0, 2), dtype=np.int64)
+    return Graph(edges, n)
+
+
+def social_community_graph(
+    n_vertices: int,
+    n_edges: int,
+    community_fraction: float = 0.6,
+    community_size: int = 32,
+    gamma: float = 2.1,
+    seed: int = 0,
+) -> Graph:
+    """Social-network stand-in: power-law hub layer over dense communities.
+
+    Real social networks (Orkut, Friendster, Wikipedia) combine a
+    heavy-tailed global degree distribution with local community structure
+    (com-orkut ships with ground-truth communities).  This generator mixes:
+
+    - a **community layer** (``community_fraction`` of the edges): dense
+      planted communities of ``community_size`` vertices;
+    - a **hub layer** (the rest): Chung-Lu power-law edges across the whole
+      vertex set, which produce the high-degree hubs that make these graphs
+      "notoriously difficult to partition".
+
+    Both layers share one vertex-id space; edges are shuffled together.
+    """
+    _validate_positive("n_vertices", n_vertices)
+    _validate_positive("n_edges", n_edges)
+    if not 0.0 <= community_fraction <= 1.0:
+        raise ConfigurationError(
+            f"community_fraction must be in [0, 1], got {community_fraction}"
+        )
+    rng = np.random.default_rng(seed)
+    m_comm = int(n_edges * community_fraction)
+    m_hub = n_edges - m_comm
+    layers = []
+    if m_comm:
+        n_comm = max(2, n_vertices // community_size)
+        intra_pairs = community_size * (community_size - 1) // 2
+        p_intra = min(0.8, m_comm / max(n_comm * intra_pairs, 1))
+        comm = planted_partition_graph(
+            n_comm,
+            community_size,
+            p_intra=p_intra,
+            p_inter=0.0,
+            seed=seed + 1,
+        )
+        layers.append(comm.edges)
+    if m_hub:
+        hub = chung_lu_graph(n_vertices, m_hub, gamma=gamma, seed=seed + 2)
+        layers.append(hub.edges)
+    edges = np.concatenate(layers) if layers else np.empty((0, 2), dtype=np.int64)
+    rng.shuffle(edges)
+    return Graph(edges, n_vertices)
+
+
+def ring_of_cliques(n_cliques: int, clique_size: int, seed: int = 0) -> Graph:
+    """``n_cliques`` complete graphs joined in a ring by single bridge edges.
+
+    A worst case for clustering-agnostic partitioners and a best case for
+    clustering-aware ones — the structure behind Figure 3 of the paper.
+    """
+    _validate_positive("n_cliques", n_cliques)
+    if clique_size < 2:
+        raise ConfigurationError(f"clique_size must be >= 2, got {clique_size}")
+    edges: list[tuple[int, int]] = []
+    for ci in range(n_cliques):
+        base = ci * clique_size
+        for i in range(clique_size):
+            for j in range(i + 1, clique_size):
+                edges.append((base + i, base + j))
+    if n_cliques > 1:
+        for ci in range(n_cliques):
+            nxt = (ci + 1) % n_cliques
+            edges.append((ci * clique_size, nxt * clique_size + 1))
+    arr = np.asarray(edges, dtype=np.int64)
+    rng = np.random.default_rng(seed)
+    rng.shuffle(arr)
+    return Graph(arr, n_cliques * clique_size)
+
+
+def star_graph(n_leaves: int) -> Graph:
+    """A star: vertex 0 connected to ``n_leaves`` leaves.
+
+    The extreme of degree skew — every sensible edge partitioner must
+    replicate the hub on (almost) every partition.
+    """
+    _validate_positive("n_leaves", n_leaves)
+    leaves = np.arange(1, n_leaves + 1, dtype=np.int64)
+    edges = np.column_stack([np.zeros(n_leaves, dtype=np.int64), leaves])
+    return Graph(edges, n_leaves + 1)
+
+
+def two_cluster_toy_graph() -> Graph:
+    """The Figure 3 illustration graph: two dense 4-cliques, two bridges.
+
+    Vertices 0-3 form the "green" cluster, 4-7 the "blue" cluster; edges
+    (0, 4) and (3, 7) bridge them.  A clustering-aware 2-partition cuts 2
+    vertices; a clustering-agnostic one can cut 4.
+    """
+    intra = []
+    for base in (0, 4):
+        for i in range(4):
+            for j in range(i + 1, 4):
+                intra.append((base + i, base + j))
+    inter = [(0, 4), (3, 7)]
+    return Graph(np.asarray(intra + inter, dtype=np.int64), 8)

@@ -1,0 +1,193 @@
+"""Compact in-memory graph representation.
+
+The partitioners in this library consume *edge streams* and never require the
+full graph in memory; :class:`Graph` exists for generators, validation,
+metrics, the in-memory baseline partitioners (NE, METIS-like) and the
+distributed-processing simulator — exactly the places where the paper's
+comparison systems also materialize the graph.
+
+Edges are stored as an ``(m, 2)`` ``int64`` numpy array.  Graphs are treated
+as undirected for partitioning purposes (an edge ``(u, v)`` contributes to the
+degree of both endpoints), matching the problem statement in Section II of
+the paper, but the edge list keeps its original orientation so that streaming
+order is well defined.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import GraphError
+
+
+class Graph:
+    """An immutable edge-list graph.
+
+    Parameters
+    ----------
+    edges:
+        Array-like of shape ``(m, 2)`` with non-negative integer vertex ids.
+    n_vertices:
+        Total number of vertices.  May exceed the largest endpoint id (to
+        model isolated vertices).  Defaults to ``max(edge endpoints) + 1``.
+
+    Raises
+    ------
+    GraphError
+        If the edge array is malformed or ids are out of range.
+    """
+
+    __slots__ = ("_edges", "_n", "_degrees", "_csr")
+
+    def __init__(self, edges, n_vertices: int | None = None) -> None:
+        arr = np.asarray(edges, dtype=np.int64)
+        if arr.size == 0:
+            arr = arr.reshape(0, 2)
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise GraphError(
+                f"edges must have shape (m, 2), got {arr.shape}"
+            )
+        if arr.size and arr.min() < 0:
+            raise GraphError("vertex ids must be non-negative")
+        max_id = int(arr.max()) if arr.size else -1
+        if n_vertices is None:
+            n_vertices = max_id + 1
+        elif n_vertices <= max_id:
+            raise GraphError(
+                f"n_vertices={n_vertices} but an edge references vertex {max_id}"
+            )
+        self._edges = arr
+        self._edges.setflags(write=False)
+        self._n = int(n_vertices)
+        self._degrees: np.ndarray | None = None
+        self._csr: tuple[np.ndarray, np.ndarray] | None = None
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def edges(self) -> np.ndarray:
+        """The ``(m, 2)`` read-only edge array, in stream order."""
+        return self._edges
+
+    @property
+    def n_vertices(self) -> int:
+        """Number of vertices ``|V|`` (including isolated vertices)."""
+        return self._n
+
+    @property
+    def n_edges(self) -> int:
+        """Number of edges ``|E|``."""
+        return int(self._edges.shape[0])
+
+    def __len__(self) -> int:
+        return self.n_edges
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Graph(|V|={self.n_vertices}, |E|={self.n_edges})"
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        for u, v in self._edges:
+            yield int(u), int(v)
+
+    # ------------------------------------------------------------------
+    # derived structures (lazy, cached)
+    # ------------------------------------------------------------------
+    @property
+    def degrees(self) -> np.ndarray:
+        """Undirected vertex degrees (self-loops count twice)."""
+        if self._degrees is None:
+            deg = np.zeros(self._n, dtype=np.int64)
+            if self.n_edges:
+                np.add.at(deg, self._edges[:, 0], 1)
+                np.add.at(deg, self._edges[:, 1], 1)
+            deg.setflags(write=False)
+            self._degrees = deg
+        return self._degrees
+
+    @property
+    def max_degree(self) -> int:
+        """Largest vertex degree (0 for the empty graph)."""
+        return int(self.degrees.max()) if self._n else 0
+
+    def csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """Undirected CSR adjacency as ``(indptr, indices)``.
+
+        Every edge appears in both endpoint's adjacency list.  Used by the
+        in-memory baselines (NE, METIS-like) and the processing simulator.
+        """
+        if self._csr is None:
+            m = self.n_edges
+            src = np.concatenate([self._edges[:, 0], self._edges[:, 1]])
+            dst = np.concatenate([self._edges[:, 1], self._edges[:, 0]])
+            order = np.argsort(src, kind="stable")
+            sorted_src = src[order]
+            sorted_dst = dst[order]
+            indptr = np.zeros(self._n + 1, dtype=np.int64)
+            counts = np.bincount(sorted_src, minlength=self._n) if m else np.zeros(
+                self._n, dtype=np.int64
+            )
+            np.cumsum(counts, out=indptr[1:])
+            self._csr = (indptr, sorted_dst)
+        return self._csr
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Neighbor ids of vertex ``v`` (with multiplicity)."""
+        indptr, indices = self.csr()
+        return indices[indptr[v] : indptr[v + 1]]
+
+    # ------------------------------------------------------------------
+    # transformations
+    # ------------------------------------------------------------------
+    def shuffled(self, seed: int = 0) -> "Graph":
+        """Return a copy with the edge stream order permuted deterministically."""
+        rng = np.random.default_rng(seed)
+        perm = rng.permutation(self.n_edges)
+        return Graph(self._edges[perm].copy(), self._n)
+
+    def without_self_loops(self) -> "Graph":
+        """Return a copy with self-loop edges removed."""
+        mask = self._edges[:, 0] != self._edges[:, 1]
+        return Graph(self._edges[mask].copy(), self._n)
+
+    def deduplicated(self) -> "Graph":
+        """Return a copy with duplicate undirected edges removed.
+
+        Keeps the first occurrence of each undirected edge; orientation of
+        the kept edge is preserved.
+        """
+        if not self.n_edges:
+            return Graph(self._edges.copy(), self._n)
+        lo = np.minimum(self._edges[:, 0], self._edges[:, 1])
+        hi = np.maximum(self._edges[:, 0], self._edges[:, 1])
+        keys = lo * np.int64(self._n) + hi
+        _, first = np.unique(keys, return_index=True)
+        first.sort()
+        return Graph(self._edges[first].copy(), self._n)
+
+    def subgraph_of_edges(self, edge_indices: np.ndarray) -> "Graph":
+        """Return the graph induced by a subset of edge indices.
+
+        Vertex ids are *not* remapped: the subgraph shares the parent's id
+        space, which is what the partition-quality metrics require.
+        """
+        idx = np.asarray(edge_indices, dtype=np.int64)
+        return Graph(self._edges[idx].copy(), self._n)
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def nbytes(self) -> int:
+        """Approximate memory footprint of the materialized edge list."""
+        return int(self._edges.nbytes)
+
+    def validate(self) -> None:
+        """Re-check all construction invariants; raises GraphError on failure."""
+        if self._edges.ndim != 2 or self._edges.shape[1] != 2:
+            raise GraphError("edge array shape corrupted")
+        if self._edges.size and (
+            self._edges.min() < 0 or self._edges.max() >= self._n
+        ):
+            raise GraphError("edge endpoints out of range")

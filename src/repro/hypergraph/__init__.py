@@ -1,0 +1,35 @@
+"""Hypergraph edge partitioning — the paper's stated future work.
+
+Section VII: "In future work, we plan to investigate the generalization of
+2PS-L to hypergraphs."  This package provides that generalization:
+
+- :class:`~repro.hypergraph.model.Hypergraph` — a CSR hyperedge container
+  plus a deterministic planted-community generator;
+- :class:`~repro.hypergraph.partitioner.TwoPhaseHypergraphPartitioner` —
+  2PS-L lifted to hyperedges: streaming vertex clustering over member
+  co-occurrence, Graham mapping of clusters, then constant-candidate
+  scoring per hyperedge (the candidate set is the partitions of the two
+  heaviest member clusters — still O(1) per hyperedge, preserving the
+  linear run-time);
+- :class:`~repro.hypergraph.baselines.MinMaxStreaming` — the streaming
+  min-max baseline of Alistarh et al. (NIPS'15), which scores all k
+  partitions per hyperedge;
+- :class:`~repro.hypergraph.baselines.HashHyperedges` — the stateless
+  floor.
+"""
+
+from repro.hypergraph.model import Hypergraph, planted_hypergraph
+from repro.hypergraph.partitioner import (
+    HypergraphPartitionResult,
+    TwoPhaseHypergraphPartitioner,
+)
+from repro.hypergraph.baselines import HashHyperedges, MinMaxStreaming
+
+__all__ = [
+    "Hypergraph",
+    "planted_hypergraph",
+    "TwoPhaseHypergraphPartitioner",
+    "HypergraphPartitionResult",
+    "MinMaxStreaming",
+    "HashHyperedges",
+]

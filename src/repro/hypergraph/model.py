@@ -1,0 +1,124 @@
+"""Hypergraph container and generators.
+
+A hypergraph is a set of hyperedges, each connecting two or more vertices
+("group relationships", paper Section VI).  Storage is CSR-style: a flat
+member array plus an index pointer per hyperedge, which keeps streaming
+iteration allocation-free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import GraphError
+
+
+class Hypergraph:
+    """Immutable CSR hypergraph.
+
+    Parameters
+    ----------
+    hyperedges:
+        Sequence of vertex-id sequences, each of length >= 2.
+    n_vertices:
+        Optional vertex-count override (max id + 1 otherwise).
+    """
+
+    __slots__ = ("indptr", "members", "_n", "_degrees")
+
+    def __init__(self, hyperedges: Sequence[Sequence[int]], n_vertices=None):
+        lengths = []
+        flat: list[int] = []
+        for he in hyperedges:
+            if len(he) < 2:
+                raise GraphError("hyperedges must have at least 2 members")
+            lengths.append(len(he))
+            flat.extend(int(v) for v in he)
+        self.members = np.asarray(flat, dtype=np.int64)
+        if self.members.size and self.members.min() < 0:
+            raise GraphError("vertex ids must be non-negative")
+        self.indptr = np.zeros(len(lengths) + 1, dtype=np.int64)
+        np.cumsum(np.asarray(lengths, dtype=np.int64), out=self.indptr[1:])
+        max_id = int(self.members.max()) if self.members.size else -1
+        if n_vertices is None:
+            n_vertices = max_id + 1
+        elif n_vertices <= max_id:
+            raise GraphError(
+                f"n_vertices={n_vertices} but hyperedge references {max_id}"
+            )
+        self._n = int(n_vertices)
+        self._degrees: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def n_vertices(self) -> int:
+        return self._n
+
+    @property
+    def n_hyperedges(self) -> int:
+        return int(self.indptr.shape[0] - 1)
+
+    @property
+    def total_pins(self) -> int:
+        """Total membership count (sum of hyperedge sizes)."""
+        return int(self.members.shape[0])
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Vertex degree = number of incident pins."""
+        if self._degrees is None:
+            deg = np.zeros(self._n, dtype=np.int64)
+            if self.members.size:
+                np.add.at(deg, self.members, 1)
+            self._degrees = deg
+        return self._degrees
+
+    def hyperedge(self, i: int) -> np.ndarray:
+        """Members of hyperedge ``i``."""
+        return self.members[self.indptr[i] : self.indptr[i + 1]]
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        for i in range(self.n_hyperedges):
+            yield self.hyperedge(i)
+
+    def __len__(self) -> int:
+        return self.n_hyperedges
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Hypergraph(|V|={self._n}, |H|={self.n_hyperedges}, "
+            f"pins={self.total_pins})"
+        )
+
+
+def planted_hypergraph(
+    n_communities: int,
+    community_size: int,
+    n_hyperedges: int,
+    mean_size: int = 4,
+    p_intra: float = 0.85,
+    seed: int = 0,
+) -> Hypergraph:
+    """Hypergraph with planted vertex communities.
+
+    Each hyperedge draws its size from {2..2*mean_size-2}; with probability
+    ``p_intra`` all members come from one community, otherwise they are
+    sampled globally.  Mirrors the planted-partition graphs used for the
+    web stand-ins.
+    """
+    rng = np.random.default_rng(seed)
+    n = n_communities * community_size
+    hyperedges = []
+    for _ in range(n_hyperedges):
+        size = int(rng.integers(2, max(3, 2 * mean_size - 1)))
+        size = min(size, community_size)
+        if rng.random() < p_intra:
+            comm = int(rng.integers(0, n_communities))
+            base = comm * community_size
+            members = base + rng.choice(community_size, size=size, replace=False)
+        else:
+            members = rng.choice(n, size=size, replace=False)
+        hyperedges.append(members.tolist())
+    return Hypergraph(hyperedges, n)

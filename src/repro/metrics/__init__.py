@@ -1,0 +1,38 @@
+"""Metrics: replication factor, balance, memory models, cost accounting.
+
+These are the quantities the paper reports for every experiment:
+replication factor and measured imbalance (Figures 2, 4, 7, 9), memory
+overhead (Figure 4c/f/i/l/o/r/u, Table II), and run-time — both wall-clock
+and the machine-neutral operation-count model that makes the O(|E|) vs
+O(|E| * k) shapes visible independent of interpreter speed.
+"""
+
+from repro.metrics.replication import (
+    replication_factor,
+    replication_factor_from_assignments,
+    vertex_cover_sizes,
+)
+from repro.metrics.balance import (
+    measured_alpha,
+    partition_sizes,
+    validate_partition,
+)
+from repro.metrics.memory import (
+    analytic_state_bytes,
+    measured_state_bytes,
+)
+from repro.metrics.runtime import CostCounter, CostModel, PhaseTimer
+
+__all__ = [
+    "replication_factor",
+    "replication_factor_from_assignments",
+    "vertex_cover_sizes",
+    "measured_alpha",
+    "partition_sizes",
+    "validate_partition",
+    "analytic_state_bytes",
+    "measured_state_bytes",
+    "CostCounter",
+    "CostModel",
+    "PhaseTimer",
+]

@@ -1,0 +1,102 @@
+"""Deeper analysis utilities: clustering quality, partition anatomy.
+
+Used by the clustering experiment and by users evaluating Phase-1 output:
+
+- :func:`clustering_modularity` — Newman modularity of a vertex clustering
+  (the standard community-quality score; Hollocou et al. evaluate on it);
+- :func:`intra_cluster_edge_fraction` — the quantity that directly drives
+  2PS-L's pre-partitioning ratio (Figure 6);
+- :func:`partition_anatomy` — per-partition breakdown of a finished edge
+  partitioning (sizes, cover sets, internal-edge fractions).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PartitioningError
+
+
+def clustering_modularity(graph, v2c: np.ndarray) -> float:
+    """Newman modularity ``Q = sum_c (e_c / m - (vol_c / 2m)^2)``.
+
+    ``e_c`` counts intra-cluster edges, ``vol_c`` the degree volume of
+    cluster ``c``.  Unclustered vertices (v2c < 0) form singletons.
+    Range is (-0.5, 1]; 0 is the random baseline.
+    """
+    v2c = np.asarray(v2c)
+    if v2c.shape[0] != graph.n_vertices:
+        raise PartitioningError(
+            f"v2c has {v2c.shape[0]} entries for {graph.n_vertices} vertices"
+        )
+    m = graph.n_edges
+    if m == 0:
+        return 0.0
+    # Remap so every vertex has a cluster (singletons for the unassigned).
+    labels = v2c.copy()
+    unassigned = labels < 0
+    if unassigned.any():
+        base = labels.max() + 1 if (labels >= 0).any() else 0
+        labels[unassigned] = base + np.arange(int(unassigned.sum()))
+    n_clusters = int(labels.max()) + 1
+    intra = np.zeros(n_clusters, dtype=np.float64)
+    lu = labels[graph.edges[:, 0]]
+    lv = labels[graph.edges[:, 1]]
+    same = lu == lv
+    np.add.at(intra, lu[same], 1.0)
+    volumes = np.zeros(n_clusters, dtype=np.float64)
+    np.add.at(volumes, labels, graph.degrees)
+    return float((intra / m - (volumes / (2.0 * m)) ** 2).sum())
+
+
+def intra_cluster_edge_fraction(graph, v2c: np.ndarray) -> float:
+    """Fraction of edges whose endpoints share a cluster."""
+    v2c = np.asarray(v2c)
+    if graph.n_edges == 0:
+        return 0.0
+    lu = v2c[graph.edges[:, 0]]
+    lv = v2c[graph.edges[:, 1]]
+    valid = (lu >= 0) & (lv >= 0)
+    return float(((lu == lv) & valid).mean())
+
+
+def cluster_size_histogram(v2c: np.ndarray) -> np.ndarray:
+    """Sizes (member counts) of the non-empty clusters, descending."""
+    v2c = np.asarray(v2c)
+    used = v2c[v2c >= 0]
+    if used.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    sizes = np.bincount(used)
+    sizes = sizes[sizes > 0]
+    return np.sort(sizes)[::-1]
+
+
+def partition_anatomy(edges: np.ndarray, assignments: np.ndarray, k: int, n_vertices: int) -> list[dict]:
+    """Per-partition report: edges, cover size, internal-vertex fraction.
+
+    A vertex is *internal* to partition p if all of its edges live on p —
+    internal vertices need no synchronization in distributed processing.
+    """
+    edges = np.asarray(edges)
+    assignments = np.asarray(assignments)
+    if edges.shape[0] != assignments.shape[0]:
+        raise PartitioningError("edges/assignments length mismatch")
+    present = np.zeros((n_vertices, k), dtype=bool)
+    present[edges[:, 0], assignments] = True
+    present[edges[:, 1], assignments] = True
+    replica_counts = present.sum(axis=1)
+    rows = []
+    for p in range(k):
+        covered = present[:, p]
+        internal = covered & (replica_counts == 1)
+        n_cov = int(covered.sum())
+        rows.append(
+            {
+                "partition": p,
+                "edges": int((assignments == p).sum()),
+                "cover": n_cov,
+                "internal_vertices": int(internal.sum()),
+                "internal_fraction": float(internal.sum()) / n_cov if n_cov else 0.0,
+            }
+        )
+    return rows

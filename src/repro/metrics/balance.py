@@ -1,0 +1,85 @@
+"""Balance metrics and partition validation.
+
+The balancing constraint of Section II-A: every partition must hold at most
+``alpha * |E| / k`` edges.  Stateless partitioners (DBH, Grid) cannot
+enforce it, so — exactly like the paper's plots, which annotate the measured
+alpha when the constraint is missed — we *measure* alpha for every run and
+let experiments report violations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PartitioningError
+
+
+def partition_sizes(assignments: np.ndarray, k: int) -> np.ndarray:
+    """Edge count per partition."""
+    assignments = np.asarray(assignments)
+    if assignments.size and (assignments.min() < 0 or assignments.max() >= k):
+        raise PartitioningError("assignment out of range [0, k)")
+    return np.bincount(assignments, minlength=k).astype(np.int64)
+
+
+def measured_alpha(assignments: np.ndarray, k: int) -> float:
+    """Observed imbalance ``max_i |p_i| / (|E| / k)`` (1.0 = perfect)."""
+    assignments = np.asarray(assignments)
+    m = assignments.shape[0]
+    if m == 0:
+        return 1.0
+    return float(partition_sizes(assignments, k).max()) * k / m
+
+
+def validate_partition(
+    edges: np.ndarray,
+    assignments: np.ndarray,
+    k: int,
+    alpha: float | None = None,
+) -> None:
+    """Assert that ``assignments`` is a valid edge partitioning.
+
+    Checks that every edge has exactly one assignment in ``[0, k)`` and —
+    when ``alpha`` is given — that the hard cap
+    ``max(floor(alpha * m / k), ceil(m / k))`` holds.
+
+    Raises
+    ------
+    PartitioningError
+        On any violation; the message names the failing condition.
+    """
+    edges = np.asarray(edges)
+    assignments = np.asarray(assignments)
+    if edges.shape[0] != assignments.shape[0]:
+        raise PartitioningError(
+            f"{edges.shape[0]} edges but {assignments.shape[0]} assignments"
+        )
+    if assignments.size == 0:
+        return
+    if assignments.min() < 0:
+        raise PartitioningError("an edge is unassigned (negative partition id)")
+    if assignments.max() >= k:
+        raise PartitioningError(
+            f"assignment {int(assignments.max())} out of range for k={k}"
+        )
+    if alpha is not None:
+        m = edges.shape[0]
+        cap = max(int(np.floor(alpha * m / k)), int(np.ceil(m / k)))
+        sizes = partition_sizes(assignments, k)
+        if sizes.max() > cap:
+            raise PartitioningError(
+                f"balance violated: largest partition {int(sizes.max())} "
+                f"exceeds cap {cap} (alpha={alpha}, m={m}, k={k})"
+            )
+
+
+def balance_summary(assignments: np.ndarray, k: int) -> dict:
+    """Min / max / mean partition size and measured alpha, as a dict."""
+    sizes = partition_sizes(assignments, k)
+    m = int(np.asarray(assignments).shape[0])
+    return {
+        "min": int(sizes.min()),
+        "max": int(sizes.max()),
+        "mean": m / k if k else 0.0,
+        "alpha": measured_alpha(assignments, k),
+    }

@@ -1,0 +1,95 @@
+"""Memory-footprint models (paper Table II and Figure 4 memory plots).
+
+Two views are provided:
+
+- *measured*: the actual bytes of a partitioner's live state objects
+  (replication matrix, degree/cluster arrays, buffers, materialized graph).
+- *analytic*: the closed-form Table II space complexities instantiated with
+  concrete element sizes, used to reproduce the Table II comparison and to
+  sanity-check the measurements.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+#: Bytes per int32 id (the paper's partitioners use 32-bit vertex ids).
+ID_BYTES = 4
+
+
+def analytic_state_bytes(
+    kind: str,
+    n_vertices: int,
+    n_edges: int,
+    k: int,
+    buffer_edges: int = 0,
+) -> int:
+    """Closed-form state size in bytes for a partitioner class.
+
+    Parameters
+    ----------
+    kind:
+        One of ``"2ps-l"``, ``"hdrf"``, ``"adwise"``, ``"dbh"``, ``"grid"``,
+        ``"in-memory"`` — the rows of Table II.
+    n_vertices, n_edges, k:
+        Problem dimensions.
+    buffer_edges:
+        ADWISE buffer size ``b``.
+
+    Notes
+    -----
+    - Stateful streaming (2PS-L, HDRF): replication bit matrix ``|V| * k``
+      bits plus O(|V|) id arrays.  2PS-L additionally keeps degrees, cluster
+      volumes and the vertex-to-cluster map — all O(|V|).
+    - DBH: only the degree array, O(|V|).
+    - Grid: O(1).
+    - In-memory: at least the edge list, >= O(|E|).
+    """
+    key = kind.lower()
+    bit_matrix = (n_vertices * k + 7) // 8
+    if key in ("2ps-l", "2ps-hdrf"):
+        per_vertex = 3 * ID_BYTES * n_vertices  # degrees, v2c, cluster volumes
+        per_cluster = 2 * ID_BYTES * n_vertices  # c2p + per-partition volume bound
+        return bit_matrix + per_vertex + per_cluster + ID_BYTES * k
+    if key == "hdrf":
+        return bit_matrix + ID_BYTES * n_vertices + ID_BYTES * k
+    if key == "adwise":
+        return (
+            bit_matrix
+            + ID_BYTES * n_vertices
+            + ID_BYTES * k
+            + 2 * ID_BYTES * buffer_edges
+        )
+    if key == "dbh":
+        return ID_BYTES * n_vertices
+    if key == "grid":
+        return ID_BYTES * k  # partition counters only; independent of |V|, |E|
+    if key == "in-memory":
+        return 2 * ID_BYTES * n_edges
+    raise ConfigurationError(f"unknown partitioner kind {kind!r}")
+
+
+def measured_state_bytes(*objects) -> int:
+    """Sum the measured byte footprint of live state objects.
+
+    Accepts any mix of numpy arrays, objects exposing ``nbytes()`` (e.g.
+    :class:`~repro.partitioning.state.PartitionState`) or ``nbytes``
+    attributes, plain lists of ints (8 bytes per element assumed), and
+    ``None`` (skipped).
+    """
+    total = 0
+    for obj in objects:
+        if obj is None:
+            continue
+        nbytes = getattr(obj, "nbytes", None)
+        if callable(nbytes):
+            total += int(nbytes())
+        elif nbytes is not None:
+            total += int(nbytes)
+        elif isinstance(obj, (list, tuple)):
+            total += 8 * len(obj)
+        else:
+            raise ConfigurationError(
+                f"cannot measure memory of {type(obj).__name__}"
+            )
+    return total

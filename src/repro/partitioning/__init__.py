@@ -1,0 +1,18 @@
+"""Shared partitioning infrastructure.
+
+Everything common to the core 2PS-L partitioner and the baseline
+partitioners lives here:
+
+- :class:`~repro.partitioning.state.PartitionState` — the ``O(|V| * k)``
+  vertex-to-partition replication bit matrix plus partition sizes and the
+  hard balance cap (Section II / Table II of the paper).
+- :class:`~repro.partitioning.base.EdgePartitioner` — the abstract driver
+  every partitioner implements.
+- :class:`~repro.partitioning.base.PartitionResult` — assignments, state,
+  phase timings and the machine-neutral operation counts.
+"""
+
+from repro.partitioning.state import PartitionState
+from repro.partitioning.base import EdgePartitioner, PartitionResult
+
+__all__ = ["PartitionState", "EdgePartitioner", "PartitionResult"]

@@ -1,0 +1,42 @@
+"""Deterministic integer hashing shared by all partitioners.
+
+Python's builtin ``hash`` is randomized per process for str and not stable
+across numpy dtypes, so stateless partitioners (DBH, Grid) and the 2PS-L
+hash fallback use an explicit splitmix64 finalizer — deterministic, well
+mixed, and vectorizable over numpy arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_MASK64 = np.uint64(0xFFFFFFFFFFFFFFFF)
+_C1 = np.uint64(0xBF58476D1CE4E5B9)
+_C2 = np.uint64(0x94D049BB133111EB)
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+
+
+def splitmix64(values, seed: int = 0):
+    """SplitMix64 finalizer over an int scalar or numpy array.
+
+    Returns uint64 with the same shape as the input.  The ``seed`` is mixed
+    in additively so different partitioners can decorrelate their hashes.
+    """
+    old = np.seterr(over="ignore")
+    try:
+        x = (np.asarray(values).astype(np.uint64) + _GOLDEN + np.uint64(seed)) & _MASK64
+        x = (x ^ (x >> np.uint64(30))) * _C1 & _MASK64
+        x = (x ^ (x >> np.uint64(27))) * _C2 & _MASK64
+        x = x ^ (x >> np.uint64(31))
+    finally:
+        np.seterr(**old)
+    return x
+
+
+def hash_to_partition(values, k: int, seed: int = 0):
+    """Map vertex ids to partitions in ``[0, k)`` (scalar or vectorized)."""
+    hashed = splitmix64(values, seed)
+    result = (hashed % np.uint64(k)).astype(np.int64)
+    if np.isscalar(values) or np.ndim(values) == 0:
+        return int(result)
+    return result

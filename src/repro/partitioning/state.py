@@ -1,0 +1,135 @@
+"""Partitioning state: replication matrix, partition sizes, balance cap.
+
+This is the ``O(|V| * k)`` state that all stateful streaming partitioners
+share (paper Table II): a vertex-to-partition replication bit matrix and the
+current edge count of every partition.  The *hard* balance cap
+``alpha * |E| / k`` (Section III-B, Step 3: "We enforce a hard balancing
+cap") is owned by this class so every partitioner enforces it identically.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import BalanceError, PartitioningError
+
+
+class PartitionState:
+    """Replication bit matrix + partition sizes with a hard balance cap.
+
+    Parameters
+    ----------
+    n_vertices, k:
+        Dimensions of the replication matrix.
+    n_edges:
+        Total number of edges that will be assigned (defines the cap).
+    alpha:
+        Imbalance factor; the cap is ``max(floor(alpha * m / k), ceil(m/k))``
+        so a full assignment is always feasible.
+
+    Raises
+    ------
+    PartitioningError
+        On non-positive dimensions or ``k < 2``.
+    BalanceError
+        If ``alpha < 1`` (the constraint would be infeasible by definition).
+    """
+
+    def __init__(self, n_vertices: int, k: int, n_edges: int, alpha: float = 1.05):
+        if k < 2:
+            raise PartitioningError(f"k must be >= 2, got {k}")
+        if n_vertices < 0 or n_edges < 0:
+            raise PartitioningError("n_vertices and n_edges must be >= 0")
+        if alpha < 1.0:
+            raise BalanceError(f"alpha must be >= 1, got {alpha}")
+        self.n_vertices = int(n_vertices)
+        self.k = int(k)
+        self.n_edges = int(n_edges)
+        self.alpha = float(alpha)
+        self.capacity = max(
+            int(math.floor(alpha * n_edges / k)), int(math.ceil(n_edges / k))
+        )
+        self.replicas = np.zeros((self.n_vertices, self.k), dtype=bool)
+        self.sizes = np.zeros(self.k, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # assignment
+    # ------------------------------------------------------------------
+    def assign(self, u: int, v: int, p: int) -> None:
+        """Assign one edge ``(u, v)`` to partition ``p``.
+
+        Raises
+        ------
+        BalanceError
+            If ``p`` is already at its hard capacity.
+        """
+        if self.sizes[p] >= self.capacity:
+            raise BalanceError(
+                f"partition {p} is at capacity {self.capacity}"
+            )
+        self.sizes[p] += 1
+        self.replicas[u, p] = True
+        self.replicas[v, p] = True
+
+    def is_full(self, p: int) -> bool:
+        """Whether partition ``p`` reached the hard cap."""
+        return bool(self.sizes[p] >= self.capacity)
+
+    def least_loaded_open(self) -> int:
+        """Index of the least-loaded partition below the cap.
+
+        This is the paper's last-resort fallback ("we assign the edge to the
+        currently least loaded partition as a last resort").
+
+        Raises
+        ------
+        BalanceError
+            If every partition is full (only possible when more than
+            ``capacity * k`` edges are pushed in).
+        """
+        open_mask = self.sizes < self.capacity
+        if not open_mask.any():
+            raise BalanceError("all partitions are at capacity")
+        candidates = np.where(open_mask)[0]
+        return int(candidates[np.argmin(self.sizes[candidates])])
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def replica_counts(self) -> np.ndarray:
+        """Per-vertex replica counts (0 for vertices never seen)."""
+        return self.replicas.sum(axis=1)
+
+    def vertex_cover_sizes(self) -> np.ndarray:
+        """``|V(p_i)|`` per partition — vertices adjacent to an edge of p_i."""
+        return self.replicas.sum(axis=0)
+
+    def replication_factor(self) -> float:
+        """``RF = (1/|V|) * sum_i |V(p_i)|``, over *covered* vertices.
+
+        The paper normalizes by ``|V|``; isolated vertices (never streamed)
+        are excluded from the denominator so RF >= 1 whenever any edge
+        exists, matching the standard implementation.
+        """
+        covered = int((self.replica_counts() > 0).sum())
+        if covered == 0:
+            return 0.0
+        return float(self.vertex_cover_sizes().sum()) / covered
+
+    def measured_alpha(self) -> float:
+        """Observed imbalance ``max_i |p_i| / (|E| / k)``."""
+        if self.n_edges == 0:
+            return 1.0
+        return float(self.sizes.max()) * self.k / self.n_edges
+
+    def nbytes(self) -> int:
+        """Memory footprint of the partitioning state (Table II model)."""
+        return int(self.replicas.nbytes + self.sizes.nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PartitionState(n={self.n_vertices}, k={self.k}, "
+            f"cap={self.capacity}, assigned={int(self.sizes.sum())})"
+        )

@@ -1,0 +1,40 @@
+"""Connected-components workload: min-label propagation.
+
+Every covered vertex starts with its own id as label; each superstep a
+vertex adopts the minimum label among itself and its neighbors (computed
+per worker over local edges, combined at masters).  Terminates when no
+label changes — the number of supersteps equals the graph's label-diameter,
+so well-clustered partitions finish in the same number of steps but with
+far less sync traffic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ConnectedComponents:
+    """Min-label propagation until fixpoint."""
+
+    name = "connected-components"
+
+    def init(self, pgraph) -> np.ndarray:
+        """Label = own vertex id for covered vertices, -1 for isolated."""
+        covered = pgraph.replica_counts > 0
+        labels = np.arange(pgraph.n, dtype=np.int64)
+        labels[~covered] = -1
+        self._covered = covered
+        return labels
+
+    def superstep(self, pgraph, labels) -> tuple[np.ndarray, bool]:
+        """One propagation round; done when no label changed."""
+        new = labels.copy()
+        for local in pgraph.local_edges:
+            if local.shape[0] == 0:
+                continue
+            u = local[:, 0]
+            v = local[:, 1]
+            np.minimum.at(new, u, labels[v])
+            np.minimum.at(new, v, labels[u])
+        done = bool(np.array_equal(new, labels))
+        return new, done

@@ -1,0 +1,101 @@
+"""GNN-style workload for the processing simulator.
+
+The paper's Section I motivation: "GNN training requires for each vertex
+to compute a multi-layer neural network function in every iteration",
+which is why graphs must be split across many workers (large k) — the
+regime 2PS-L targets.
+
+:class:`GnnEpoch` models one training epoch of an L-layer message-passing
+GNN over the edge-partitioned graph:
+
+- per layer, every vertex aggregates its neighbors' feature vectors
+  (computed exactly, like the other workloads, on a scalar feature proxy so
+  tests can validate it against a dense reference);
+- mirrors must fetch the full feature vector of their vertex before each
+  layer, so the per-superstep communication is ``feature_bytes`` per mirror
+  — much heavier than PageRank's 8-byte rank sync, which is exactly why
+  replication factor dominates GNN training cost.
+
+One superstep = one GNN layer; an epoch = ``layers`` supersteps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ProcessingError
+
+
+class GnnEpoch:
+    """Mean-aggregation message-passing layers with heavy feature sync.
+
+    Parameters
+    ----------
+    layers:
+        Number of message-passing layers (supersteps per epoch).
+    feature_bytes:
+        Wire size of one vertex feature vector; the engine's
+        ``bytes_per_message`` is overridden by this workload through
+        :meth:`message_bytes`.
+    """
+
+    name = "gnn-epoch"
+
+    def __init__(self, layers: int = 3, feature_bytes: int = 1024) -> None:
+        if layers < 1:
+            raise ProcessingError(f"layers must be >= 1, got {layers}")
+        if feature_bytes < 1:
+            raise ProcessingError(
+                f"feature_bytes must be >= 1, got {feature_bytes}"
+            )
+        self.layers = int(layers)
+        self.feature_bytes = int(feature_bytes)
+        self._step = 0
+
+    def message_bytes(self) -> int:
+        """Per-mirror-sync message size for this workload."""
+        return self.feature_bytes
+
+    def init(self, pgraph) -> np.ndarray:
+        """Scalar feature proxy: h0(v) = degree-normalized id hash."""
+        self._step = 0
+        covered = pgraph.replica_counts > 0
+        values = np.zeros(pgraph.n, dtype=np.float64)
+        values[covered] = 1.0 + (np.arange(pgraph.n)[covered] % 7)
+        self._inv_deg = np.zeros(pgraph.n, dtype=np.float64)
+        nz = pgraph.degrees > 0
+        self._inv_deg[nz] = 1.0 / pgraph.degrees[nz]
+        self._covered = covered
+        return values
+
+    def superstep(self, pgraph, values) -> tuple[np.ndarray, bool]:
+        """One mean-aggregation layer: h' = 0.5*h + 0.5*mean(neighbors)."""
+        agg = np.zeros(pgraph.n, dtype=np.float64)
+        for local in pgraph.local_edges:
+            if local.shape[0] == 0:
+                continue
+            np.add.at(agg, local[:, 1], values[local[:, 0]])
+            np.add.at(agg, local[:, 0], values[local[:, 1]])
+        new = np.where(
+            self._covered, 0.5 * values + 0.5 * agg * self._inv_deg, values
+        )
+        self._step += 1
+        return new, self._step >= self.layers
+
+
+def reference_gnn_epoch(edges: np.ndarray, n: int, layers: int) -> np.ndarray:
+    """Dense single-machine reference of :class:`GnnEpoch` for tests."""
+    deg = np.zeros(n, dtype=np.float64)
+    np.add.at(deg, edges[:, 0], 1)
+    np.add.at(deg, edges[:, 1], 1)
+    covered = deg > 0
+    values = np.zeros(n, dtype=np.float64)
+    values[covered] = 1.0 + (np.arange(n)[covered] % 7)
+    inv = np.zeros(n)
+    inv[covered] = 1.0 / deg[covered]
+    for _ in range(layers):
+        agg = np.zeros(n)
+        np.add.at(agg, edges[:, 1], values[edges[:, 0]])
+        np.add.at(agg, edges[:, 0], values[edges[:, 1]])
+        values = np.where(covered, 0.5 * values + 0.5 * agg * inv, values)
+    return values

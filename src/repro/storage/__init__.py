@@ -1,0 +1,34 @@
+"""Storage substrate: simulated devices and page-cache model.
+
+The paper's Section V-F measures partitioning time when the graph is read
+from page cache, a local SSD (938 MB/s sequential) and a local HDD
+(158 MB/s), dropping the OS page cache between streaming passes to force
+cold reads.  We have no control over host storage, so this package models
+the same setup: a :class:`~repro.storage.devices.StorageDevice` with a
+sequential-read bandwidth, an optional :class:`~repro.storage.pagecache.PageCache`
+in front of it, and an explicit :func:`drop_page_cache` emulation.  Streams
+charge *simulated seconds* per byte; wall-clock compute time is tracked
+separately, and the Table V experiment adds the two.
+"""
+
+from repro.storage.devices import (
+    HDD_BANDWIDTH,
+    SSD_BANDWIDTH,
+    SimulatedClock,
+    StorageDevice,
+    hdd_device,
+    page_cache_device,
+    ssd_device,
+)
+from repro.storage.pagecache import PageCache
+
+__all__ = [
+    "StorageDevice",
+    "SimulatedClock",
+    "PageCache",
+    "ssd_device",
+    "hdd_device",
+    "page_cache_device",
+    "SSD_BANDWIDTH",
+    "HDD_BANDWIDTH",
+]

@@ -1,0 +1,134 @@
+"""Simulated storage devices.
+
+A :class:`StorageDevice` turns byte counts into *simulated read seconds*
+using a sequential-read bandwidth, optionally front-ended by a
+:class:`~repro.storage.pagecache.PageCache`.  The default bandwidths are the
+paper's fio measurements (Section V-F): 938 MB/s for the SSD and 158 MB/s
+for the HDD; the page-cache device is effectively infinite bandwidth.
+"""
+
+from __future__ import annotations
+
+from repro.errors import StorageError
+from repro.storage.pagecache import PageCache
+
+#: Sequential read bandwidth measured by the paper with fio (bytes/second).
+SSD_BANDWIDTH = 938_000_000.0
+HDD_BANDWIDTH = 158_000_000.0
+#: Effective bandwidth when serving from the OS page cache.  Reads still
+#: cost memory bandwidth; 10 GB/s keeps the model strictly positive without
+#: affecting any comparison.
+PAGE_CACHE_BANDWIDTH = 10_000_000_000.0
+
+
+class SimulatedClock:
+    """Accumulates simulated seconds; shared by device and experiment."""
+
+    def __init__(self) -> None:
+        self._elapsed = 0.0
+
+    @property
+    def elapsed(self) -> float:
+        return self._elapsed
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise StorageError(f"cannot advance clock by {seconds}")
+        self._elapsed += seconds
+
+    def reset(self) -> None:
+        self._elapsed = 0.0
+
+
+class StorageDevice:
+    """A sequential-read storage device with an optional page cache.
+
+    Parameters
+    ----------
+    name:
+        Label used in reports ("page-cache", "ssd", "hdd").
+    bandwidth:
+        Sequential-read bandwidth in bytes/second (must be positive).
+    cache:
+        Optional :class:`PageCache`.  Cache hits are charged at
+        page-cache bandwidth instead of device bandwidth.
+    clock:
+        Optional shared clock; a private one is created otherwise.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        bandwidth: float,
+        cache: PageCache | None = None,
+        clock: SimulatedClock | None = None,
+    ) -> None:
+        if bandwidth <= 0:
+            raise StorageError(f"bandwidth must be positive, got {bandwidth}")
+        self.name = name
+        self.bandwidth = float(bandwidth)
+        self.cache = cache
+        self.clock = clock if clock is not None else SimulatedClock()
+
+    # ------------------------------------------------------------------
+    def read_time(self, nbytes: int) -> float:
+        """Raw device time for ``nbytes`` with no cache involvement."""
+        if nbytes < 0:
+            raise StorageError(f"cannot read negative bytes: {nbytes}")
+        return nbytes / self.bandwidth
+
+    def charge_read(self, path: str, nbytes: int) -> float:
+        """Charge a sequential read and return the simulated seconds.
+
+        When a cache is attached, the cached fraction is charged at
+        page-cache bandwidth and only misses hit the device.
+        """
+        if self.cache is None:
+            seconds = self.read_time(nbytes)
+        else:
+            hit, miss = self.cache.read(path, nbytes)
+            seconds = hit / PAGE_CACHE_BANDWIDTH + miss / self.bandwidth
+        self.clock.advance(seconds)
+        return seconds
+
+    def begin_pass(self, path: str) -> None:
+        """Signal the start of a new sequential pass over ``path``."""
+        if self.cache is not None:
+            self.cache.begin_pass(path)
+
+    def drop_page_cache(self) -> None:
+        """Emulate the paper's between-pass ``drop_caches`` invocation."""
+        if self.cache is not None:
+            self.cache.drop()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StorageDevice({self.name}, {self.bandwidth / 1e6:.0f} MB/s)"
+
+
+# ----------------------------------------------------------------------
+# Factory helpers matching the paper's three storage configurations.
+# ----------------------------------------------------------------------
+
+def page_cache_device(clock: SimulatedClock | None = None) -> StorageDevice:
+    """All reads served at page-cache speed (the paper's cached runs)."""
+    return StorageDevice("page-cache", PAGE_CACHE_BANDWIDTH, clock=clock)
+
+
+def ssd_device(
+    cold_every_pass: bool = True, clock: SimulatedClock | None = None
+) -> StorageDevice:
+    """SSD at the paper's measured 938 MB/s.
+
+    With ``cold_every_pass`` (the paper drops caches between passes) no
+    cache is attached, so every pass pays full device time.
+    """
+    cache = None if cold_every_pass else PageCache()
+    return StorageDevice("ssd", SSD_BANDWIDTH, cache=cache, clock=clock)
+
+
+def hdd_device(
+    cold_every_pass: bool = True, clock: SimulatedClock | None = None
+) -> StorageDevice:
+    """HDD at the paper's measured 158 MB/s."""
+    cache = None if cold_every_pass else PageCache()
+    return StorageDevice("hdd", HDD_BANDWIDTH, cache=cache, clock=clock)

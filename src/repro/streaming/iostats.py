@@ -1,0 +1,63 @@
+"""I/O accounting for edge streams.
+
+Every stream keeps an :class:`IOStats` that records how much data flowed and
+how much *simulated* storage time it cost.  The Table V experiment (external
+storage) and the Figure 5 phase breakdown are built on these counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class IOStats:
+    """Mutable I/O counters for one stream.
+
+    Attributes
+    ----------
+    bytes_read:
+        Total bytes delivered by the stream (binary-edge-list equivalent:
+        8 bytes per edge even for in-memory streams, so that the storage
+        model sees identical byte counts regardless of backing).
+    edges_read:
+        Total edges delivered, across all passes.
+    passes:
+        Completed full passes through the stream.
+    simulated_read_seconds:
+        Time charged by the storage-device model for the reads.
+    """
+
+    bytes_read: int = 0
+    edges_read: int = 0
+    passes: int = 0
+    simulated_read_seconds: float = 0.0
+    _notes: dict = field(default_factory=dict, repr=False)
+
+    def record_chunk(self, n_edges: int, n_bytes: int, seconds: float = 0.0) -> None:
+        """Account one delivered chunk."""
+        self.edges_read += int(n_edges)
+        self.bytes_read += int(n_bytes)
+        self.simulated_read_seconds += float(seconds)
+
+    def record_pass(self) -> None:
+        """Account one completed full pass over the stream."""
+        self.passes += 1
+
+    def merged_with(self, other: "IOStats") -> "IOStats":
+        """Return a new IOStats with the sums of both operands."""
+        return IOStats(
+            bytes_read=self.bytes_read + other.bytes_read,
+            edges_read=self.edges_read + other.edges_read,
+            passes=self.passes + other.passes,
+            simulated_read_seconds=(
+                self.simulated_read_seconds + other.simulated_read_seconds
+            ),
+        )
+
+    def reset(self) -> None:
+        """Zero all counters (used between experiment repetitions)."""
+        self.bytes_read = 0
+        self.edges_read = 0
+        self.passes = 0
+        self.simulated_read_seconds = 0.0

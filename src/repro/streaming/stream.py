@@ -1,0 +1,194 @@
+"""Edge-stream abstractions.
+
+A stream delivers the graph as consecutive numpy chunks of shape ``(c, 2)``.
+Streams are *re-iterable*: every call to :meth:`EdgeStream.chunks` starts a
+fresh pass from the beginning, which is exactly the re-streaming model of the
+paper (degree pass, clustering pass(es), two partitioning passes).
+
+Two implementations are provided:
+
+- :class:`InMemoryEdgeStream` slices a materialized edge array.  This models
+  the paper's "page cache" runs, where the OS has the file cached and I/O is
+  effectively free.
+- :class:`FileEdgeStream` reads a binary edge-list file in chunks without
+  ever holding the full edge set in memory — the true out-of-core path.  It
+  can charge a simulated :class:`~repro.storage.devices.StorageDevice` for
+  every byte so the Table V experiment can compare page cache vs SSD vs HDD.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import StreamError
+from repro.graph.formats import BYTES_PER_EDGE
+from repro.graph.graph import Graph
+from repro.streaming.iostats import IOStats
+
+#: Default edges per chunk; large enough to amortize numpy overhead, small
+#: enough that a chunk is negligible against the memory budget.
+DEFAULT_CHUNK_SIZE = 65_536
+
+
+class EdgeStream(ABC):
+    """Protocol for a re-iterable out-of-core edge stream."""
+
+    def __init__(self) -> None:
+        self.stats = IOStats()
+
+    # ------------------------------------------------------------------
+    @property
+    @abstractmethod
+    def n_edges(self) -> int:
+        """Total number of edges in one full pass."""
+
+    @property
+    @abstractmethod
+    def n_vertices(self) -> int | None:
+        """Vertex count if known, else ``None`` (derive with a degree pass)."""
+
+    @abstractmethod
+    def chunks(self, chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[np.ndarray]:
+        """Yield ``(c, 2)`` int64 chunks covering one full pass, in order."""
+
+    # ------------------------------------------------------------------
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Per-edge iteration (convenience wrapper over :meth:`chunks`)."""
+        for chunk in self.chunks():
+            for u, v in chunk:
+                yield int(u), int(v)
+
+    def materialize(self) -> Graph:
+        """Collect the whole stream into an in-memory :class:`Graph`.
+
+        Only metrics/tests use this; partitioners must not.
+        """
+        parts = [chunk.copy() for chunk in self.chunks()]
+        if parts:
+            edges = np.concatenate(parts)
+        else:
+            edges = np.empty((0, 2), dtype=np.int64)
+        return Graph(edges, self.n_vertices)
+
+
+class InMemoryEdgeStream(EdgeStream):
+    """Stream over an in-memory edge array (page-cache scenario).
+
+    Parameters
+    ----------
+    source:
+        A :class:`Graph` or an ``(m, 2)`` array.
+    n_vertices:
+        Override for the vertex count (required when passing a bare array
+        whose max id undercounts the vertex set).
+    """
+
+    def __init__(self, source, n_vertices: int | None = None) -> None:
+        super().__init__()
+        if isinstance(source, Graph):
+            self._edges = source.edges
+            self._n = source.n_vertices if n_vertices is None else n_vertices
+        else:
+            arr = np.asarray(source, dtype=np.int64)
+            if arr.size == 0:
+                arr = arr.reshape(0, 2)
+            if arr.ndim != 2 or arr.shape[1] != 2:
+                raise StreamError(f"edge array must be (m, 2), got {arr.shape}")
+            self._edges = arr
+            self._n = n_vertices
+
+    @property
+    def n_edges(self) -> int:
+        return int(self._edges.shape[0])
+
+    @property
+    def n_vertices(self) -> int | None:
+        return self._n
+
+    def chunks(self, chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[np.ndarray]:
+        if chunk_size <= 0:
+            raise StreamError(f"chunk_size must be positive, got {chunk_size}")
+        m = self.n_edges
+        for start in range(0, m, chunk_size):
+            chunk = self._edges[start : start + chunk_size]
+            self.stats.record_chunk(chunk.shape[0], chunk.shape[0] * BYTES_PER_EDGE)
+            yield chunk
+        self.stats.record_pass()
+
+
+class FileEdgeStream(EdgeStream):
+    """Out-of-core stream over a binary 32-bit edge-list file.
+
+    Parameters
+    ----------
+    path:
+        File written by :func:`repro.graph.formats.write_binary_edge_list`.
+    n_vertices:
+        Vertex-count hint (optional).
+    device:
+        Optional :class:`~repro.storage.devices.StorageDevice`; when given,
+        every read is charged simulated time through the device (and its
+        page-cache model, if any).
+
+    Raises
+    ------
+    StreamError
+        If the file does not exist or has a truncated record.
+    """
+
+    def __init__(self, path, n_vertices: int | None = None, device=None) -> None:
+        super().__init__()
+        self._path = os.fspath(path)
+        if not os.path.exists(self._path):
+            raise StreamError(f"no such edge-list file: {self._path}")
+        size = os.path.getsize(self._path)
+        if size % BYTES_PER_EDGE:
+            raise StreamError(
+                f"{self._path}: size {size} is not a multiple of {BYTES_PER_EDGE}"
+            )
+        self._m = size // BYTES_PER_EDGE
+        self._n = n_vertices
+        self._device = device
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    @property
+    def n_edges(self) -> int:
+        return int(self._m)
+
+    @property
+    def n_vertices(self) -> int | None:
+        return self._n
+
+    def chunks(self, chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[np.ndarray]:
+        if chunk_size <= 0:
+            raise StreamError(f"chunk_size must be positive, got {chunk_size}")
+        bytes_per_chunk = chunk_size * BYTES_PER_EDGE
+        with open(self._path, "rb") as fh:
+            while True:
+                data = fh.read(bytes_per_chunk)
+                if not data:
+                    break
+                if len(data) % BYTES_PER_EDGE:
+                    raise StreamError(f"{self._path}: truncated edge record")
+                flat = np.frombuffer(data, dtype="<u4")
+                chunk = flat.reshape(-1, 2).astype(np.int64)
+                seconds = 0.0
+                if self._device is not None:
+                    seconds = self._device.charge_read(self._path, len(data))
+                self.stats.record_chunk(chunk.shape[0], len(data), seconds)
+                yield chunk
+        self.stats.record_pass()
+
+
+def as_stream(source, n_vertices: int | None = None) -> EdgeStream:
+    """Coerce a Graph / array / existing stream into an :class:`EdgeStream`."""
+    if isinstance(source, EdgeStream):
+        return source
+    return InMemoryEdgeStream(source, n_vertices=n_vertices)

@@ -1,0 +1,166 @@
+"""Partitioned-output writer and loader.
+
+The paper's deployment model (appendix): "2PS-L ... reads the graph data
+as a file from a given storage, partitions the edges, and writes back the
+partitioned graph data to storage.  This partitioned graph data can then
+be ingested by a data loader into the data processing framework of
+choice."
+
+:class:`PartitionWriter` streams (edge, partition) pairs into one binary
+edge-list file per partition plus a JSON manifest;
+:func:`load_partitioned` reads such a directory back into per-partition
+:class:`~repro.graph.graph.Graph` objects (or a single merged graph with
+assignments, for verification).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import FormatError, PartitioningError
+from repro.graph.formats import BYTES_PER_EDGE
+from repro.graph.graph import Graph
+
+MANIFEST_NAME = "manifest.json"
+
+
+class PartitionWriter:
+    """Streams assigned edges into one file per partition.
+
+    Parameters
+    ----------
+    directory:
+        Output directory (created if missing).
+    k:
+        Number of partitions.
+    n_vertices:
+        Recorded in the manifest for loaders.
+    buffer_edges:
+        Edges buffered per partition before a flush (out-of-core friendly).
+
+    Use as a context manager; the manifest is written on close.
+    """
+
+    def __init__(
+        self,
+        directory,
+        k: int,
+        n_vertices: int | None = None,
+        buffer_edges: int = 8192,
+    ) -> None:
+        if k < 1:
+            raise PartitioningError(f"k must be >= 1, got {k}")
+        if buffer_edges < 1:
+            raise PartitioningError("buffer_edges must be >= 1")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.k = int(k)
+        self.n_vertices = n_vertices
+        self.buffer_edges = int(buffer_edges)
+        self._buffers: list[list[tuple[int, int]]] = [[] for _ in range(k)]
+        self._counts = [0] * k
+        self._files = [
+            open(self.directory / f"partition_{p:05d}.bin", "wb")
+            for p in range(k)
+        ]
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def write(self, u: int, v: int, p: int) -> None:
+        """Append one edge to partition ``p``."""
+        if not 0 <= p < self.k:
+            raise PartitioningError(f"partition {p} out of range for k={self.k}")
+        buf = self._buffers[p]
+        buf.append((u, v))
+        self._counts[p] += 1
+        if len(buf) >= self.buffer_edges:
+            self._flush(p)
+
+    def write_result(self, edges: np.ndarray, assignments: np.ndarray) -> None:
+        """Write a whole (edges, assignments) pair, chunked per partition."""
+        edges = np.asarray(edges)
+        assignments = np.asarray(assignments)
+        if edges.shape[0] != assignments.shape[0]:
+            raise PartitioningError("edges/assignments length mismatch")
+        for p in range(self.k):
+            chunk = edges[assignments == p]
+            if chunk.size:
+                flat = np.ascontiguousarray(chunk, dtype="<u4").reshape(-1)
+                self._files[p].write(flat.tobytes())
+                self._counts[p] += chunk.shape[0]
+
+    def _flush(self, p: int) -> None:
+        buf = self._buffers[p]
+        if buf:
+            flat = np.asarray(buf, dtype="<u4").reshape(-1)
+            self._files[p].write(flat.tobytes())
+            buf.clear()
+
+    def close(self) -> None:
+        """Flush everything and write the manifest."""
+        if self._closed:
+            return
+        for p in range(self.k):
+            self._flush(p)
+            self._files[p].close()
+        manifest = {
+            "format": "repro-partitioned-v1",
+            "k": self.k,
+            "n_vertices": self.n_vertices,
+            "edge_counts": self._counts,
+            "files": [f"partition_{p:05d}.bin" for p in range(self.k)],
+        }
+        (self.directory / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
+        self._closed = True
+
+    def __enter__(self) -> "PartitionWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def load_partitioned(directory) -> tuple[list[Graph], dict]:
+    """Load a partitioned directory back into per-partition graphs.
+
+    Returns ``(graphs, manifest)``; graph ``p`` holds partition ``p``'s
+    edges in their written order.
+
+    Raises
+    ------
+    FormatError
+        On missing/corrupt manifest or truncated partition files.
+    """
+    directory = Path(directory)
+    manifest_path = directory / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise FormatError(f"no manifest at {manifest_path}")
+    manifest = json.loads(manifest_path.read_text())
+    if manifest.get("format") != "repro-partitioned-v1":
+        raise FormatError(f"unknown manifest format {manifest.get('format')!r}")
+    n_vertices = manifest.get("n_vertices")
+    graphs = []
+    for p, name in enumerate(manifest["files"]):
+        data = (directory / name).read_bytes()
+        if len(data) % BYTES_PER_EDGE:
+            raise FormatError(f"{name}: truncated edge record")
+        edges = (
+            np.frombuffer(data, dtype="<u4").reshape(-1, 2).astype(np.int64)
+        )
+        if edges.shape[0] != manifest["edge_counts"][p]:
+            raise FormatError(
+                f"{name}: expected {manifest['edge_counts'][p]} edges, "
+                f"found {edges.shape[0]}"
+            )
+        graphs.append(Graph(edges, n_vertices))
+    return graphs, manifest
+
+
+def write_partitioned(directory, edges, assignments, k, n_vertices=None) -> dict:
+    """One-shot convenience wrapper around :class:`PartitionWriter`."""
+    with PartitionWriter(directory, k, n_vertices=n_vertices) as writer:
+        writer.write_result(np.asarray(edges), np.asarray(assignments))
+    return json.loads((Path(directory) / MANIFEST_NAME).read_text())

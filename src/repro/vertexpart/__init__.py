@@ -1,0 +1,44 @@
+"""Streaming *vertex* partitioning — the contrast class of Section I.
+
+The paper motivates edge partitioning by the finding (Bourse et al. [9])
+that on power-law graphs vertex cuts beat edge cuts: "when the
+distribution of vertex degrees in a graph is highly skewed ... edge
+partitioning is more effective than vertex partitioning in finding good
+cuts."  To make that comparison concrete inside this repository, this
+package implements the classic streaming vertex partitioners the paper
+cites:
+
+- :class:`~repro.vertexpart.partitioners.HashVertices` — stateless hashing;
+- :class:`~repro.vertexpart.partitioners.LinearDeterministicGreedy` —
+  Stanton & Kliot's LDG (KDD'12, paper ref [15]);
+- :class:`~repro.vertexpart.partitioners.Fennel` — Tsourakakis et al.
+  (WSDM'14, paper ref [47]).
+
+plus the quality metrics of that world (edge cut, vertex balance) and the
+bridge :func:`~repro.vertexpart.metrics.derived_edge_assignment` that
+turns a vertex partitioning into an edge partitioning so replication
+factors are directly comparable (the Section-I experiment is
+``python -m repro.experiments motivation``).
+"""
+
+from repro.vertexpart.partitioners import (
+    Fennel,
+    HashVertices,
+    LinearDeterministicGreedy,
+    VertexPartitionResult,
+)
+from repro.vertexpart.metrics import (
+    derived_edge_assignment,
+    edge_cut_fraction,
+    vertex_balance,
+)
+
+__all__ = [
+    "HashVertices",
+    "LinearDeterministicGreedy",
+    "Fennel",
+    "VertexPartitionResult",
+    "edge_cut_fraction",
+    "vertex_balance",
+    "derived_edge_assignment",
+]

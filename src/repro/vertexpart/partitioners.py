@@ -1,0 +1,176 @@
+"""Streaming vertex partitioners (Stanton-Kliot model).
+
+In the streaming *vertex* partitioning model, the graph arrives as a
+stream of vertices with their adjacency lists; each vertex is immediately
+and irrevocably placed on one of k machines.  Quality is the fraction of
+edges cut between machines under a vertex-count balance constraint.
+
+These are the comparison algorithms for the Section-I motivation
+experiment; they are deliberately faithful to the published heuristics:
+
+- **Hash**: place v on hash(v) — the stateless floor.
+- **LDG** (linear deterministic greedy): place v on the machine holding
+  most of v's already-placed neighbors, weighted by the remaining capacity
+  factor ``(1 - |P_i| / C)``.
+- **Fennel**: interpolates between neighbor attraction and a load penalty:
+  maximize ``|N(v) ∩ P_i| - gamma_fraction * dc(|P_i|)`` with the Fennel
+  cost ``dc(x) = alpha_f * gamma_f * x^(gamma_f - 1)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import PartitioningError
+from repro.graph.graph import Graph
+from repro.metrics.runtime import CostCounter, PhaseTimer
+from repro.partitioning.hashutil import splitmix64
+
+
+@dataclass
+class VertexPartitionResult:
+    """Vertex-to-machine assignment plus bookkeeping."""
+
+    partitioner: str
+    k: int
+    parts: np.ndarray
+    timer: PhaseTimer
+    cost: CostCounter
+    extras: dict = field(default_factory=dict)
+
+    def machine_sizes(self) -> np.ndarray:
+        """Vertices per machine."""
+        return np.bincount(self.parts[self.parts >= 0], minlength=self.k)
+
+
+def _vertex_stream(graph: Graph):
+    """Yield ``(v, neighbors)`` in vertex-id order (the stream order that
+    source-sorted edge dumps induce)."""
+    indptr, indices = graph.csr()
+    for v in range(graph.n_vertices):
+        yield v, indices[indptr[v] : indptr[v + 1]]
+
+
+class HashVertices:
+    """Stateless vertex placement by hashing."""
+
+    name = "Hash-V"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+
+    def partition(self, graph: Graph, k: int) -> VertexPartitionResult:
+        if k < 2:
+            raise PartitioningError(f"k must be >= 2, got {k}")
+        timer = PhaseTimer()
+        cost = CostCounter()
+        with timer.phase("partitioning"):
+            parts = (
+                splitmix64(np.arange(graph.n_vertices), self.seed)
+                % np.uint64(k)
+            ).astype(np.int64)
+            cost.hash_evaluations += graph.n_vertices
+        return VertexPartitionResult(self.name, k, parts, timer, cost)
+
+
+class LinearDeterministicGreedy:
+    """LDG: neighbor-majority placement with a linear capacity penalty.
+
+    Parameters
+    ----------
+    slack:
+        Capacity per machine as a multiple of n/k (default 1.1).
+    """
+
+    name = "LDG"
+
+    def __init__(self, slack: float = 1.1) -> None:
+        if slack < 1.0:
+            raise PartitioningError(f"slack must be >= 1, got {slack}")
+        self.slack = float(slack)
+
+    def partition(self, graph: Graph, k: int) -> VertexPartitionResult:
+        if k < 2:
+            raise PartitioningError(f"k must be >= 2, got {k}")
+        timer = PhaseTimer()
+        cost = CostCounter()
+        n = graph.n_vertices
+        capacity = max(1.0, self.slack * n / k)
+        parts = np.full(n, -1, dtype=np.int64)
+        sizes = np.zeros(k, dtype=np.int64)
+        with timer.phase("partitioning"):
+            for v, neighbors in _vertex_stream(graph):
+                placed = parts[neighbors]
+                placed = placed[placed >= 0]
+                counts = (
+                    np.bincount(placed, minlength=k).astype(np.float64)
+                    if placed.size
+                    else np.zeros(k)
+                )
+                scores = counts * (1.0 - sizes / capacity)
+                scores[sizes >= capacity] = -np.inf
+                best = scores.max()
+                tied = np.where(scores == best)[0]
+                p = int(tied[np.argmin(sizes[tied])])
+                parts[v] = p
+                sizes[p] += 1
+                cost.score_evaluations += k
+        return VertexPartitionResult(self.name, k, parts, timer, cost)
+
+
+class Fennel:
+    """Fennel single-pass streaming vertex partitioning.
+
+    Parameters
+    ----------
+    gamma_f:
+        Fennel's load exponent (paper default 1.5).
+    balance_slack:
+        Hard vertex-count cap multiplier.
+    """
+
+    name = "FENNEL"
+
+    def __init__(self, gamma_f: float = 1.5, balance_slack: float = 1.1) -> None:
+        if gamma_f <= 1.0:
+            raise PartitioningError(f"gamma_f must be > 1, got {gamma_f}")
+        self.gamma_f = float(gamma_f)
+        self.balance_slack = float(balance_slack)
+
+    def partition(self, graph: Graph, k: int) -> VertexPartitionResult:
+        if k < 2:
+            raise PartitioningError(f"k must be >= 2, got {k}")
+        timer = PhaseTimer()
+        cost = CostCounter()
+        n = graph.n_vertices
+        m = max(graph.n_edges, 1)
+        # Fennel's alpha: sqrt(k) * m / n^1.5 (from the WSDM'14 paper).
+        alpha_f = np.sqrt(k) * m / max(n, 1) ** 1.5
+        capacity = max(1.0, self.balance_slack * n / k)
+        parts = np.full(n, -1, dtype=np.int64)
+        sizes = np.zeros(k, dtype=np.int64)
+        with timer.phase("partitioning"):
+            for v, neighbors in _vertex_stream(graph):
+                placed = parts[neighbors]
+                placed = placed[placed >= 0]
+                counts = (
+                    np.bincount(placed, minlength=k).astype(np.float64)
+                    if placed.size
+                    else np.zeros(k)
+                )
+                penalty = alpha_f * self.gamma_f * np.power(
+                    np.maximum(sizes, 1), self.gamma_f - 1.0
+                )
+                scores = counts - penalty
+                scores[sizes >= capacity] = -np.inf
+                best = scores.max()
+                tied = np.where(scores == best)[0]
+                p = int(tied[np.argmin(sizes[tied])])
+                parts[v] = p
+                sizes[p] += 1
+                cost.score_evaluations += k
+        return VertexPartitionResult(
+            self.name, k, parts, timer, cost, extras={"alpha_f": float(alpha_f)}
+        )

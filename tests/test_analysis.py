@@ -1,0 +1,145 @@
+"""Tests for the analysis metrics (modularity, anatomy) and the
+clustering-quality experiment."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.baselines import DBH
+from repro.core import TwoPhasePartitioner
+from repro.core.clustering import StreamingClustering, default_volume_cap
+from repro.errors import PartitioningError
+from repro.experiments import clustering_quality
+from repro.metrics.analysis import (
+    cluster_size_histogram,
+    clustering_modularity,
+    intra_cluster_edge_fraction,
+    partition_anatomy,
+)
+from repro.streaming import InMemoryEdgeStream
+
+
+class TestModularity:
+    def test_matches_networkx(self, community_graph):
+        graph = community_graph.deduplicated().without_self_loops()
+        cap = default_volume_cap(graph.n_edges, 8)
+        clustering = StreamingClustering(volume_cap=cap).run(
+            InMemoryEdgeStream(graph), degrees=graph.degrees
+        )
+        ours = clustering_modularity(graph, clustering.v2c)
+        G = nx.Graph()
+        G.add_nodes_from(range(graph.n_vertices))
+        G.add_edges_from(graph.edges.tolist())
+        labels = clustering.v2c.copy()
+        base = labels.max() + 1
+        singles = np.where(labels < 0)[0]
+        labels[singles] = base + np.arange(singles.shape[0])
+        communities = {}
+        for v, c in enumerate(labels):
+            communities.setdefault(int(c), set()).add(v)
+        expected = nx.algorithms.community.modularity(
+            G, communities.values()
+        )
+        assert ours == pytest.approx(expected, abs=1e-9)
+
+    def test_single_cluster_zero(self, toy_graph):
+        v2c = np.zeros(toy_graph.n_vertices, dtype=np.int64)
+        assert clustering_modularity(toy_graph, v2c) == pytest.approx(0.0)
+
+    def test_planted_communities_high(self, community_graph):
+        truth = np.arange(community_graph.n_vertices) // 24
+        q = clustering_modularity(community_graph, truth)
+        assert q > 0.5
+
+    def test_rejects_bad_length(self, toy_graph):
+        with pytest.raises(PartitioningError):
+            clustering_modularity(toy_graph, np.zeros(3))
+
+    def test_empty_graph(self):
+        from repro.graph import Graph
+
+        g = Graph([], n_vertices=4)
+        assert clustering_modularity(g, np.zeros(4)) == 0.0
+
+
+class TestIntraFraction:
+    def test_ground_truth(self, community_graph):
+        truth = np.arange(community_graph.n_vertices) // 24
+        frac = intra_cluster_edge_fraction(community_graph, truth)
+        assert frac > 0.85
+
+    def test_all_singletons(self, toy_graph):
+        v2c = np.arange(toy_graph.n_vertices)
+        assert intra_cluster_edge_fraction(toy_graph, v2c) == 0.0
+
+
+class TestHistogram:
+    def test_sizes_sorted_descending(self, community_graph):
+        cap = default_volume_cap(community_graph.n_edges, 8)
+        clustering = StreamingClustering(volume_cap=cap).run(
+            InMemoryEdgeStream(community_graph),
+            degrees=community_graph.degrees,
+        )
+        hist = cluster_size_histogram(clustering.v2c)
+        assert (np.diff(hist) <= 0).all()
+        assert hist.sum() == (clustering.v2c >= 0).sum()
+
+    def test_empty(self):
+        assert cluster_size_histogram(np.full(5, -1)).shape == (0,)
+
+
+class TestAnatomy:
+    def test_totals_consistent(self, community_graph):
+        result = TwoPhasePartitioner().partition(community_graph, 4)
+        rows = partition_anatomy(
+            community_graph.edges, result.assignments, 4,
+            community_graph.n_vertices,
+        )
+        assert len(rows) == 4
+        assert sum(r["edges"] for r in rows) == community_graph.n_edges
+        covers = np.asarray([r["cover"] for r in rows])
+        assert covers.sum() == result.state.vertex_cover_sizes().sum()
+
+    def test_internal_fraction_bounds(self, community_graph):
+        result = DBH().partition(community_graph, 4)
+        rows = partition_anatomy(
+            community_graph.edges, result.assignments, 4,
+            community_graph.n_vertices,
+        )
+        for row in rows:
+            assert 0.0 <= row["internal_fraction"] <= 1.0
+            assert row["internal_vertices"] <= row["cover"]
+
+    def test_clustered_partitioning_more_internal(self, community_graph):
+        """2PS-L's cluster placement should yield more internal vertices
+        than random hashing."""
+        from repro.baselines import RandomHash
+
+        ours = TwoPhasePartitioner().partition(community_graph, 4)
+        rand = RandomHash().partition(community_graph, 4)
+
+        def internal_total(result):
+            rows = partition_anatomy(
+                community_graph.edges, result.assignments, 4,
+                community_graph.n_vertices,
+            )
+            return sum(r["internal_vertices"] for r in rows)
+
+        assert internal_total(ours) > internal_total(rand)
+
+    def test_rejects_mismatch(self, toy_graph):
+        with pytest.raises(PartitioningError):
+            partition_anatomy(toy_graph.edges, np.zeros(3), 2, 8)
+
+
+class TestClusteringExperiment:
+    def test_structure_and_monotonicity(self):
+        result = clustering_quality.run(
+            scale=0.05, datasets=("IT",), cap_factors=(0.5, 1.0), passes_list=(1,)
+        )
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert -0.5 < row["modularity"] <= 1.0
+            assert 0.0 <= row["intra_frac"] <= 1.0
+            assert row["clusters"] > 0
+            assert row["rf"] >= 1.0

@@ -1,0 +1,194 @@
+"""Tests for the in-memory / hybrid baselines: NE, SNE, DNE, METIS, HEP."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    HDRF,
+    HEP,
+    DistributedNE,
+    MetisLike,
+    NeighborhoodExpansion,
+    RandomHash,
+    StreamingNE,
+)
+from repro.baselines.ne import ExpansionState, edge_adjacency
+from repro.errors import ConfigurationError
+from repro.metrics import validate_partition
+
+
+class TestEdgeAdjacency:
+    def test_structure(self, toy_graph):
+        indptr, nbr, eid = edge_adjacency(toy_graph.edges, toy_graph.n_vertices)
+        assert indptr[-1] == 2 * toy_graph.n_edges
+        assert nbr.shape == eid.shape
+
+    def test_edge_ids_cover_all(self, community_graph):
+        _, _, eid = edge_adjacency(community_graph.edges, community_graph.n_vertices)
+        assert set(np.unique(eid)) == set(range(community_graph.n_edges))
+
+
+class TestExpansionState:
+    def test_expand_assigns_within_budget(self, community_graph):
+        exp = ExpansionState(community_graph.edges, community_graph.n_vertices)
+        got = []
+        taken = exp.expand_partition(0, 50, lambda e, p: got.append(e))
+        assert taken == len(got) == 50
+        assert len(set(got)) == 50
+
+    def test_exhausts_pool(self, toy_graph):
+        exp = ExpansionState(toy_graph.edges, toy_graph.n_vertices)
+        total = exp.expand_partition(0, 10_000, lambda e, p: None)
+        assert total == toy_graph.n_edges
+        assert not exp.has_unassigned()
+
+    def test_zero_budget(self, toy_graph):
+        exp = ExpansionState(toy_graph.edges, toy_graph.n_vertices)
+        assert exp.expand_partition(0, 0, lambda e, p: None) == 0
+
+    def test_expansion_is_local(self, clique_ring):
+        """Expansion should swallow a clique before jumping elsewhere."""
+        exp = ExpansionState(clique_ring.edges, clique_ring.n_vertices)
+        got = []
+        clique_edges = 8 * 7 // 2
+        exp.expand_partition(0, clique_edges, lambda e, p: got.append(e))
+        touched = np.unique(clique_ring.edges[got])
+        cliques = set((touched // 8).tolist())
+        assert len(cliques) <= 2
+
+    def test_seed_hint_continues_region(self, community_graph):
+        exp = ExpansionState(community_graph.edges, community_graph.n_vertices)
+        first = []
+        exp.expand_partition(0, 30, lambda e, p: first.append(e))
+        hub_vertices = np.unique(community_graph.edges[first])
+        second = []
+        exp.expand_partition(0, 30, lambda e, p: second.append(e), seed_hint=hub_vertices)
+        second_vertices = np.unique(community_graph.edges[second])
+        # The continued expansion must overlap the first region.
+        assert np.intersect1d(hub_vertices, second_vertices).size > 0
+
+    def test_scan_count_grows(self, toy_graph):
+        exp = ExpansionState(toy_graph.edges, toy_graph.n_vertices)
+        base = exp.scan_count
+        exp.expand_partition(0, 5, lambda e, p: None)
+        assert exp.scan_count > base
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        NeighborhoodExpansion,
+        lambda: StreamingNE(cache_factor=2.0),
+        lambda: DistributedNE(),
+        MetisLike,
+        lambda: HEP(tau=1.0),
+        lambda: HEP(tau=100.0),
+    ],
+    ids=["NE", "SNE", "DNE", "METIS", "HEP-1", "HEP-100"],
+)
+class TestInMemoryContract:
+    def test_valid_and_balanced(self, factory, social_graph):
+        result = factory().partition(social_graph, 8)
+        validate_partition(social_graph.edges, result.assignments, 8, alpha=1.05)
+
+    def test_beats_random(self, factory, community_graph):
+        result = factory().partition(community_graph, 4)
+        rand = RandomHash().partition(community_graph, 4)
+        assert result.replication_factor < rand.replication_factor
+
+    def test_deterministic(self, factory, toy_graph):
+        a = factory().partition(toy_graph, 2)
+        b = factory().partition(toy_graph, 2)
+        assert np.array_equal(a.assignments, b.assignments)
+
+
+class TestNE:
+    def test_quality_on_clusterable_graph(self, clique_ring):
+        """NE should nearly match the ideal on a ring of cliques."""
+        result = NeighborhoodExpansion().partition(clique_ring, 4)
+        assert result.replication_factor < 1.5
+
+    def test_state_bytes_include_graph(self, community_graph):
+        """In-memory partitioner: >= O(|E|) space (paper Table II)."""
+        result = NeighborhoodExpansion().partition(community_graph, 4)
+        assert result.state_bytes >= community_graph.edges.nbytes
+
+
+class TestSNE:
+    def test_rejects_bad_cache(self):
+        with pytest.raises(ConfigurationError):
+            StreamingNE(cache_factor=0)
+
+    def test_peak_cache_bounded(self, social_graph):
+        result = StreamingNE(cache_factor=1.0).partition(social_graph, 8)
+        cap = result.extras["cache_capacity"]
+        assert result.extras["peak_cache"] <= cap
+
+    def test_larger_cache_not_worse(self, community_graph):
+        small = StreamingNE(cache_factor=0.5).partition(community_graph, 8)
+        large = StreamingNE(cache_factor=8.0).partition(community_graph, 8)
+        assert large.replication_factor <= small.replication_factor * 1.25
+
+
+class TestDNE:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            DistributedNE(expansion_ratio=0)
+        with pytest.raises(ConfigurationError):
+            DistributedNE(n_workers=0)
+
+    def test_parallel_wall_model(self, community_graph):
+        result = DistributedNE(n_workers=4).partition(community_graph, 4)
+        assert result.extras["parallel_wall_s"] == pytest.approx(
+            result.wall_seconds / 4
+        )
+
+    def test_concurrent_fronts_lose_to_sequential_ne(self, clique_ring):
+        """The paper's DNE quality gap vs NE (fronts collide)."""
+        dne = DistributedNE().partition(clique_ring, 4)
+        ne = NeighborhoodExpansion().partition(clique_ring, 4)
+        assert ne.replication_factor <= dne.replication_factor + 1e-9
+
+
+class TestMetisLike:
+    def test_quality_on_clusterable_graph(self, clique_ring):
+        result = MetisLike().partition(clique_ring, 4)
+        assert result.replication_factor < 2.0
+
+    def test_levels_recorded(self, social_graph):
+        result = MetisLike().partition(social_graph, 4)
+        assert result.extras["levels"] >= 1
+        assert result.extras["coarsest_n"] <= social_graph.n_vertices
+
+    def test_refinement_counted(self, community_graph):
+        result = MetisLike().partition(community_graph, 4)
+        assert result.cost.refinement_moves >= 0
+        assert result.cost.expansion_scans > 0
+
+
+class TestHEP:
+    def test_rejects_bad_tau(self):
+        with pytest.raises(ConfigurationError):
+            HEP(tau=0)
+
+    def test_name_reflects_tau(self):
+        assert HEP(tau=1.0).name == "HEP-1"
+        assert HEP(tau=100.0).name == "HEP-100"
+        assert HEP(tau=2.5).name == "HEP-2.5"
+
+    def test_tau_controls_in_memory_share(self, social_graph):
+        low = HEP(tau=1.0).partition(social_graph, 8)
+        high = HEP(tau=100.0).partition(social_graph, 8)
+        assert low.extras["in_memory_edges"] < high.extras["in_memory_edges"]
+
+    def test_in_memory_plus_streamed_covers_all(self, social_graph):
+        result = HEP(tau=10.0).partition(social_graph, 8)
+        assert (
+            result.extras["in_memory_edges"] + result.extras["streamed_edges"]
+            == social_graph.n_edges
+        )
+
+    def test_high_tau_quality_close_to_ne(self, community_graph):
+        hep = HEP(tau=100.0).partition(community_graph, 4)
+        hdrf = HDRF().partition(community_graph, 4)
+        assert hep.replication_factor <= hdrf.replication_factor * 1.1

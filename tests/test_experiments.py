@@ -1,0 +1,181 @@
+"""Smoke + shape tests for every experiment module (tiny scales).
+
+Each experiment is run at a very small scale; the tests assert the
+*structure* of the output (all expected rows present) plus the robust shape
+claims the paper makes.  The full-scale shapes are asserted in
+``benchmarks/``.
+"""
+
+import pytest
+
+from repro.experiments import (
+    figure1,
+    figure2,
+    figure3,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    table1,
+    table2,
+    table3,
+    table5,
+)
+from repro.experiments.common import ExperimentResult, make_partitioner, run_one
+from repro.experiments.report import format_table, render_result
+from repro.errors import ConfigurationError
+
+
+class TestCommon:
+    def test_make_partitioner_known(self):
+        assert make_partitioner("2PS-L").name == "2PS-L"
+        assert make_partitioner("HEP-10").name == "HEP-10"
+
+    def test_make_partitioner_unknown(self):
+        with pytest.raises(ConfigurationError):
+            make_partitioner("FOO")
+
+    def test_run_one_row_schema(self):
+        row = run_one("DBH", "OK", 4, scale=0.02)
+        assert {"partitioner", "dataset", "k", "rf", "alpha", "wall_s", "model_s"} <= set(row)
+
+    def test_result_filters(self):
+        result = ExperimentResult(
+            "x", "t", rows=[{"a": 1, "b": 2}, {"a": 1, "b": 3}, {"a": 2, "b": 4}]
+        )
+        assert len(result.rows_for(a=1)) == 2
+        assert result.column("b", a=1) == [2, 3]
+
+
+class TestReport:
+    def test_format_table_basic(self):
+        text = format_table([{"x": 1, "y": "ab"}], title="T")
+        assert "T" in text
+        assert "x" in text and "ab" in text
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_missing_cells_blank(self):
+        text = format_table([{"x": 1}, {"y": 2}])
+        assert "x" in text and "y" in text
+
+    def test_render_includes_reference(self):
+        result = ExperimentResult("e", "T", rows=[{"a": 1}], paper_reference="P")
+        assert "Paper reports: P" in render_result(result)
+
+
+class TestFigure1:
+    def test_rows_and_growth(self):
+        result = figure1.run()
+        years = [r["year"] for r in result.rows]
+        assert min(years) == 2012
+        assert max(years) >= 2021
+        by_year = {r["year"]: r["year_max_edges"] for r in result.rows}
+        assert by_year[2021] > by_year[2012]
+
+
+class TestFigure2:
+    def test_shape_claims(self):
+        result = figure2.run(scale=0.05, ks=(4, 32))
+        for k in (4, 32):
+            names = {r["partitioner"] for r in result.rows_for(k=k)}
+            assert names == {"2PS-L", "HDRF", "DBH"}
+        # 2PS-L model time flat in k, HDRF grows.
+        tp = result.column("model_s", partitioner="2PS-L")
+        th = result.column("model_s", partitioner="HDRF")
+        assert tp[1] < 2 * tp[0]
+        assert th[1] > 3 * th[0]
+
+
+class TestFigure3:
+    def test_matches_paper_shape(self):
+        result = figure3.run()
+        aware = result.rows_for(strategy="clustering-aware (2PS-L)")[0]
+        agnostic = [r for r in result.rows if "agnostic" in r["strategy"]][0]
+        assert aware["cut_vertices"] == 2
+        assert agnostic["cut_vertices"] > aware["cut_vertices"]
+
+
+class TestFigure5:
+    def test_fractions_sum_to_one(self):
+        result = figure5.run(scale=0.05, datasets=("OK", "IT"))
+        for row in result.rows:
+            total = (
+                row["degree_frac"] + row["clustering_frac"] + row["partitioning_frac"]
+            )
+            assert total == pytest.approx(1.0, abs=0.01)
+            assert row["partitioning_frac"] > row["degree_frac"]
+
+
+class TestFigure6:
+    def test_web_prepartitions_more_than_social(self):
+        result = figure6.run(scale=0.1, datasets=("OK", "IT"))
+        ok = result.rows_for(dataset="OK")[0]
+        it = result.rows_for(dataset="IT")[0]
+        assert it["prepartitioned_frac"] > ok["prepartitioned_frac"]
+        for row in result.rows:
+            assert row["prepartitioned_frac"] + row["remaining_frac"] == pytest.approx(
+                1.0, abs=0.01
+            )
+
+
+class TestFigure7:
+    def test_normalization(self):
+        result = figure7.run(scale=0.05, datasets=("IT",), passes=(1, 2, 4))
+        first = result.rows_for(dataset="IT", passes=1)[0]
+        assert first["normalized_rf"] == 1.0
+        for row in result.rows:
+            assert 0.7 < row["normalized_rf"] < 1.3
+
+
+class TestFigure8:
+    def test_runtime_grows_sublinearly(self):
+        result = figure8.run(scale=0.05, datasets=("IT",), passes=(1, 4))
+        four = result.rows_for(dataset="IT", passes=4)[0]
+        assert four["normalized_model"] > 1.0
+        # 4 passes must NOT quadruple the total (clustering is a fraction).
+        assert four["normalized_model"] < 3.0
+
+
+class TestFigure9:
+    def test_hdrf_variant_tradeoff(self):
+        result = figure9.run(scale=0.05, datasets=("IT",), ks=(4, 32))
+        for row in result.rows:
+            assert row["normalized_rf"] <= 1.1  # quality same or better
+        t4 = result.rows_for(k=4)[0]["normalized_model_time"]
+        t32 = result.rows_for(k=32)[0]["normalized_model_time"]
+        assert t32 > t4  # run-time penalty grows with k
+
+
+class TestTable1:
+    def test_complexity_classes_match_paper(self):
+        result = table1.run(scale=0.03)
+        for row in result.rows:
+            assert row["match"], f"{row['partitioner']} complexity mismatch"
+
+
+class TestTable2:
+    def test_k_scaling_shapes(self):
+        result = table2.run(scale=0.03)
+        by_name = {r["partitioner"]: r for r in result.rows}
+        assert by_name["2PS-L"]["k_scaling_32x"] > 3
+        assert by_name["HDRF"]["k_scaling_32x"] > 3
+        assert by_name["DBH"]["k_scaling_32x"] == 1.0
+
+
+class TestTable3:
+    def test_covers_all_datasets(self):
+        result = table3.run(scale=0.02)
+        assert len(result.rows) == 8
+        for row in result.rows:
+            assert row["paper_E"] > row["standin_E"]
+
+
+class TestTable5:
+    def test_device_ordering(self):
+        result = table5.run(scale=0.05, datasets=("OK", "IT"))
+        for row in result.rows:
+            assert row["page_cache_s"] < row["ssd_s"] < row["hdd_s"]
+            assert 0 < row["ssd_slowdown"] < row["hdd_slowdown"]

@@ -1,0 +1,89 @@
+"""Tests for the extension experiments (motivation/dynamic/staleness/hypergraphs)."""
+
+import pytest
+
+from repro.experiments import dynamic, hypergraphs, motivation, staleness
+
+
+class TestMotivation:
+    def test_edge_partitioners_hold_balance(self):
+        result = motivation.run(scale=0.08, k=8)
+        for row in result.rows_for(family="edge"):
+            if row["partitioner"] in ("2PS-L", "HDRF"):
+                assert row["edge_alpha"] <= 1.06
+
+    def test_vertex_partitioners_concentrate_edges(self):
+        """The Section-I argument: vertex balance != edge balance."""
+        result = motivation.run(scale=0.08, k=8)
+        greedy_rows = [
+            r
+            for r in result.rows_for(family="vertex")
+            if r["partitioner"] in ("LDG", "FENNEL")
+        ]
+        assert greedy_rows
+        for row in greedy_rows:
+            assert row["vertex_balance"] <= 1.11
+            assert row["edge_alpha"] > 1.3
+
+    def test_hash_vertex_worst_rf(self):
+        result = motivation.run(scale=0.08, k=8)
+        hash_rf = result.rows_for(partitioner="Hash-V")[0]["rf"]
+        ours = result.rows_for(partitioner="2PS-L")[0]["rf"]
+        assert ours < hash_rf
+
+
+class TestDynamic:
+    def test_rf_curves(self):
+        result = dynamic.run(scale=0.06, churn_steps=(0.0, 0.1, 0.3))
+        rows = result.rows
+        assert rows[0]["churn"] == 0.0
+        assert rows[0]["rf_gap"] == pytest.approx(1.0)
+        # RF grows with random churn for both strategies.
+        assert rows[-1]["incremental_rf"] > rows[0]["incremental_rf"]
+        assert rows[-1]["batch_rf"] > rows[0]["batch_rf"]
+        # The incremental state stays within a sane band of re-batching.
+        for row in rows:
+            assert row["rf_gap"] < 1.4
+
+    def test_update_counts(self):
+        result = dynamic.run(scale=0.06, churn_steps=(0.0, 0.2))
+        assert result.rows[1]["updates"] > 0
+        assert result.rows[1]["staleness"] > 0
+
+
+class TestStaleness:
+    def test_sequential_row_first(self):
+        result = staleness.run(scale=0.06, intervals=(128, 8192))
+        assert result.rows[0]["config"] == "sequential"
+
+    def test_syncs_fall_with_interval(self):
+        result = staleness.run(scale=0.06, intervals=(128, 8192))
+        fine = result.rows_for(sync_interval=128)[0]
+        coarse = result.rows_for(sync_interval=8192)[0]
+        assert fine["syncs"] > coarse["syncs"]
+
+    def test_quality_within_band(self):
+        result = staleness.run(scale=0.06, intervals=(128, 8192))
+        seq_rf = result.rows[0]["rf"]
+        for row in result.rows[1:]:
+            assert row["rf"] < seq_rf * 1.4
+
+
+class TestHypergraphs:
+    def test_rows_cover_all_systems_and_k(self):
+        result = hypergraphs.run(n_hyperedges=1200, ks=(4, 16))
+        assert len(result.rows) == 6
+
+    def test_linear_vs_k_cost(self):
+        result = hypergraphs.run(n_hyperedges=1200, ks=(4, 16))
+        for k in (4, 16):
+            two = result.rows_for(partitioner="2PS-L-H", k=k)[0]
+            mm = result.rows_for(partitioner="MinMax", k=k)[0]
+            assert two["evals_per_hyperedge"] <= 2.0
+            assert mm["evals_per_hyperedge"] == k
+
+    def test_quality_beats_hashing(self):
+        result = hypergraphs.run(n_hyperedges=1200, ks=(16,))
+        two = result.rows_for(partitioner="2PS-L-H", k=16)[0]
+        hh = result.rows_for(partitioner="HashH", k=16)[0]
+        assert two["rf"] < hh["rf"]

@@ -1,0 +1,107 @@
+"""Unit tests for the binary / text edge-list formats."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.graph import Graph
+from repro.graph.formats import (
+    BYTES_PER_EDGE,
+    binary_size_bytes,
+    read_binary_edge_list,
+    read_text_edge_list,
+    write_binary_edge_list,
+    write_text_edge_list,
+)
+
+
+class TestBinaryFormat:
+    def test_round_trip(self, tmp_path, powerlaw_graph):
+        path = tmp_path / "g.bin"
+        nbytes = write_binary_edge_list(powerlaw_graph, path)
+        assert nbytes == powerlaw_graph.n_edges * BYTES_PER_EDGE
+        loaded = read_binary_edge_list(path)
+        assert np.array_equal(loaded.edges, powerlaw_graph.edges)
+
+    def test_round_trip_preserves_order(self, tmp_path):
+        g = Graph([(3, 1), (0, 2), (1, 1)])
+        path = tmp_path / "g.bin"
+        write_binary_edge_list(g, path)
+        loaded = read_binary_edge_list(path)
+        assert loaded.edges.tolist() == [[3, 1], [0, 2], [1, 1]]
+
+    def test_vertex_count_hint(self, tmp_path):
+        g = Graph([(0, 1)], n_vertices=10)
+        path = tmp_path / "g.bin"
+        write_binary_edge_list(g, path)
+        loaded = read_binary_edge_list(path, n_vertices=10)
+        assert loaded.n_vertices == 10
+
+    def test_empty_graph(self, tmp_path):
+        path = tmp_path / "empty.bin"
+        write_binary_edge_list(Graph([], n_vertices=3), path)
+        loaded = read_binary_edge_list(path)
+        assert loaded.n_edges == 0
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"\x00" * 7)
+        with pytest.raises(FormatError):
+            read_binary_edge_list(path)
+
+    def test_id_overflow_rejected(self, tmp_path):
+        g = Graph([(0, 2**33)])
+        with pytest.raises(FormatError):
+            write_binary_edge_list(g, tmp_path / "x.bin")
+
+    def test_size_helper(self):
+        assert binary_size_bytes(10) == 80
+
+
+class TestTextFormat:
+    def test_round_trip(self, tmp_path, community_graph):
+        path = tmp_path / "g.txt"
+        write_text_edge_list(community_graph, path)
+        loaded = read_text_edge_list(path)
+        assert np.array_equal(loaded.edges, community_graph.edges)
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# header\n\n0 1\n# mid\n2 3\n")
+        loaded = read_text_edge_list(path)
+        assert loaded.edges.tolist() == [[0, 1], [2, 3]]
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0\n")
+        with pytest.raises(FormatError):
+            read_text_edge_list(path)
+
+    def test_non_integer_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("a b\n")
+        with pytest.raises(FormatError):
+            read_text_edge_list(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("")
+        loaded = read_text_edge_list(path)
+        assert loaded.n_edges == 0
+
+    def test_extra_columns_tolerated(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 5.5\n")
+        loaded = read_text_edge_list(path)
+        assert loaded.edges.tolist() == [[0, 1]]
+
+
+class TestCrossFormat:
+    def test_binary_and_text_agree(self, tmp_path, toy_graph):
+        b = tmp_path / "g.bin"
+        t = tmp_path / "g.txt"
+        write_binary_edge_list(toy_graph, b)
+        write_text_edge_list(toy_graph, t)
+        assert np.array_equal(
+            read_binary_edge_list(b).edges, read_text_edge_list(t).edges
+        )

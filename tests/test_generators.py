@@ -1,0 +1,179 @@
+"""Unit tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph.generators import (
+    chung_lu_graph,
+    planted_partition_graph,
+    ring_of_cliques,
+    rmat_graph,
+    social_community_graph,
+    star_graph,
+    two_cluster_toy_graph,
+)
+
+
+class TestChungLu:
+    def test_exact_edge_count(self):
+        g = chung_lu_graph(100, 500, seed=1)
+        assert g.n_edges == 500
+        assert g.n_vertices == 100
+
+    def test_deterministic(self):
+        a = chung_lu_graph(100, 500, seed=1)
+        b = chung_lu_graph(100, 500, seed=1)
+        assert np.array_equal(a.edges, b.edges)
+
+    def test_seed_changes_output(self):
+        a = chung_lu_graph(100, 500, seed=1)
+        b = chung_lu_graph(100, 500, seed=2)
+        assert not np.array_equal(a.edges, b.edges)
+
+    def test_no_self_loops(self):
+        g = chung_lu_graph(50, 400, seed=3)
+        assert (g.edges[:, 0] != g.edges[:, 1]).all()
+
+    def test_heavy_tail(self):
+        g = chung_lu_graph(2000, 20000, gamma=2.0, seed=4)
+        deg = g.degrees
+        # Power-law: the max degree far exceeds the mean.
+        assert deg.max() > 10 * deg.mean()
+
+    def test_lower_gamma_is_more_skewed(self):
+        skewed = chung_lu_graph(2000, 20000, gamma=1.8, seed=5)
+        flat = chung_lu_graph(2000, 20000, gamma=3.0, seed=5)
+        assert skewed.degrees.max() > flat.degrees.max()
+
+    def test_rejects_bad_gamma(self):
+        with pytest.raises(ConfigurationError):
+            chung_lu_graph(10, 10, gamma=1.0)
+
+    def test_rejects_nonpositive_sizes(self):
+        with pytest.raises(ConfigurationError):
+            chung_lu_graph(0, 10)
+        with pytest.raises(ConfigurationError):
+            chung_lu_graph(10, 0)
+
+
+class TestRmat:
+    def test_sizes(self):
+        g = rmat_graph(8, edge_factor=4, seed=1)
+        assert g.n_vertices == 256
+        # self-loops are dropped, so slightly fewer than 4 * 256
+        assert 0.8 * 1024 <= g.n_edges <= 1024
+
+    def test_deterministic(self):
+        a = rmat_graph(6, seed=2)
+        b = rmat_graph(6, seed=2)
+        assert np.array_equal(a.edges, b.edges)
+
+    def test_skewed_degrees(self):
+        g = rmat_graph(10, edge_factor=8, seed=3)
+        assert g.degrees.max() > 5 * g.degrees.mean()
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ConfigurationError):
+            rmat_graph(0)
+        with pytest.raises(ConfigurationError):
+            rmat_graph(30)
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ConfigurationError):
+            rmat_graph(5, a=0.9, b=0.2, c=0.2)
+
+
+class TestPlantedPartition:
+    def test_sizes(self):
+        g = planted_partition_graph(10, 20, seed=1)
+        assert g.n_vertices == 200
+
+    def test_intra_edges_dominate(self):
+        g = planted_partition_graph(10, 20, p_intra=0.5, p_inter=0.001, seed=2)
+        comm = np.arange(g.n_vertices) // 20
+        intra = (comm[g.edges[:, 0]] == comm[g.edges[:, 1]]).mean()
+        assert intra > 0.8
+
+    def test_no_self_loops(self):
+        g = planted_partition_graph(5, 10, seed=3)
+        assert (g.edges[:, 0] != g.edges[:, 1]).all()
+
+    def test_deterministic(self):
+        a = planted_partition_graph(5, 10, seed=4)
+        b = planted_partition_graph(5, 10, seed=4)
+        assert np.array_equal(a.edges, b.edges)
+
+    def test_zero_inter_probability(self):
+        g = planted_partition_graph(4, 10, p_intra=0.5, p_inter=0.0, seed=5)
+        comm = np.arange(g.n_vertices) // 10
+        assert (comm[g.edges[:, 0]] == comm[g.edges[:, 1]]).all()
+
+    def test_rejects_inverted_probabilities(self):
+        with pytest.raises(ConfigurationError):
+            planted_partition_graph(4, 10, p_intra=0.1, p_inter=0.2)
+
+
+class TestSocialCommunity:
+    def test_sizes_near_target(self):
+        g = social_community_graph(500, 5000, seed=1)
+        assert g.n_vertices == 500
+        assert 0.7 * 5000 <= g.n_edges <= 1.3 * 5000
+
+    def test_pure_hub_layer(self):
+        g = social_community_graph(200, 2000, community_fraction=0.0, seed=2)
+        assert g.n_edges == 2000
+
+    def test_pure_community_layer(self):
+        g = social_community_graph(200, 2000, community_fraction=1.0, seed=3)
+        comm = np.arange(200) // 32
+        intra = (comm[g.edges[:, 0]] == comm[g.edges[:, 1]]).mean()
+        assert intra > 0.95
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ConfigurationError):
+            social_community_graph(10, 10, community_fraction=1.5)
+
+    def test_deterministic(self):
+        a = social_community_graph(100, 1000, seed=7)
+        b = social_community_graph(100, 1000, seed=7)
+        assert np.array_equal(a.edges, b.edges)
+
+
+class TestRingOfCliques:
+    def test_structure(self):
+        g = ring_of_cliques(4, 5, seed=1)
+        assert g.n_vertices == 20
+        # 4 cliques of C(5,2)=10 edges plus 4 bridges.
+        assert g.n_edges == 44
+
+    def test_minimum_clique_size(self):
+        with pytest.raises(ConfigurationError):
+            ring_of_cliques(3, 1)
+
+    def test_single_clique_has_no_bridges(self):
+        g = ring_of_cliques(1, 4)
+        assert g.n_vertices == 4
+        assert g.n_edges == 6  # C(4,2), no self-bridge
+
+
+class TestToyGraphs:
+    def test_star(self):
+        g = star_graph(5)
+        assert g.n_vertices == 6
+        assert g.n_edges == 5
+        assert g.degrees[0] == 5
+
+    def test_star_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            star_graph(0)
+
+    def test_two_cluster_toy(self):
+        g = two_cluster_toy_graph()
+        assert g.n_vertices == 8
+        assert g.n_edges == 14  # 2 * C(4,2) + 2 bridges
+        # Bridges connect the two halves.
+        lo = g.edges.min(axis=1)
+        hi = g.edges.max(axis=1)
+        bridges = ((lo < 4) & (hi >= 4)).sum()
+        assert bridges == 2

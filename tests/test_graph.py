@@ -1,0 +1,151 @@
+"""Unit tests for the core Graph container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import Graph
+
+
+class TestConstruction:
+    def test_basic(self):
+        g = Graph([(0, 1), (1, 2)])
+        assert g.n_vertices == 3
+        assert g.n_edges == 2
+
+    def test_explicit_vertex_count_allows_isolated(self):
+        g = Graph([(0, 1)], n_vertices=10)
+        assert g.n_vertices == 10
+        assert g.degrees.shape == (10,)
+        assert g.degrees[9] == 0
+
+    def test_empty_graph(self):
+        g = Graph([], n_vertices=5)
+        assert g.n_edges == 0
+        assert g.n_vertices == 5
+        assert g.degrees.sum() == 0
+
+    def test_empty_graph_no_vertices(self):
+        g = Graph([])
+        assert g.n_vertices == 0
+        assert g.max_degree == 0
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(GraphError):
+            Graph(np.zeros((3, 3)))
+
+    def test_rejects_negative_ids(self):
+        with pytest.raises(GraphError):
+            Graph([(0, -1)])
+
+    def test_rejects_undersized_vertex_count(self):
+        with pytest.raises(GraphError):
+            Graph([(0, 7)], n_vertices=5)
+
+    def test_edges_are_read_only(self):
+        g = Graph([(0, 1)])
+        with pytest.raises(ValueError):
+            g.edges[0, 0] = 5
+
+    def test_len_and_iter(self):
+        g = Graph([(0, 1), (2, 3)])
+        assert len(g) == 2
+        assert list(g) == [(0, 1), (2, 3)]
+
+
+class TestDegrees:
+    def test_degrees_count_both_endpoints(self):
+        g = Graph([(0, 1), (0, 2), (0, 3)])
+        assert g.degrees.tolist() == [3, 1, 1, 1]
+
+    def test_self_loop_counts_twice(self):
+        g = Graph([(0, 0)])
+        assert g.degrees[0] == 2
+
+    def test_parallel_edges_counted(self):
+        g = Graph([(0, 1), (0, 1)])
+        assert g.degrees.tolist() == [2, 2]
+
+    def test_max_degree(self, hub_graph):
+        assert hub_graph.max_degree == 200
+
+    def test_degrees_cached(self):
+        g = Graph([(0, 1)])
+        assert g.degrees is g.degrees
+
+
+class TestCSR:
+    def test_neighbors(self):
+        g = Graph([(0, 1), (0, 2), (1, 2)])
+        assert sorted(g.neighbors(0).tolist()) == [1, 2]
+        assert sorted(g.neighbors(1).tolist()) == [0, 2]
+        assert sorted(g.neighbors(2).tolist()) == [0, 1]
+
+    def test_csr_covers_both_directions(self, powerlaw_graph):
+        indptr, indices = powerlaw_graph.csr()
+        assert indices.shape[0] == 2 * powerlaw_graph.n_edges
+        assert indptr[-1] == indices.shape[0]
+
+    def test_csr_consistent_with_degrees(self, powerlaw_graph):
+        indptr, _ = powerlaw_graph.csr()
+        per_vertex = np.diff(indptr)
+        assert np.array_equal(per_vertex, powerlaw_graph.degrees)
+
+    def test_isolated_vertex_has_no_neighbors(self):
+        g = Graph([(0, 1)], n_vertices=3)
+        assert g.neighbors(2).shape[0] == 0
+
+
+class TestTransforms:
+    def test_shuffled_preserves_edge_multiset(self, powerlaw_graph):
+        shuffled = powerlaw_graph.shuffled(seed=5)
+        a = np.sort(powerlaw_graph.edges, axis=0)
+        b = np.sort(shuffled.edges, axis=0)
+        assert np.array_equal(np.sort(a.ravel()), np.sort(b.ravel()))
+
+    def test_shuffled_deterministic(self, powerlaw_graph):
+        a = powerlaw_graph.shuffled(seed=5)
+        b = powerlaw_graph.shuffled(seed=5)
+        assert np.array_equal(a.edges, b.edges)
+
+    def test_shuffled_different_seeds_differ(self, powerlaw_graph):
+        a = powerlaw_graph.shuffled(seed=5)
+        b = powerlaw_graph.shuffled(seed=6)
+        assert not np.array_equal(a.edges, b.edges)
+
+    def test_without_self_loops(self):
+        g = Graph([(0, 0), (0, 1), (2, 2)])
+        clean = g.without_self_loops()
+        assert clean.n_edges == 1
+        assert clean.edges.tolist() == [[0, 1]]
+
+    def test_deduplicated_removes_reversed_duplicates(self):
+        g = Graph([(0, 1), (1, 0), (0, 1), (2, 3)])
+        d = g.deduplicated()
+        assert d.n_edges == 2
+
+    def test_deduplicated_keeps_first_orientation(self):
+        g = Graph([(1, 0), (0, 1)])
+        d = g.deduplicated()
+        assert d.edges.tolist() == [[1, 0]]
+
+    def test_deduplicated_empty(self):
+        g = Graph([], n_vertices=4)
+        assert g.deduplicated().n_edges == 0
+
+    def test_subgraph_of_edges_shares_id_space(self):
+        g = Graph([(0, 1), (2, 3), (4, 5)])
+        sub = g.subgraph_of_edges(np.array([2]))
+        assert sub.n_vertices == g.n_vertices
+        assert sub.edges.tolist() == [[4, 5]]
+
+
+class TestBookkeeping:
+    def test_nbytes_positive(self, powerlaw_graph):
+        assert powerlaw_graph.nbytes() == powerlaw_graph.edges.nbytes
+
+    def test_validate_passes_on_good_graph(self, powerlaw_graph):
+        powerlaw_graph.validate()
+
+    def test_repr(self):
+        assert "Graph" in repr(Graph([(0, 1)]))

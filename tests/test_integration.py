@@ -1,0 +1,140 @@
+"""Integration tests: full pipelines across modules.
+
+These exercise the library the way a downstream user would: generate ->
+serialize -> stream out-of-core -> partition -> validate -> process.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DBH, HDRF, HEP
+from repro.core import TwoPhasePartitioner
+from repro.graph import load_dataset
+from repro.graph.formats import write_binary_edge_list
+from repro.metrics import (
+    measured_alpha,
+    replication_factor_from_assignments,
+    validate_partition,
+)
+from repro.processing import (
+    ConnectedComponents,
+    PageRank,
+    PartitionedGraph,
+    PregelEngine,
+)
+from repro.storage import hdd_device, page_cache_device, ssd_device
+from repro.streaming import FileEdgeStream, InMemoryEdgeStream
+
+from tests.conftest import ALL_PARTITIONER_FACTORIES, CAP_ENFORCING
+
+
+class TestEveryPartitionerContract:
+    """The cross-cutting contract: every partitioner, same rules."""
+
+    @pytest.mark.parametrize("name", sorted(ALL_PARTITIONER_FACTORIES))
+    def test_full_coverage_and_validity(self, name, social_graph):
+        result = ALL_PARTITIONER_FACTORIES[name]().partition(social_graph, 8)
+        validate_partition(social_graph.edges, result.assignments, 8)
+        assert result.n_edges == social_graph.n_edges
+
+    @pytest.mark.parametrize("name", sorted(CAP_ENFORCING))
+    def test_balance_cap_where_promised(self, name, social_graph):
+        result = ALL_PARTITIONER_FACTORIES[name]().partition(social_graph, 8)
+        assert result.sizes.max() <= result.state.capacity
+
+    @pytest.mark.parametrize("name", sorted(ALL_PARTITIONER_FACTORIES))
+    def test_rf_consistency(self, name, community_graph):
+        result = ALL_PARTITIONER_FACTORIES[name]().partition(community_graph, 4)
+        recomputed = replication_factor_from_assignments(
+            community_graph.edges,
+            result.assignments,
+            4,
+            community_graph.n_vertices,
+        )
+        assert recomputed == pytest.approx(result.replication_factor)
+
+
+class TestOutOfCorePipeline:
+    def test_file_to_partition_to_processing(self, tmp_path):
+        graph = load_dataset("IT", scale=0.05)
+        path = tmp_path / "it.bin"
+        write_binary_edge_list(graph, path)
+
+        stream = FileEdgeStream(path, n_vertices=graph.n_vertices)
+        result = TwoPhasePartitioner().partition(stream, 8)
+        validate_partition(graph.edges, result.assignments, 8, alpha=1.05)
+
+        pgraph = PartitionedGraph(graph.edges, result.assignments, 8, graph.n_vertices)
+        values, report = PregelEngine().run(pgraph, PageRank(), max_supersteps=10)
+        assert report.supersteps == 10
+        assert values.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_storage_devices_affect_time_not_result(self, tmp_path):
+        graph = load_dataset("OK", scale=0.05)
+        path = tmp_path / "ok.bin"
+        write_binary_edge_list(graph, path)
+        outcomes = {}
+        times = {}
+        for factory in (page_cache_device, ssd_device, hdd_device):
+            device = factory()
+            stream = FileEdgeStream(path, n_vertices=graph.n_vertices, device=device)
+            result = TwoPhasePartitioner().partition(stream, 4)
+            outcomes[device.name] = result.assignments
+            times[device.name] = stream.stats.simulated_read_seconds
+        assert np.array_equal(outcomes["page-cache"], outcomes["ssd"])
+        assert np.array_equal(outcomes["ssd"], outcomes["hdd"])
+        assert times["page-cache"] < times["ssd"] < times["hdd"]
+
+
+class TestEndToEndComparison:
+    def test_quality_hierarchy_on_web_graph(self):
+        """The paper's Figure 4 quality ordering on a clusterable graph."""
+        graph = load_dataset("IT", scale=0.1)
+        rf = {}
+        for name, factory in (
+            ("2PS-L", TwoPhasePartitioner),
+            ("HDRF", HDRF),
+            ("DBH", DBH),
+        ):
+            rf[name] = factory().partition(graph, 16).replication_factor
+        assert rf["2PS-L"] < rf["HDRF"] < rf["DBH"]
+
+    def test_processing_time_tracks_rf(self):
+        graph = load_dataset("IT", scale=0.05)
+        engine = PregelEngine()
+        totals = {}
+        for name, factory in (("2PS-L", TwoPhasePartitioner), ("DBH", DBH)):
+            result = factory().partition(graph, 8)
+            pgraph = PartitionedGraph(
+                graph.edges, result.assignments, 8, graph.n_vertices
+            )
+            _, report = engine.run(pgraph, PageRank(), max_supersteps=10)
+            totals[name] = report.comm_seconds
+        assert totals["2PS-L"] < totals["DBH"]
+
+    def test_connected_components_on_partitioned_dataset(self):
+        graph = load_dataset("UK", scale=0.05)
+        result = HEP(tau=10.0).partition(graph, 4)
+        pgraph = PartitionedGraph(graph.edges, result.assignments, 4, graph.n_vertices)
+        labels, report = PregelEngine().run(
+            pgraph, ConnectedComponents(), max_supersteps=300
+        )
+        assert report.converged
+
+    def test_measured_alpha_reported_for_stateless(self):
+        """Stateless partitioners may violate alpha; we must report it."""
+        graph = load_dataset("OK", scale=0.05)
+        result = DBH().partition(graph, 32)
+        alpha = measured_alpha(result.assignments, 32)
+        assert alpha == pytest.approx(result.measured_alpha)
+        assert alpha > 1.0
+
+
+class TestRestreamingEndToEnd:
+    def test_more_passes_do_not_break_anything(self):
+        graph = load_dataset("FR", scale=0.05)
+        base = TwoPhasePartitioner(clustering_passes=1).partition(graph, 8)
+        multi = TwoPhasePartitioner(clustering_passes=4).partition(graph, 8)
+        validate_partition(graph.edges, multi.assignments, 8, alpha=1.05)
+        # Re-streaming changes RF by a few percent at most (paper Fig. 7).
+        assert multi.replication_factor < base.replication_factor * 1.2

@@ -1,0 +1,197 @@
+"""Unit tests for the metrics package (replication, balance, memory, cost)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, PartitioningError
+from repro.metrics import (
+    CostCounter,
+    CostModel,
+    PhaseTimer,
+    analytic_state_bytes,
+    measured_alpha,
+    measured_state_bytes,
+    partition_sizes,
+    replication_factor_from_assignments,
+    validate_partition,
+    vertex_cover_sizes,
+)
+from repro.metrics.balance import balance_summary
+from repro.metrics.replication import replica_histogram
+from repro.partitioning import PartitionState
+
+
+class TestReplicationMetrics:
+    def test_single_partition_rf_is_one(self):
+        edges = np.array([[0, 1], [1, 2]])
+        rf = replication_factor_from_assignments(edges, np.array([0, 0]), 2, 3)
+        assert rf == 1.0
+
+    def test_full_split_rf(self):
+        edges = np.array([[0, 1], [0, 1]])
+        rf = replication_factor_from_assignments(edges, np.array([0, 1]), 2, 2)
+        assert rf == 2.0
+
+    def test_empty_edges(self):
+        rf = replication_factor_from_assignments(
+            np.empty((0, 2), dtype=int), np.empty(0, dtype=int), 2, 5
+        )
+        assert rf == 0.0
+
+    def test_cover_sizes(self):
+        edges = np.array([[0, 1], [1, 2], [3, 4]])
+        covers = vertex_cover_sizes(edges, np.array([0, 0, 1]), 2, 5)
+        assert covers.tolist() == [3, 2]
+
+    def test_cover_rejects_length_mismatch(self):
+        with pytest.raises(PartitioningError):
+            vertex_cover_sizes(np.array([[0, 1]]), np.array([0, 1]), 2, 2)
+
+    def test_cover_rejects_out_of_range(self):
+        with pytest.raises(PartitioningError):
+            vertex_cover_sizes(np.array([[0, 1]]), np.array([5]), 2, 2)
+
+    def test_agrees_with_state(self, powerlaw_graph):
+        """The two independent RF implementations must agree."""
+        from repro.baselines import DBH
+
+        result = DBH().partition(powerlaw_graph, 8)
+        recomputed = replication_factor_from_assignments(
+            powerlaw_graph.edges, result.assignments, 8, powerlaw_graph.n_vertices
+        )
+        assert recomputed == pytest.approx(result.replication_factor)
+
+    def test_histogram_sums_to_covered(self):
+        edges = np.array([[0, 1], [0, 2], [0, 3]])
+        hist = replica_histogram(edges, np.array([0, 1, 2]), 3, 4)
+        assert hist[0] == 0  # all 4 vertices covered
+        assert hist.sum() == 4
+        assert hist[3] == 1  # vertex 0 on 3 partitions
+
+
+class TestBalanceMetrics:
+    def test_partition_sizes(self):
+        sizes = partition_sizes(np.array([0, 0, 1, 2, 2, 2]), 4)
+        assert sizes.tolist() == [2, 1, 3, 0]
+
+    def test_measured_alpha_perfect(self):
+        assert measured_alpha(np.array([0, 1, 0, 1]), 2) == 1.0
+
+    def test_measured_alpha_skewed(self):
+        assert measured_alpha(np.array([0, 0, 0, 1]), 2) == 1.5
+
+    def test_measured_alpha_empty(self):
+        assert measured_alpha(np.empty(0, dtype=int), 4) == 1.0
+
+    def test_validate_accepts_valid(self):
+        edges = np.array([[0, 1], [1, 2]])
+        validate_partition(edges, np.array([0, 1]), 2, alpha=1.05)
+
+    def test_validate_rejects_unassigned(self):
+        edges = np.array([[0, 1]])
+        with pytest.raises(PartitioningError):
+            validate_partition(edges, np.array([-1]), 2)
+
+    def test_validate_rejects_out_of_range(self):
+        edges = np.array([[0, 1]])
+        with pytest.raises(PartitioningError):
+            validate_partition(edges, np.array([2]), 2)
+
+    def test_validate_rejects_imbalance(self):
+        edges = np.array([[0, 1]] * 10)
+        with pytest.raises(PartitioningError):
+            validate_partition(edges, np.zeros(10, dtype=int), 2, alpha=1.05)
+
+    def test_validate_rejects_length_mismatch(self):
+        with pytest.raises(PartitioningError):
+            validate_partition(np.array([[0, 1]]), np.array([0, 0]), 2)
+
+    def test_balance_summary(self):
+        summary = balance_summary(np.array([0, 0, 1]), 2)
+        assert summary["min"] == 1
+        assert summary["max"] == 2
+        assert summary["alpha"] == pytest.approx(4 / 3)
+
+
+class TestMemoryModels:
+    def test_stateful_grows_with_k(self):
+        lo = analytic_state_bytes("2ps-l", 1000, 10_000, 4)
+        hi = analytic_state_bytes("2ps-l", 1000, 10_000, 256)
+        assert hi > lo
+
+    def test_dbh_independent_of_k(self):
+        lo = analytic_state_bytes("dbh", 1000, 10_000, 4)
+        hi = analytic_state_bytes("dbh", 1000, 10_000, 256)
+        assert lo == hi
+
+    def test_grid_independent_of_v(self):
+        lo = analytic_state_bytes("grid", 1000, 10_000, 8)
+        hi = analytic_state_bytes("grid", 1_000_000, 10_000, 8)
+        assert lo == hi
+
+    def test_in_memory_scales_with_edges(self):
+        lo = analytic_state_bytes("in-memory", 1000, 10_000, 8)
+        hi = analytic_state_bytes("in-memory", 1000, 20_000, 8)
+        assert hi == 2 * lo
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            analytic_state_bytes("quantum", 1, 1, 2)
+
+    def test_measured_bytes_mixes_sources(self):
+        state = PartitionState(10, 2, 4)
+        arr = np.zeros(10)
+        total = measured_state_bytes(state, arr, [1, 2, 3], None)
+        assert total == state.nbytes() + arr.nbytes + 24
+
+    def test_measured_bytes_rejects_unknown(self):
+        with pytest.raises(ConfigurationError):
+            measured_state_bytes(object())
+
+
+class TestCostAccounting:
+    def test_counter_total(self):
+        counter = CostCounter(edges_streamed=10, score_evaluations=5)
+        assert counter.total_operations() == 15
+
+    def test_counter_merge(self):
+        a = CostCounter(edges_streamed=1, heap_operations=2)
+        b = CostCounter(edges_streamed=3, expansion_scans=4)
+        merged = a.merged_with(b)
+        assert merged.edges_streamed == 4
+        assert merged.heap_operations == 2
+        assert merged.expansion_scans == 4
+
+    def test_model_seconds_positive(self):
+        model = CostModel()
+        counter = CostCounter(edges_streamed=1_000_000)
+        assert model.seconds(counter) == pytest.approx(1_000_000 * 45e-9)
+
+    def test_model_k_sensitivity(self):
+        """The model makes O(|E|k) visibly slower than O(|E|)."""
+        model = CostModel()
+        linear = CostCounter(edges_streamed=10_000, score_evaluations=2 * 10_000)
+        bik = CostCounter(edges_streamed=10_000, score_evaluations=256 * 10_000)
+        assert model.seconds(bik) > 10 * model.seconds(linear)
+
+    def test_phase_timer_accumulates(self):
+        timer = PhaseTimer()
+        with timer.phase("a"):
+            pass
+        with timer.phase("a"):
+            pass
+        with timer.phase("b"):
+            pass
+        assert set(timer.totals) == {"a", "b"}
+        assert timer.total() >= 0
+
+    def test_phase_timer_fractions(self):
+        timer = PhaseTimer()
+        timer.add("x", 3.0)
+        timer.add("y", 1.0)
+        fractions = timer.fractions()
+        assert fractions["x"] == pytest.approx(0.75)
+        assert fractions["y"] == pytest.approx(0.25)
+
+    def test_phase_timer_empty_fractions(self):
+        assert PhaseTimer().fractions() == {}

@@ -1,0 +1,67 @@
+"""Unit tests for stream-order utilities."""
+
+import numpy as np
+
+from repro.graph import Graph
+from repro.streaming.order import bfs_like_order, degree_sorted_order, shuffled_copy
+
+
+def _same_multiset(a: Graph, b: Graph) -> bool:
+    ka = np.sort(a.edges.view([("u", a.edges.dtype), ("v", a.edges.dtype)]).ravel())
+    kb = np.sort(b.edges.view([("u", b.edges.dtype), ("v", b.edges.dtype)]).ravel())
+    return np.array_equal(ka, kb)
+
+
+class TestShuffled:
+    def test_preserves_edges(self, powerlaw_graph):
+        assert _same_multiset(powerlaw_graph, shuffled_copy(powerlaw_graph, seed=4))
+
+    def test_deterministic(self, powerlaw_graph):
+        a = shuffled_copy(powerlaw_graph, seed=4)
+        b = shuffled_copy(powerlaw_graph, seed=4)
+        assert np.array_equal(a.edges, b.edges)
+
+
+class TestDegreeSorted:
+    def test_ascending_key_monotone(self, powerlaw_graph):
+        g = degree_sorted_order(powerlaw_graph)
+        deg = powerlaw_graph.degrees
+        key = np.maximum(deg[g.edges[:, 0]], deg[g.edges[:, 1]])
+        assert (np.diff(key) >= 0).all()
+
+    def test_descending(self, powerlaw_graph):
+        g = degree_sorted_order(powerlaw_graph, descending=True)
+        deg = powerlaw_graph.degrees
+        key = np.maximum(deg[g.edges[:, 0]], deg[g.edges[:, 1]])
+        assert (np.diff(key) <= 0).all()
+
+    def test_preserves_edges(self, powerlaw_graph):
+        assert _same_multiset(powerlaw_graph, degree_sorted_order(powerlaw_graph))
+
+
+class TestBfsLike:
+    def test_preserves_edges(self, community_graph):
+        assert _same_multiset(community_graph, bfs_like_order(community_graph))
+
+    def test_empty_graph(self):
+        g = Graph([], n_vertices=0)
+        assert bfs_like_order(g).n_edges == 0
+
+    def test_locality_improves(self, community_graph):
+        """BFS order should place same-community edges closer together."""
+        shuffled = shuffled_copy(community_graph, seed=1)
+        ordered = bfs_like_order(shuffled)
+        comm_size = 24
+
+        def mean_gap(graph):
+            # Mean stream distance between consecutive edges of community 0.
+            comm = graph.edges[:, 0] // comm_size
+            positions = np.where(comm == 0)[0]
+            return np.diff(positions).mean() if positions.size > 1 else 0.0
+
+        assert mean_gap(ordered) <= mean_gap(shuffled)
+
+    def test_covers_disconnected_components(self):
+        g = Graph([(0, 1), (2, 3)], n_vertices=4)
+        ordered = bfs_like_order(g)
+        assert ordered.n_edges == 2

@@ -1,0 +1,116 @@
+"""Tests for the shared partitioner base class, result record and errors."""
+
+import numpy as np
+import pytest
+
+from repro import errors
+from repro.baselines import DBH
+from repro.errors import PartitioningError, StreamError
+from repro.metrics.runtime import CostCounter, CostModel, PhaseTimer
+from repro.partitioning import EdgePartitioner, PartitionResult, PartitionState
+from repro.streaming import InMemoryEdgeStream
+
+
+class _BrokenShort(EdgePartitioner):
+    """Returns fewer assignments than edges (contract violation)."""
+
+    name = "broken-short"
+
+    def _run(self, stream, k, alpha):
+        state = PartitionState(stream.n_vertices, k, stream.n_edges, alpha)
+        return PartitionResult(
+            partitioner=self.name,
+            k=k,
+            alpha=alpha,
+            n_vertices=stream.n_vertices,
+            n_edges=stream.n_edges,
+            assignments=np.zeros(1, dtype=np.int32),
+            state=state,
+            timer=PhaseTimer(),
+            cost=CostCounter(),
+        )
+
+
+class _BrokenUnassigned(EdgePartitioner):
+    """Leaves edges unassigned (contract violation)."""
+
+    name = "broken-unassigned"
+
+    def _run(self, stream, k, alpha):
+        state = PartitionState(stream.n_vertices, k, stream.n_edges, alpha)
+        return PartitionResult(
+            partitioner=self.name,
+            k=k,
+            alpha=alpha,
+            n_vertices=stream.n_vertices,
+            n_edges=stream.n_edges,
+            assignments=np.full(stream.n_edges, -1, dtype=np.int32),
+            state=state,
+            timer=PhaseTimer(),
+            cost=CostCounter(),
+        )
+
+
+class TestBaseContractGuards:
+    def test_short_assignment_detected(self, toy_graph):
+        with pytest.raises(PartitioningError, match="assignments"):
+            _BrokenShort().partition(toy_graph, 2)
+
+    def test_unassigned_detected(self, toy_graph):
+        with pytest.raises(PartitioningError, match="unassigned"):
+            _BrokenUnassigned().partition(toy_graph, 2)
+
+    def test_unknown_vertex_count_raises(self):
+        stream = InMemoryEdgeStream(np.array([[0, 1]]))  # no n_vertices
+        with pytest.raises(StreamError):
+            EdgePartitioner._resolve_n_vertices(stream)
+
+    def test_vertex_count_from_degrees(self):
+        stream = InMemoryEdgeStream(np.array([[0, 1]]))
+        n = EdgePartitioner._resolve_n_vertices(stream, degrees=np.zeros(7))
+        assert n == 7
+
+    def test_repr(self):
+        assert "DBH" in repr(DBH())
+
+
+class TestPartitionResult:
+    @pytest.fixture
+    def result(self, toy_graph):
+        return DBH().partition(toy_graph, 2)
+
+    def test_sizes_sum(self, result, toy_graph):
+        assert result.sizes.sum() == toy_graph.n_edges
+
+    def test_wall_seconds_nonnegative(self, result):
+        assert result.wall_seconds >= 0
+
+    def test_model_seconds_custom_model(self, result):
+        fast = CostModel(stream_edge=0.0, hash_evaluation=0.0)
+        assert result.model_seconds(fast) <= result.model_seconds()
+
+    def test_summary_round_trips_metrics(self, result):
+        summary = result.summary()
+        assert summary["rf"] == pytest.approx(result.replication_factor, abs=1e-3)
+        assert summary["k"] == 2
+
+    def test_empty_edge_result_alpha(self, toy_graph):
+        result = DBH().partition(toy_graph, 2)
+        assert result.measured_alpha >= 1.0
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_base(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError) or obj is errors.ReproError
+
+    def test_specific_hierarchy(self):
+        assert issubclass(errors.BalanceError, errors.PartitioningError)
+        assert issubclass(errors.FormatError, errors.ReproError)
+        assert not issubclass(errors.StreamError, errors.PartitioningError)
+
+    def test_catchable_as_base(self, toy_graph):
+        with pytest.raises(errors.ReproError):
+            DBH().partition(toy_graph, 1)

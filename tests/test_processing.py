@@ -1,0 +1,194 @@
+"""Tests for the distributed graph-processing simulator."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.baselines import DBH, RandomHash
+from repro.core import TwoPhasePartitioner
+from repro.errors import ProcessingError
+from repro.processing import (
+    ConnectedComponents,
+    PageRank,
+    PartitionedGraph,
+    PregelEngine,
+    SingleSourceShortestPaths,
+)
+from repro.processing.cost import ClusterSpec, SimReport
+
+
+def build(graph, k=4, partitioner=None):
+    partitioner = partitioner or DBH()
+    result = partitioner.partition(graph, k)
+    return PartitionedGraph(graph.edges, result.assignments, k, graph.n_vertices)
+
+
+class TestPartitionedGraph:
+    def test_local_edges_cover_all(self, community_graph):
+        pg = build(community_graph)
+        total = sum(e.shape[0] for e in pg.local_edges)
+        assert total == community_graph.n_edges
+
+    def test_replica_counts_match_rf(self, community_graph):
+        result = DBH().partition(community_graph, 4)
+        pg = PartitionedGraph(
+            community_graph.edges, result.assignments, 4, community_graph.n_vertices
+        )
+        assert pg.replication_factor() == pytest.approx(result.replication_factor)
+
+    def test_master_is_a_replica(self, community_graph):
+        pg = build(community_graph)
+        covered = pg.replica_counts > 0
+        for v in np.where(covered)[0][:50]:
+            assert pg.replicas[v, pg.master[v]]
+
+    def test_mirror_count(self, community_graph):
+        pg = build(community_graph)
+        counts = pg.replica_counts
+        assert pg.mirror_count == counts.sum() - (counts > 0).sum()
+
+    def test_sync_traffic_totals(self, community_graph):
+        pg = build(community_graph)
+        sent, recv, total = pg.sync_traffic()
+        assert sent.sum() == recv.sum() == total
+        assert total == 2 * pg.mirror_count
+
+    def test_rejects_mismatched_lengths(self, toy_graph):
+        with pytest.raises(ProcessingError):
+            PartitionedGraph(toy_graph.edges, np.zeros(3), 2, toy_graph.n_vertices)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ProcessingError):
+            PartitionedGraph(
+                np.empty((0, 2), dtype=int), np.empty(0, dtype=int), 2, 4
+            )
+
+
+class TestPageRankCorrectness:
+    def test_matches_networkx(self, community_graph):
+        graph = community_graph.deduplicated().without_self_loops()
+        pg = build(graph, k=4)
+        values, _ = PregelEngine().run(pg, PageRank(tol=1e-12), max_supersteps=300)
+        G = nx.Graph()
+        G.add_edges_from(graph.edges.tolist())
+        expected = nx.pagerank(G, alpha=0.85, max_iter=300, tol=1e-13)
+        for v, want in expected.items():
+            assert values[v] == pytest.approx(want, abs=1e-8)
+
+    def test_partitioning_invariant(self, community_graph):
+        """PR values are identical regardless of how edges are partitioned."""
+        graph = community_graph.deduplicated().without_self_loops()
+        a = build(graph, k=2, partitioner=DBH())
+        b = build(graph, k=8, partitioner=RandomHash())
+        va, _ = PregelEngine().run(a, PageRank(), max_supersteps=20)
+        vb, _ = PregelEngine().run(b, PageRank(), max_supersteps=20)
+        assert np.allclose(va, vb)
+
+    def test_mass_conserved(self, community_graph):
+        pg = build(community_graph)
+        values, _ = PregelEngine().run(pg, PageRank(), max_supersteps=30)
+        assert values.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_rejects_bad_damping(self):
+        with pytest.raises(ProcessingError):
+            PageRank(damping=1.5)
+
+
+class TestConnectedComponents:
+    def test_matches_networkx(self, social_graph):
+        pg = build(social_graph)
+        labels, report = PregelEngine().run(
+            pg, ConnectedComponents(), max_supersteps=200
+        )
+        assert report.converged
+        G = nx.Graph()
+        G.add_edges_from(social_graph.edges.tolist())
+        for comp in nx.connected_components(G):
+            comp_labels = {int(labels[v]) for v in comp}
+            assert len(comp_labels) == 1
+            assert min(comp) == comp_labels.pop()
+
+    def test_ring_single_component(self, clique_ring):
+        pg = build(clique_ring)
+        labels, _ = PregelEngine().run(pg, ConnectedComponents(), max_supersteps=100)
+        covered = pg.replica_counts > 0
+        assert np.unique(labels[covered]).shape[0] == 1
+
+
+class TestSSSP:
+    def test_matches_networkx(self, community_graph):
+        pg = build(community_graph)
+        source = int(community_graph.edges[0, 0])
+        dist, report = PregelEngine().run(
+            pg, SingleSourceShortestPaths(source), max_supersteps=100
+        )
+        assert report.converged
+        G = nx.Graph()
+        G.add_edges_from(community_graph.edges.tolist())
+        expected = nx.single_source_shortest_path_length(G, source)
+        for v, d in expected.items():
+            assert dist[v] == d
+
+    def test_unreachable_is_inf(self):
+        from repro.graph import Graph
+
+        g = Graph([(0, 1), (2, 3)], n_vertices=4)
+        result = RandomHash().partition(g, 2)
+        pg = PartitionedGraph(g.edges, result.assignments, 2, 4)
+        dist, _ = PregelEngine().run(
+            pg, SingleSourceShortestPaths(0), max_supersteps=10
+        )
+        assert dist[1] == 1
+        assert np.isinf(dist[2])
+
+    def test_rejects_bad_source(self, toy_graph):
+        pg = build(toy_graph, k=2)
+        with pytest.raises(ProcessingError):
+            PregelEngine().run(pg, SingleSourceShortestPaths(99), max_supersteps=5)
+
+
+class TestCostModel:
+    def test_lower_rf_means_less_comm(self, community_graph):
+        good = build(community_graph, k=8, partitioner=TwoPhasePartitioner())
+        bad = build(community_graph, k=8, partitioner=RandomHash())
+        assert good.replication_factor() < bad.replication_factor()
+        _, rep_good = PregelEngine().run(good, PageRank(), max_supersteps=10)
+        _, rep_bad = PregelEngine().run(bad, PageRank(), max_supersteps=10)
+        assert rep_good.comm_seconds < rep_bad.comm_seconds
+        assert rep_good.total_messages < rep_bad.total_messages
+
+    def test_report_accumulates(self, toy_graph):
+        pg = build(toy_graph, k=2)
+        _, report = PregelEngine().run(pg, PageRank(), max_supersteps=7)
+        assert report.supersteps == 7
+        assert len(report.per_superstep) == 7
+        assert report.total_seconds == pytest.approx(
+            report.compute_seconds + report.comm_seconds + report.latency_seconds
+        )
+
+    def test_cluster_spec_validation(self):
+        with pytest.raises(ProcessingError):
+            ClusterSpec(edge_rate=0)
+        with pytest.raises(ProcessingError):
+            ClusterSpec(superstep_latency=-1)
+
+    def test_scaled_spec(self):
+        base = ClusterSpec.paper_cluster()
+        slow = base.scaled(10)
+        assert slow.edge_rate == base.edge_rate / 10
+        assert slow.superstep_latency == base.superstep_latency
+
+    def test_scaled_rejects_bad_ratio(self):
+        with pytest.raises(ProcessingError):
+            ClusterSpec.paper_cluster().scaled(0)
+
+    def test_engine_rejects_bad_supersteps(self, toy_graph):
+        pg = build(toy_graph, k=2)
+        with pytest.raises(ProcessingError):
+            PregelEngine().run(pg, PageRank(), max_supersteps=0)
+
+    def test_sim_report_record(self):
+        report = SimReport()
+        report.record(1.0, 2.0, 0.5, 10)
+        assert report.total_seconds == 3.5
+        assert report.total_messages == 10

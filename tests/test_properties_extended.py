@@ -1,0 +1,138 @@
+"""Property-based tests for the extensions and the processing simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import DBH
+from repro.core import IncrementalPartitioner, TwoPhasePartitioner
+from repro.graph import Graph
+from repro.hypergraph import (
+    Hypergraph,
+    MinMaxStreaming,
+    TwoPhaseHypergraphPartitioner,
+)
+from repro.processing import PageRank, PartitionedGraph, PregelEngine
+
+SLOW = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def graphs(draw, max_vertices=40, max_edges=150):
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    m = draw(st.integers(min_value=1, max_value=max_edges))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    return Graph(rng.integers(0, n, size=(m, 2)), n)
+
+
+@st.composite
+def hypergraphs_strategy(draw, max_vertices=40, max_hyperedges=60):
+    n = draw(st.integers(min_value=4, max_value=max_vertices))
+    h = draw(st.integers(min_value=1, max_value=max_hyperedges))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    hyperedges = []
+    for _ in range(h):
+        size = int(rng.integers(2, min(6, n) + 1))
+        hyperedges.append(rng.choice(n, size=size, replace=False).tolist())
+    return Hypergraph(hyperedges, n)
+
+
+class TestIncrementalProperties:
+    @SLOW
+    @given(graph=graphs(), updates=st.integers(min_value=1, max_value=60))
+    def test_insert_preserves_consistency(self, graph, updates):
+        """After arbitrary inserts: sizes sum to edge count, every insert's
+        endpoints are replicated where assigned, RF stays within [1, k]."""
+        k = 4
+        base = TwoPhasePartitioner(keep_state=True).partition(graph, k)
+        inc = IncrementalPartitioner.from_result(base)
+        inc.attach_edges(graph.edges, base.assignments)
+        rng = np.random.default_rng(1)
+        for _ in range(updates):
+            u, v = (int(x) for x in rng.integers(0, graph.n_vertices, 2))
+            p = inc.insert(u, v)
+            assert inc.replicas[u, p]
+            assert inc.replicas[v, p]
+        assert int(inc.sizes.sum()) == graph.n_edges + updates
+        rf = inc.replication_factor()
+        assert 1.0 <= rf <= k + 1e-9
+
+    @SLOW
+    @given(graph=graphs())
+    def test_insert_then_delete_is_identity(self, graph):
+        k = 4
+        base = TwoPhasePartitioner(keep_state=True).partition(graph, k)
+        inc = IncrementalPartitioner.from_result(base)
+        inc.attach_edges(graph.edges, base.assignments)
+        before_sizes = inc.sizes.copy()
+        before_replicas = inc.replicas.copy()
+        u, v = 0, graph.n_vertices - 1
+        p = inc.insert(u, v)
+        inc.delete(u, v, p)
+        assert np.array_equal(inc.sizes, before_sizes)
+        assert np.array_equal(inc.replicas, before_replicas)
+
+
+class TestHypergraphProperties:
+    @SLOW
+    @given(hg=hypergraphs_strategy(), k=st.integers(min_value=2, max_value=8))
+    def test_two_phase_valid(self, hg, k):
+        result = TwoPhaseHypergraphPartitioner().partition(hg, k)
+        assert result.assignments.shape[0] == hg.n_hyperedges
+        assert result.assignments.min() >= 0
+        assert result.assignments.max() < k
+        cap = max(int(1.05 * hg.n_hyperedges / k), -(-hg.n_hyperedges // k))
+        assert result.sizes.max() <= cap
+
+    @SLOW
+    @given(hg=hypergraphs_strategy(), k=st.integers(min_value=2, max_value=8))
+    def test_minmax_valid(self, hg, k):
+        result = MinMaxStreaming().partition(hg, k)
+        assert result.sizes.sum() == hg.n_hyperedges
+        # Replicas must cover exactly the members of assigned hyperedges.
+        expected = np.zeros_like(result.replicas)
+        for i, members in enumerate(hg):
+            expected[members, result.assignments[i]] = True
+        assert np.array_equal(result.replicas, expected)
+
+    @SLOW
+    @given(hg=hypergraphs_strategy(), k=st.integers(min_value=2, max_value=8))
+    def test_linear_score_budget(self, hg, k):
+        result = TwoPhaseHypergraphPartitioner().partition(hg, k)
+        assert result.cost.score_evaluations <= 2 * hg.n_hyperedges
+
+
+class TestProcessingProperties:
+    @SLOW
+    @given(graph=graphs(), k=st.integers(min_value=2, max_value=6))
+    def test_pagerank_mass_conserved(self, graph, k):
+        result = DBH().partition(graph, k)
+        pgraph = PartitionedGraph(
+            graph.edges, result.assignments, k, graph.n_vertices
+        )
+        values, _ = PregelEngine().run(pgraph, PageRank(), max_supersteps=5)
+        assert values.sum() == pytest.approx(1.0, abs=1e-9)
+        assert (values >= 0).all()
+
+    @SLOW
+    @given(graph=graphs(), k=st.integers(min_value=2, max_value=6))
+    def test_sync_traffic_consistency(self, graph, k):
+        result = DBH().partition(graph, k)
+        pgraph = PartitionedGraph(
+            graph.edges, result.assignments, k, graph.n_vertices
+        )
+        sent, recv, total = pgraph.sync_traffic()
+        assert sent.sum() == total
+        assert recv.sum() == total
+        assert total == 2 * pgraph.mirror_count
+        # RF and mirrors are two views of the same quantity.
+        counts = pgraph.replica_counts
+        covered = (counts > 0).sum()
+        assert pgraph.mirror_count == counts.sum() - covered

@@ -1,0 +1,92 @@
+"""Unit tests for Graham sorted-list scheduling (Phase 2, Step 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.scheduling import graham_schedule, makespan_lower_bound
+from repro.errors import PartitioningError
+from repro.metrics.runtime import CostCounter
+
+
+class TestSchedule:
+    def test_all_clusters_mapped(self):
+        volumes = np.array([5, 3, 8, 1, 0])
+        c2p, loads = graham_schedule(volumes, 2)
+        assert c2p.shape == (5,)
+        assert (c2p >= 0).all()
+        assert (c2p < 2).all()
+
+    def test_loads_match_assignment(self):
+        volumes = np.array([5, 3, 8, 1])
+        c2p, loads = graham_schedule(volumes, 3)
+        recomputed = np.zeros(3, dtype=np.int64)
+        np.add.at(recomputed, c2p, volumes)
+        assert np.array_equal(recomputed, loads)
+
+    def test_largest_job_goes_first(self):
+        volumes = np.array([1, 100, 1])
+        c2p, loads = graham_schedule(volumes, 2)
+        # The two small jobs share the other machine.
+        assert c2p[0] == c2p[2]
+        assert c2p[1] != c2p[0]
+
+    def test_zero_volume_clusters_do_not_load(self):
+        volumes = np.array([0, 0, 7])
+        c2p, loads = graham_schedule(volumes, 2)
+        assert loads.sum() == 7
+
+    def test_empty_input(self):
+        c2p, loads = graham_schedule(np.array([], dtype=np.int64), 4)
+        assert c2p.shape == (0,)
+        assert loads.sum() == 0
+
+    def test_deterministic(self):
+        volumes = np.array([4, 4, 4, 4, 4])
+        a, _ = graham_schedule(volumes, 3)
+        b, _ = graham_schedule(volumes, 3)
+        assert np.array_equal(a, b)
+
+    def test_rejects_negative_volumes(self):
+        with pytest.raises(PartitioningError):
+            graham_schedule(np.array([-1, 2]), 2)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(PartitioningError):
+            graham_schedule(np.array([1]), 0)
+
+    def test_heap_ops_counted(self):
+        cost = CostCounter()
+        graham_schedule(np.array([3, 2, 1]), 2, cost=cost)
+        assert cost.heap_operations == 6  # pop+push per nonzero cluster
+
+
+class TestApproximationGuarantee:
+    def test_four_thirds_bound_random_instances(self):
+        rng = np.random.default_rng(5)
+        for _ in range(25):
+            n = int(rng.integers(1, 60))
+            k = int(rng.integers(1, 12))
+            volumes = rng.integers(0, 1000, size=n)
+            _, loads = graham_schedule(volumes, k)
+            makespan = loads.max() if k else 0
+            lower = makespan_lower_bound(volumes, k)
+            if lower > 0:
+                # Sorted list scheduling is a 4/3-approximation; allow the
+                # +max-job slack of Graham's direct bound as well.
+                assert makespan <= (4.0 / 3.0) * lower + 1e-9
+
+    def test_perfectly_divisible(self):
+        volumes = np.array([2] * 12)
+        _, loads = graham_schedule(volumes, 4)
+        assert loads.tolist() == [6, 6, 6, 6]
+
+
+class TestLowerBound:
+    def test_mean_bound(self):
+        assert makespan_lower_bound(np.array([3, 3, 3]), 3) == 3.0
+
+    def test_max_job_bound(self):
+        assert makespan_lower_bound(np.array([10, 1]), 4) == 10.0
+
+    def test_empty(self):
+        assert makespan_lower_bound(np.array([]), 3) == 0.0

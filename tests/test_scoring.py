@@ -1,0 +1,91 @@
+"""Unit tests for the 2PS-L and HDRF scoring functions."""
+
+import numpy as np
+import pytest
+
+from repro.core.scoring import (
+    hdrf_balance_scores,
+    hdrf_replication_scores,
+    hdrf_scores,
+    twopsl_score,
+)
+
+
+class TestTwoPSLScore:
+    def test_zero_when_nothing_matches(self):
+        assert twopsl_score(3, 5, False, False, 10, 20, False, False) == 0.0
+
+    def test_replication_term_prefers_low_degree_endpoint(self):
+        # Replicating the low-degree endpoint scores higher: g = 2 - d/(du+dv)
+        low = twopsl_score(1, 9, True, False, 0, 0, False, False)
+        high = twopsl_score(9, 1, True, False, 0, 0, False, False)
+        assert low > high
+        assert low == pytest.approx(2 - 0.1)
+        assert high == pytest.approx(2 - 0.9)
+
+    def test_both_replicated_sums(self):
+        s = twopsl_score(5, 5, True, True, 0, 0, False, False)
+        assert s == pytest.approx(3.0)  # (2 - .5) * 2
+
+    def test_cluster_volume_term(self):
+        # Larger adjacent cluster pulls harder.
+        big = twopsl_score(1, 1, False, False, 30, 10, True, False)
+        small = twopsl_score(1, 1, False, False, 30, 10, False, True)
+        assert big == pytest.approx(0.75)
+        assert small == pytest.approx(0.25)
+        assert big > small
+
+    def test_full_formula(self):
+        s = twopsl_score(2, 6, True, False, 10, 30, True, False)
+        expected = (2 - 2 / 8) + 10 / 40
+        assert s == pytest.approx(expected)
+
+    def test_zero_volume_guard(self):
+        s = twopsl_score(1, 1, False, False, 0, 0, True, True)
+        assert s == 0.0
+
+    def test_score_bounded(self):
+        # Max possible: both endpoints replicated + both clusters on p.
+        s = twopsl_score(1, 1, True, True, 5, 5, True, True)
+        assert s <= 4.0
+
+
+class TestHDRFScores:
+    def test_replication_scores_vectorized(self):
+        u_rep = np.array([True, False, True])
+        v_rep = np.array([False, False, True])
+        scores = hdrf_replication_scores(2, 6, u_rep, v_rep)
+        theta_u = 0.25
+        assert scores[0] == pytest.approx(2 - theta_u)
+        assert scores[1] == 0.0
+        assert scores[2] == pytest.approx((2 - theta_u) + (1 + theta_u))
+
+    def test_replication_scores_zero_degrees(self):
+        scores = hdrf_replication_scores(0, 0, np.array([True]), np.array([True]))
+        assert scores[0] == 0.0
+
+    def test_balance_scores_prefer_empty(self):
+        scores = hdrf_balance_scores(np.array([10.0, 0.0, 5.0]))
+        assert np.argmax(scores) == 1
+        assert scores[1] == pytest.approx(1.0)
+        assert scores[0] == pytest.approx(0.0)
+
+    def test_balance_scores_all_equal(self):
+        scores = hdrf_balance_scores(np.array([3.0, 3.0]))
+        assert np.allclose(scores, 0.0)
+
+    def test_full_score_combines(self):
+        u_rep = np.array([True, False])
+        v_rep = np.array([False, False])
+        sizes = np.array([5.0, 0.0])
+        full = hdrf_scores(4, 4, u_rep, v_rep, sizes, lam=1.1)
+        # Partition 0: replication 1.5; partition 1: balance 1.1.
+        assert full[0] == pytest.approx(1.5)
+        assert full[1] == pytest.approx(1.1)
+
+    def test_lambda_scales_balance(self):
+        sizes = np.array([5.0, 0.0])
+        none = np.array([False, False])
+        low = hdrf_scores(1, 1, none, none, sizes, lam=0.5)
+        high = hdrf_scores(1, 1, none, none, sizes, lam=2.0)
+        assert high[1] == pytest.approx(4 * low[1])

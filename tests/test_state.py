@@ -1,0 +1,117 @@
+"""Unit tests for PartitionState (replication matrix + balance cap)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BalanceError, PartitioningError
+from repro.partitioning import PartitionState
+
+
+class TestConstruction:
+    def test_capacity_formula(self):
+        state = PartitionState(10, 4, 100, alpha=1.05)
+        assert state.capacity == 26  # floor(1.05 * 25)
+
+    def test_capacity_never_below_feasibility(self):
+        # floor(alpha * m / k) < ceil(m / k) must be corrected upward.
+        state = PartitionState(10, 3, 10, alpha=1.0)
+        assert state.capacity == 4  # ceil(10 / 3)
+        assert state.capacity * 3 >= 10
+
+    def test_rejects_k_below_two(self):
+        with pytest.raises(PartitioningError):
+            PartitionState(10, 1, 100)
+
+    def test_rejects_alpha_below_one(self):
+        with pytest.raises(BalanceError):
+            PartitionState(10, 2, 100, alpha=0.9)
+
+    def test_rejects_negative_dims(self):
+        with pytest.raises(PartitioningError):
+            PartitionState(-1, 2, 100)
+
+
+class TestAssignment:
+    def test_assign_updates_sizes_and_replicas(self):
+        state = PartitionState(4, 2, 10)
+        state.assign(0, 1, 1)
+        assert state.sizes.tolist() == [0, 1]
+        assert state.replicas[0, 1]
+        assert state.replicas[1, 1]
+        assert not state.replicas[0, 0]
+
+    def test_assign_self_loop(self):
+        state = PartitionState(4, 2, 10)
+        state.assign(2, 2, 0)
+        assert state.replica_counts()[2] == 1
+
+    def test_assign_over_capacity_raises(self):
+        state = PartitionState(4, 2, 2)  # capacity 1 per partition
+        state.assign(0, 1, 0)
+        with pytest.raises(BalanceError):
+            state.assign(2, 3, 0)
+
+    def test_is_full(self):
+        state = PartitionState(4, 2, 2)
+        assert not state.is_full(0)
+        state.assign(0, 1, 0)
+        assert state.is_full(0)
+
+    def test_least_loaded_open(self):
+        state = PartitionState(6, 3, 9)
+        state.assign(0, 1, 0)
+        state.assign(0, 1, 0)
+        state.assign(2, 3, 1)
+        assert state.least_loaded_open() == 2
+
+    def test_least_loaded_all_full(self):
+        state = PartitionState(4, 2, 2)
+        state.assign(0, 1, 0)
+        state.assign(2, 3, 1)
+        with pytest.raises(BalanceError):
+            state.least_loaded_open()
+
+
+class TestMetrics:
+    def test_replication_factor_single_partition_usage(self):
+        state = PartitionState(4, 2, 10)
+        state.assign(0, 1, 0)
+        state.assign(1, 2, 0)
+        # 3 vertices, each on exactly 1 partition.
+        assert state.replication_factor() == 1.0
+
+    def test_replication_factor_with_replication(self):
+        state = PartitionState(2, 2, 10)
+        state.assign(0, 1, 0)
+        state.assign(0, 1, 1)
+        assert state.replication_factor() == 2.0
+
+    def test_replication_factor_excludes_uncovered(self):
+        state = PartitionState(100, 2, 10)
+        state.assign(0, 1, 0)
+        assert state.replication_factor() == 1.0
+
+    def test_replication_factor_empty(self):
+        state = PartitionState(10, 2, 10)
+        assert state.replication_factor() == 0.0
+
+    def test_vertex_cover_sizes(self):
+        state = PartitionState(4, 2, 10)
+        state.assign(0, 1, 0)
+        state.assign(1, 2, 1)
+        assert state.vertex_cover_sizes().tolist() == [2, 2]
+
+    def test_measured_alpha(self):
+        state = PartitionState(8, 2, 4)
+        state.assign(0, 1, 0)
+        state.assign(2, 3, 0)
+        state.sizes[1] = 2  # balance manually for the metric
+        assert state.measured_alpha() == 1.0
+        state.sizes[0] = 3
+        state.sizes[1] = 1
+        assert state.measured_alpha() == 1.5
+
+    def test_nbytes_grows_with_k(self):
+        small = PartitionState(100, 4, 10)
+        large = PartitionState(100, 64, 10)
+        assert large.nbytes() > small.nbytes()

@@ -1,0 +1,148 @@
+"""Unit tests for the simulated storage substrate."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import (
+    HDD_BANDWIDTH,
+    SSD_BANDWIDTH,
+    PageCache,
+    SimulatedClock,
+    StorageDevice,
+    hdd_device,
+    page_cache_device,
+    ssd_device,
+)
+
+
+class TestClock:
+    def test_accumulates(self):
+        clock = SimulatedClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.elapsed == 2.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(StorageError):
+            SimulatedClock().advance(-1)
+
+    def test_reset(self):
+        clock = SimulatedClock()
+        clock.advance(3)
+        clock.reset()
+        assert clock.elapsed == 0
+
+
+class TestDevice:
+    def test_read_time_linear_in_bytes(self):
+        dev = StorageDevice("d", 100.0)
+        assert dev.read_time(200) == 2.0
+        assert dev.read_time(0) == 0.0
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(StorageError):
+            StorageDevice("d", 0)
+
+    def test_rejects_negative_read(self):
+        with pytest.raises(StorageError):
+            StorageDevice("d", 10).read_time(-1)
+
+    def test_charge_advances_clock(self):
+        dev = StorageDevice("d", 100.0)
+        seconds = dev.charge_read("f", 50)
+        assert seconds == 0.5
+        assert dev.clock.elapsed == 0.5
+
+    def test_shared_clock(self):
+        clock = SimulatedClock()
+        a = StorageDevice("a", 100.0, clock=clock)
+        b = StorageDevice("b", 200.0, clock=clock)
+        a.charge_read("f", 100)
+        b.charge_read("f", 100)
+        assert clock.elapsed == pytest.approx(1.5)
+
+    def test_paper_bandwidths(self):
+        assert ssd_device().bandwidth == SSD_BANDWIDTH == 938_000_000.0
+        assert hdd_device().bandwidth == HDD_BANDWIDTH == 158_000_000.0
+
+    def test_ordering_page_cache_fastest(self):
+        nbytes = 10_000_000
+        t_pc = page_cache_device().read_time(nbytes)
+        t_ssd = ssd_device().read_time(nbytes)
+        t_hdd = hdd_device().read_time(nbytes)
+        assert t_pc < t_ssd < t_hdd
+
+
+class TestPageCache:
+    def test_first_read_misses(self):
+        cache = PageCache()
+        cache.begin_pass("f")
+        hit, miss = cache.read("f", 100)
+        assert (hit, miss) == (0, 100)
+
+    def test_second_pass_hits(self):
+        cache = PageCache()
+        cache.begin_pass("f")
+        cache.read("f", 100)
+        cache.begin_pass("f")
+        hit, miss = cache.read("f", 100)
+        assert (hit, miss) == (100, 0)
+
+    def test_partial_hit(self):
+        cache = PageCache()
+        cache.begin_pass("f")
+        cache.read("f", 100)
+        cache.begin_pass("f")
+        hit, miss = cache.read("f", 150)
+        assert (hit, miss) == (100, 50)
+
+    def test_drop_invalidates(self):
+        cache = PageCache()
+        cache.begin_pass("f")
+        cache.read("f", 100)
+        cache.drop()
+        cache.begin_pass("f")
+        hit, miss = cache.read("f", 100)
+        assert (hit, miss) == (0, 100)
+
+    def test_capacity_bound(self):
+        cache = PageCache(capacity_bytes=50)
+        cache.begin_pass("f")
+        cache.read("f", 100)
+        assert cache.resident_bytes("f") == 50
+
+    def test_capacity_shared_across_files(self):
+        cache = PageCache(capacity_bytes=100)
+        cache.begin_pass("a")
+        cache.read("a", 80)
+        cache.begin_pass("b")
+        cache.read("b", 80)
+        assert cache.resident_bytes() <= 100
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(StorageError):
+            PageCache(capacity_bytes=-1)
+
+    def test_rejects_negative_read(self):
+        with pytest.raises(StorageError):
+            PageCache().read("f", -5)
+
+    def test_device_with_cache_charges_misses_only(self):
+        cache = PageCache()
+        dev = StorageDevice("ssd", 100.0, cache=cache)
+        dev.begin_pass("f")
+        first = dev.charge_read("f", 100)
+        dev.begin_pass("f")
+        second = dev.charge_read("f", 100)
+        assert first == pytest.approx(1.0)
+        assert second < 0.001  # page-cache bandwidth
+
+    def test_drop_page_cache_restores_cost(self):
+        cache = PageCache()
+        dev = StorageDevice("ssd", 100.0, cache=cache)
+        dev.begin_pass("f")
+        dev.charge_read("f", 100)
+        dev.drop_page_cache()
+        dev.begin_pass("f")
+        again = dev.charge_read("f", 100)
+        assert again == pytest.approx(1.0)

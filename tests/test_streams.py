@@ -1,0 +1,143 @@
+"""Unit tests for edge streams (in-memory, file-backed) and I/O stats."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StreamError
+from repro.graph import Graph
+from repro.graph.degrees import compute_degrees, compute_degrees_from_stream
+from repro.graph.formats import write_binary_edge_list
+from repro.storage import ssd_device
+from repro.streaming import FileEdgeStream, InMemoryEdgeStream
+from repro.streaming.stream import as_stream
+
+
+class TestInMemoryStream:
+    def test_full_pass_covers_all_edges(self, powerlaw_graph):
+        stream = InMemoryEdgeStream(powerlaw_graph)
+        total = sum(chunk.shape[0] for chunk in stream.chunks(chunk_size=64))
+        assert total == powerlaw_graph.n_edges
+
+    def test_chunks_preserve_order(self):
+        g = Graph([(i, i + 1) for i in range(100)])
+        stream = InMemoryEdgeStream(g)
+        collected = np.concatenate(list(stream.chunks(chunk_size=7)))
+        assert np.array_equal(collected, g.edges)
+
+    def test_reiterable(self, powerlaw_graph):
+        stream = InMemoryEdgeStream(powerlaw_graph)
+        first = sum(c.shape[0] for c in stream.chunks())
+        second = sum(c.shape[0] for c in stream.chunks())
+        assert first == second == powerlaw_graph.n_edges
+        assert stream.stats.passes == 2
+
+    def test_edges_iterator(self, toy_graph):
+        stream = InMemoryEdgeStream(toy_graph)
+        assert list(stream.edges()) == [tuple(e) for e in toy_graph.edges.tolist()]
+
+    def test_from_bare_array(self):
+        stream = InMemoryEdgeStream(np.array([[0, 1], [1, 2]]), n_vertices=3)
+        assert stream.n_edges == 2
+        assert stream.n_vertices == 3
+
+    def test_rejects_bad_array(self):
+        with pytest.raises(StreamError):
+            InMemoryEdgeStream(np.zeros((2, 3)))
+
+    def test_rejects_bad_chunk_size(self, toy_graph):
+        stream = InMemoryEdgeStream(toy_graph)
+        with pytest.raises(StreamError):
+            list(stream.chunks(chunk_size=0))
+
+    def test_stats_bytes(self, toy_graph):
+        stream = InMemoryEdgeStream(toy_graph)
+        list(stream.chunks())
+        assert stream.stats.bytes_read == toy_graph.n_edges * 8
+        assert stream.stats.edges_read == toy_graph.n_edges
+
+    def test_materialize(self, community_graph):
+        stream = InMemoryEdgeStream(community_graph)
+        g = stream.materialize()
+        assert np.array_equal(g.edges, community_graph.edges)
+
+
+class TestFileStream:
+    @pytest.fixture
+    def graph_file(self, tmp_path, powerlaw_graph):
+        path = tmp_path / "g.bin"
+        write_binary_edge_list(powerlaw_graph, path)
+        return path
+
+    def test_matches_source(self, graph_file, powerlaw_graph):
+        stream = FileEdgeStream(graph_file)
+        loaded = np.concatenate(list(stream.chunks(chunk_size=97)))
+        assert np.array_equal(loaded, powerlaw_graph.edges)
+
+    def test_knows_edge_count_without_reading(self, graph_file, powerlaw_graph):
+        stream = FileEdgeStream(graph_file)
+        assert stream.n_edges == powerlaw_graph.n_edges
+        assert stream.stats.bytes_read == 0
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(StreamError):
+            FileEdgeStream(tmp_path / "nope.bin")
+
+    def test_truncated_file(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"\x01" * 12)
+        with pytest.raises(StreamError):
+            FileEdgeStream(path)
+
+    def test_multiple_passes(self, graph_file, powerlaw_graph):
+        stream = FileEdgeStream(graph_file)
+        for _ in range(3):
+            assert sum(c.shape[0] for c in stream.chunks()) == powerlaw_graph.n_edges
+        assert stream.stats.passes == 3
+        assert stream.stats.edges_read == 3 * powerlaw_graph.n_edges
+
+    def test_device_charges_simulated_time(self, graph_file):
+        device = ssd_device()
+        stream = FileEdgeStream(graph_file, device=device)
+        list(stream.chunks())
+        expected = stream.stats.bytes_read / 938_000_000.0
+        assert stream.stats.simulated_read_seconds == pytest.approx(expected)
+        assert device.clock.elapsed == pytest.approx(expected)
+
+    def test_rejects_bad_chunk_size(self, graph_file):
+        with pytest.raises(StreamError):
+            list(FileEdgeStream(graph_file).chunks(chunk_size=-1))
+
+
+class TestAsStream:
+    def test_graph_coerced(self, toy_graph):
+        stream = as_stream(toy_graph)
+        assert stream.n_edges == toy_graph.n_edges
+
+    def test_stream_passthrough(self, toy_graph):
+        stream = InMemoryEdgeStream(toy_graph)
+        assert as_stream(stream) is stream
+
+
+class TestDegreesFromStream:
+    def test_matches_in_memory(self, powerlaw_graph):
+        stream = InMemoryEdgeStream(powerlaw_graph)
+        deg = compute_degrees_from_stream(stream)
+        assert np.array_equal(deg, compute_degrees(powerlaw_graph))
+
+    def test_grows_without_hint(self):
+        stream = InMemoryEdgeStream(np.array([[0, 9]]))
+        deg = compute_degrees_from_stream(stream)
+        assert deg.shape[0] >= 10
+        assert deg[0] == 1
+        assert deg[9] == 1
+
+    def test_respects_hint(self, toy_graph):
+        stream = InMemoryEdgeStream(toy_graph)
+        deg = compute_degrees_from_stream(stream, n_vertices=8)
+        assert deg.shape == (8,)
+
+    def test_from_file(self, tmp_path, community_graph):
+        path = tmp_path / "g.bin"
+        write_binary_edge_list(community_graph, path)
+        deg = compute_degrees_from_stream(FileEdgeStream(path))
+        assert deg.sum() == 2 * community_graph.n_edges

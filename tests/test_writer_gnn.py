@@ -1,0 +1,142 @@
+"""Tests for the partition writer/loader and the GNN workload."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.baselines import DBH
+from repro.core import TwoPhasePartitioner
+from repro.errors import FormatError, PartitioningError, ProcessingError
+from repro.processing import GnnEpoch, PartitionedGraph, PregelEngine
+from repro.processing.gnn import reference_gnn_epoch
+from repro.streaming import PartitionWriter, load_partitioned, write_partitioned
+
+
+class TestPartitionWriter:
+    def test_round_trip(self, tmp_path, community_graph):
+        result = DBH().partition(community_graph, 4)
+        manifest = write_partitioned(
+            tmp_path, community_graph.edges, result.assignments, 4,
+            community_graph.n_vertices,
+        )
+        graphs, loaded = load_partitioned(tmp_path)
+        assert loaded["k"] == 4
+        assert sum(g.n_edges for g in graphs) == community_graph.n_edges
+        assert manifest["edge_counts"] == loaded["edge_counts"]
+
+    def test_partition_contents_match(self, tmp_path, toy_graph):
+        result = TwoPhasePartitioner().partition(toy_graph, 2)
+        write_partitioned(tmp_path, toy_graph.edges, result.assignments, 2)
+        graphs, _ = load_partitioned(tmp_path)
+        for p in range(2):
+            expected = toy_graph.edges[result.assignments == p]
+            assert np.array_equal(graphs[p].edges, expected)
+
+    def test_streaming_write_path(self, tmp_path, toy_graph):
+        with PartitionWriter(tmp_path, 2, buffer_edges=3) as writer:
+            for (u, v) in toy_graph.edges.tolist():
+                writer.write(u, v, (u + v) % 2)
+        graphs, manifest = load_partitioned(tmp_path)
+        assert sum(manifest["edge_counts"]) == toy_graph.n_edges
+        assert sum(g.n_edges for g in graphs) == toy_graph.n_edges
+
+    def test_write_rejects_bad_partition(self, tmp_path):
+        with PartitionWriter(tmp_path, 2) as writer:
+            with pytest.raises(PartitioningError):
+                writer.write(0, 1, 5)
+
+    def test_rejects_length_mismatch(self, tmp_path, toy_graph):
+        with PartitionWriter(tmp_path, 2) as writer:
+            with pytest.raises(PartitioningError):
+                writer.write_result(toy_graph.edges, np.zeros(3))
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(FormatError):
+            load_partitioned(tmp_path)
+
+    def test_corrupt_manifest_format(self, tmp_path):
+        (tmp_path / "manifest.json").write_text(json.dumps({"format": "x"}))
+        with pytest.raises(FormatError):
+            load_partitioned(tmp_path)
+
+    def test_count_mismatch_detected(self, tmp_path, toy_graph):
+        result = DBH().partition(toy_graph, 2)
+        write_partitioned(tmp_path, toy_graph.edges, result.assignments, 2)
+        # Truncate one partition file behind the manifest's back.
+        victim = tmp_path / "partition_00000.bin"
+        data = victim.read_bytes()
+        if len(data) >= 8:
+            victim.write_bytes(data[:-8])
+            with pytest.raises(FormatError):
+                load_partitioned(tmp_path)
+
+    def test_close_idempotent(self, tmp_path):
+        writer = PartitionWriter(tmp_path, 2)
+        writer.close()
+        writer.close()
+
+
+class TestGnnWorkload:
+    def test_matches_dense_reference(self, community_graph):
+        result = DBH().partition(community_graph, 4)
+        pg = PartitionedGraph(
+            community_graph.edges, result.assignments, 4,
+            community_graph.n_vertices,
+        )
+        values, report = PregelEngine().run(pg, GnnEpoch(layers=4), 10)
+        ref = reference_gnn_epoch(
+            community_graph.edges, community_graph.n_vertices, 4
+        )
+        assert np.allclose(values, ref)
+        assert report.supersteps == 4
+        assert report.converged
+
+    def test_partitioning_invariant(self, community_graph):
+        a = DBH().partition(community_graph, 2)
+        b = TwoPhasePartitioner().partition(community_graph, 8)
+        pga = PartitionedGraph(
+            community_graph.edges, a.assignments, 2, community_graph.n_vertices
+        )
+        pgb = PartitionedGraph(
+            community_graph.edges, b.assignments, 8, community_graph.n_vertices
+        )
+        va, _ = PregelEngine().run(pga, GnnEpoch(layers=2), 5)
+        vb, _ = PregelEngine().run(pgb, GnnEpoch(layers=2), 5)
+        assert np.allclose(va, vb)
+
+    def test_feature_bytes_drive_comm_cost(self, community_graph):
+        result = DBH().partition(community_graph, 4)
+        pg = PartitionedGraph(
+            community_graph.edges, result.assignments, 4,
+            community_graph.n_vertices,
+        )
+        _, light = PregelEngine().run(pg, GnnEpoch(layers=2, feature_bytes=64), 5)
+        _, heavy = PregelEngine().run(
+            pg, GnnEpoch(layers=2, feature_bytes=4096), 5
+        )
+        assert heavy.comm_seconds > 10 * light.comm_seconds
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ProcessingError):
+            GnnEpoch(layers=0)
+        with pytest.raises(ProcessingError):
+            GnnEpoch(feature_bytes=0)
+
+    def test_lower_rf_cuts_gnn_cost(self, community_graph):
+        """The GNN motivation: quality partitioning pays off at heavy
+        feature traffic."""
+        good = TwoPhasePartitioner().partition(community_graph, 8)
+        from repro.baselines import RandomHash
+
+        bad = RandomHash().partition(community_graph, 8)
+        engine = PregelEngine()
+        costs = {}
+        for name, res in (("good", good), ("bad", bad)):
+            pg = PartitionedGraph(
+                community_graph.edges, res.assignments, 8,
+                community_graph.n_vertices,
+            )
+            _, report = engine.run(pg, GnnEpoch(layers=3), 5)
+            costs[name] = report.comm_seconds
+        assert costs["good"] < costs["bad"]
