@@ -1,0 +1,172 @@
+"""Kernel-backend throughput benchmark -> BENCH_kernels.json.
+
+Runs the full 2PS-L pipeline with every registered kernel backend on a
+synthetic R-MAT graph (Graph500 generator, >= 1M edges at the default
+scale), verifies the backends produce bit-identical partitionings, and
+records per-phase wall times and edges/sec so the perf trajectory of the
+kernel layer is tracked from PR to PR.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py [--scale 16] [--k 32] \
+        [--out BENCH_kernels.json]
+
+The acceptance gate of the kernel-layer PR: the default ``numpy`` backend
+must reach >= 5x edges/sec over the ``python`` reference backend on the
+degree and pre-partition passes (``speedup_vs_python.degree`` /
+``.prepartition`` in the output, summarized in ``meets_5x_target``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+
+import numpy as np
+
+from repro.core import TwoPhasePartitioner
+from repro.graph.generators import rmat_graph
+from repro.kernels import DEFAULT_BACKEND, available_backends
+from repro.streaming import InMemoryEdgeStream
+
+#: Phases whose vectorization this PR is gated on.
+GATED_PHASES = ("degree", "prepartition")
+
+
+def run_backend(
+    stream, backend: str, k: int, alpha: float, repeats: int
+) -> dict:
+    """Best of ``repeats`` full pipeline runs (wall-clock noise on shared
+    machines easily exceeds the phase deltas being measured); returns the
+    fastest run's timings plus its result for the cross-backend equality
+    check."""
+    best = None
+    for _ in range(repeats):
+        partitioner = TwoPhasePartitioner(backend=backend)
+        start = time.perf_counter()
+        result = partitioner.partition(stream, k, alpha=alpha)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best[0]:
+            best = (elapsed, result)
+    total, result = best
+    m = result.n_edges
+    phase_seconds = {
+        name: round(seconds, 6) for name, seconds in result.timer.totals.items()
+    }
+    edges_per_s = {
+        name: round(m / seconds) if seconds > 0 else None
+        for name, seconds in result.timer.totals.items()
+    }
+    return {
+        "result": result,
+        "row": {
+            "total_seconds": round(total, 4),
+            "total_edges_per_s": round(m / total),
+            "phase_seconds": phase_seconds,
+            "phase_edges_per_s": edges_per_s,
+            "replication_factor": round(result.replication_factor, 4),
+            "measured_alpha": round(result.measured_alpha, 4),
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale", type=int, default=16, help="R-MAT scale (2**scale vertices)"
+    )
+    parser.add_argument(
+        "--edge-factor", type=int, default=16, help="edges per vertex"
+    )
+    parser.add_argument("--k", type=int, default=32)
+    parser.add_argument("--alpha", type=float, default=1.05)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="runs per backend (best kept)"
+    )
+    parser.add_argument("--out", default="BENCH_kernels.json")
+    args = parser.parse_args(argv)
+
+    graph = rmat_graph(args.scale, edge_factor=args.edge_factor, seed=args.seed)
+    stream = InMemoryEdgeStream(graph)
+    print(
+        f"R-MAT scale {args.scale}: |V|={graph.n_vertices:,} "
+        f"|E|={graph.n_edges:,}, k={args.k}, alpha={args.alpha}"
+    )
+
+    runs = {}
+    for backend in available_backends():
+        runs[backend] = run_backend(
+            stream, backend, args.k, args.alpha, args.repeats
+        )
+        row = runs[backend]["row"]
+        print(
+            f"  {backend:>8}: {row['total_seconds']:.2f}s total "
+            f"({row['total_edges_per_s']:,} edges/s), phases: "
+            + ", ".join(
+                f"{k}={v:.3f}s" for k, v in row["phase_seconds"].items()
+            )
+        )
+
+    reference = runs["python"]["result"]
+    for backend, run in runs.items():
+        if not np.array_equal(run["result"].assignments, reference.assignments):
+            raise SystemExit(
+                f"backend {backend!r} diverged from the reference assignment"
+            )
+    print("  all backends produced bit-identical assignments")
+
+    speedups = {}
+    ref_phases = runs["python"]["row"]["phase_seconds"]
+    for backend in available_backends():
+        if backend == "python":
+            continue
+        rows = runs[backend]["row"]["phase_seconds"]
+        speedups[backend] = {
+            name: round(ref_phases[name] / rows[name], 2)
+            if rows[name] > 0
+            else None
+            for name in ref_phases
+        }
+        speedups[backend]["total"] = round(
+            runs["python"]["row"]["total_seconds"]
+            / runs[backend]["row"]["total_seconds"],
+            2,
+        )
+
+    gate = speedups.get(DEFAULT_BACKEND, {})
+    meets = all((gate.get(p) or 0) >= 5.0 for p in GATED_PHASES)
+    payload = {
+        "benchmark": "kernel-backend throughput (2PS-L full pipeline)",
+        "graph": {
+            "generator": "rmat",
+            "scale": args.scale,
+            "edge_factor": args.edge_factor,
+            "seed": args.seed,
+            "n_vertices": graph.n_vertices,
+            "n_edges": graph.n_edges,
+        },
+        "k": args.k,
+        "alpha": args.alpha,
+        "repeats": args.repeats,
+        "python_version": platform.python_version(),
+        "numpy_version": np.__version__,
+        "default_backend": DEFAULT_BACKEND,
+        "backends": {name: run["row"] for name, run in runs.items()},
+        "speedup_vs_python": speedups,
+        "gated_phases": list(GATED_PHASES),
+        "meets_5x_target": meets,
+        "identical_assignments": True,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    print(f"  speedups vs python: {json.dumps(speedups)}")
+    print(f"  wrote {args.out} (meets_5x_target={meets})")
+    return 0 if meets else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

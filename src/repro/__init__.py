@@ -19,6 +19,7 @@ for the paper's evaluation suite.
 """
 
 from repro.core import TwoPhasePartitioner
+from repro.kernels import available_backends, get_backend
 from repro.baselines import (
     DBH,
     HDRF,
@@ -66,6 +67,8 @@ __all__ = [
     "EdgeStream",
     "InMemoryEdgeStream",
     "FileEdgeStream",
+    "available_backends",
+    "get_backend",
     "PartitionedGraph",
     "PregelEngine",
     "PageRank",

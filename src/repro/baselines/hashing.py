@@ -7,8 +7,11 @@ method must beat.  Because they cannot react to partition sizes, the
 balance constraint is *not enforced* — like the paper, experiments report
 the measured alpha instead (the plot annotations in Figures 2a/4).
 
-All three are fully vectorized over stream chunks: no per-edge Python loop,
-which mirrors their real-world speed advantage.
+Each algorithm contributes only a vectorized ``map_chunk(u, v) -> parts``
+function; the stream loop itself is a kernel-backend pass
+(:mod:`repro.kernels`), so the default ``numpy`` backend processes whole
+chunks with a vectorized splitmix64 while the ``python`` reference
+backend replays the same hash per edge for equivalence testing.
 """
 
 from __future__ import annotations
@@ -18,6 +21,7 @@ import math
 import numpy as np
 
 from repro.graph.degrees import compute_degrees_from_stream
+from repro.kernels import get_backend
 from repro.metrics.memory import measured_state_bytes
 from repro.metrics.runtime import CostCounter, PhaseTimer
 from repro.partitioning.base import EdgePartitioner, PartitionResult
@@ -31,40 +35,36 @@ class DBH(EdgePartitioner):
     Hashes each edge on the id of its *lower-degree* endpoint: cutting
     through the high-degree vertex spreads the hub's edges while keeping
     each low-degree vertex on one partition.  One degree pass plus one
-    assignment pass, both vectorized.
+    assignment pass, both chunk-kernel driven.
     """
 
     name = "DBH"
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, backend: str | None = None) -> None:
         self.seed = int(seed)
+        self.backend = backend
 
     def _run(self, stream, k: int, alpha: float) -> PartitionResult:
+        kernels = get_backend(self.backend)
         timer = PhaseTimer()
         cost = CostCounter()
         with timer.phase("degree"):
-            degrees = compute_degrees_from_stream(stream)
+            degrees = compute_degrees_from_stream(stream, backend=self.backend)
             cost.edges_streamed += stream.n_edges
         n = max(self._resolve_n_vertices(stream, degrees), len(degrees))
         m = stream.n_edges
         assignments = np.empty(m, dtype=np.int32)
         state = PartitionState(n, k, m, alpha=max(alpha, 64.0))
+        seed = self.seed
+
+        def map_chunk(u: np.ndarray, v: np.ndarray) -> np.ndarray:
+            lower = np.where(degrees[u] <= degrees[v], u, v)
+            return (splitmix64(lower, seed) % np.uint64(k)).astype(np.int32)
+
         with timer.phase("partitioning"):
-            idx = 0
-            for chunk in stream.chunks():
-                u = chunk[:, 0]
-                v = chunk[:, 1]
-                lower = np.where(degrees[u] <= degrees[v], u, v)
-                parts = (splitmix64(lower, self.seed) % np.uint64(k)).astype(
-                    np.int32
-                )
-                assignments[idx : idx + chunk.shape[0]] = parts
-                state.replicas[u, parts] = True
-                state.replicas[v, parts] = True
-                idx += chunk.shape[0]
+            kernels.stateless_pass(stream, map_chunk, state, assignments)
             cost.edges_streamed += m
             cost.hash_evaluations += m
-        state.sizes[:] = np.bincount(assignments, minlength=k)
         return PartitionResult(
             partitioner=self.name,
             k=k,
@@ -91,8 +91,9 @@ class Grid(EdgePartitioner):
 
     name = "Grid"
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, backend: str | None = None) -> None:
         self.seed = int(seed)
+        self.backend = backend
 
     @staticmethod
     def grid_shape(k: int) -> tuple[int, int]:
@@ -102,6 +103,7 @@ class Grid(EdgePartitioner):
         return r, c
 
     def _run(self, stream, k: int, alpha: float) -> PartitionResult:
+        kernels = get_backend(self.backend)
         timer = PhaseTimer()
         cost = CostCounter()
         n = self._resolve_n_vertices(stream)
@@ -109,23 +111,17 @@ class Grid(EdgePartitioner):
         r, c = self.grid_shape(k)
         assignments = np.empty(m, dtype=np.int32)
         state = PartitionState(n, k, m, alpha=max(alpha, 64.0))
+        seed = self.seed
+
+        def map_chunk(u: np.ndarray, v: np.ndarray) -> np.ndarray:
+            row = splitmix64(u, seed) % np.uint64(r)
+            col = splitmix64(v, seed + 1) % np.uint64(c)
+            return ((row * np.uint64(c) + col) % np.uint64(k)).astype(np.int32)
+
         with timer.phase("partitioning"):
-            idx = 0
-            for chunk in stream.chunks():
-                u = chunk[:, 0]
-                v = chunk[:, 1]
-                row = splitmix64(u, self.seed) % np.uint64(r)
-                col = splitmix64(v, self.seed + 1) % np.uint64(c)
-                parts = ((row * np.uint64(c) + col) % np.uint64(k)).astype(
-                    np.int32
-                )
-                assignments[idx : idx + chunk.shape[0]] = parts
-                state.replicas[u, parts] = True
-                state.replicas[v, parts] = True
-                idx += chunk.shape[0]
+            kernels.stateless_pass(stream, map_chunk, state, assignments)
             cost.edges_streamed += m
             cost.hash_evaluations += 2 * m
-        state.sizes[:] = np.bincount(assignments, minlength=k)
         return PartitionResult(
             partitioner=self.name,
             k=k,
@@ -149,36 +145,34 @@ class RandomHash(EdgePartitioner):
 
     name = "Random"
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, backend: str | None = None) -> None:
         self.seed = int(seed)
+        self.backend = backend
 
     def _run(self, stream, k: int, alpha: float) -> PartitionResult:
+        kernels = get_backend(self.backend)
         timer = PhaseTimer()
         cost = CostCounter()
         n = self._resolve_n_vertices(stream)
         m = stream.n_edges
         assignments = np.empty(m, dtype=np.int32)
         state = PartitionState(n, k, m, alpha=max(alpha, 64.0))
+        seed = self.seed
+
+        def map_chunk(u: np.ndarray, v: np.ndarray) -> np.ndarray:
+            old = np.seterr(over="ignore")
+            try:
+                key = u.astype(np.uint64) * np.uint64(
+                    0x9E3779B97F4A7C15
+                ) + v.astype(np.uint64)
+            finally:
+                np.seterr(**old)
+            return (splitmix64(key, seed) % np.uint64(k)).astype(np.int32)
+
         with timer.phase("partitioning"):
-            idx = 0
-            for chunk in stream.chunks():
-                u = chunk[:, 0].astype(np.uint64)
-                v = chunk[:, 1].astype(np.uint64)
-                old = np.seterr(over="ignore")
-                try:
-                    key = u * np.uint64(0x9E3779B97F4A7C15) + v
-                finally:
-                    np.seterr(**old)
-                parts = (splitmix64(key, self.seed) % np.uint64(k)).astype(
-                    np.int32
-                )
-                assignments[idx : idx + chunk.shape[0]] = parts
-                state.replicas[chunk[:, 0], parts] = True
-                state.replicas[chunk[:, 1], parts] = True
-                idx += chunk.shape[0]
+            kernels.stateless_pass(stream, map_chunk, state, assignments)
             cost.edges_streamed += m
             cost.hash_evaluations += m
-        state.sizes[:] = np.bincount(assignments, minlength=k)
         return PartitionResult(
             partitioner=self.name,
             k=k,

@@ -24,6 +24,7 @@ from repro.errors import ReproError
 from repro.experiments.common import ALL_PARTITIONERS, make_partitioner
 from repro.graph.datasets import DATASETS, load_dataset
 from repro.graph.formats import write_binary_edge_list
+from repro.kernels import DEFAULT_BACKEND, available_backends
 from repro.storage import hdd_device, page_cache_device, ssd_device
 from repro.streaming import FileEdgeStream, load_partitioned, write_partitioned
 
@@ -43,9 +44,13 @@ def _cmd_generate(args) -> int:
 def _cmd_partition(args) -> int:
     device = _DEVICES[args.device]() if args.device else None
     stream = FileEdgeStream(args.input, n_vertices=args.n_vertices, device=device)
-    partitioner = make_partitioner(args.algorithm)
-    result = partitioner.partition(stream, args.k, alpha=args.alpha)
+    partitioner = make_partitioner(args.algorithm, backend=args.backend)
+    result = partitioner.partition(
+        stream, args.k, alpha=args.alpha, chunk_size=args.chunk_size
+    )
     print(f"partitioner       : {result.partitioner}")
+    if args.backend:
+        print(f"kernel backend    : {args.backend}")
     print(f"k / alpha         : {result.k} / {result.alpha}")
     print(f"edges / vertices  : {result.n_edges} / {result.n_vertices}")
     print(f"replication factor: {result.replication_factor:.4f}")
@@ -177,6 +182,19 @@ def build_parser() -> argparse.ArgumentParser:
     part.add_argument("--k", type=int, required=True)
     part.add_argument("--alpha", type=float, default=1.05)
     part.add_argument("--n-vertices", type=int, default=None)
+    part.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default=None,
+        help="kernel backend for the streaming passes "
+        f"(default: {DEFAULT_BACKEND}; backends are bit-exact)",
+    )
+    part.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="edges per stream chunk for every pass (perf knob only)",
+    )
     part.add_argument("--device", choices=sorted(_DEVICES), default=None)
     part.add_argument("--out", default=None, help="write int32 assignments")
     part.add_argument(

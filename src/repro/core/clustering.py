@@ -16,6 +16,11 @@ For ablation, the original Hollocou behaviour is available via
 ``use_true_degrees=False`` (partial degrees counted on the fly) and
 ``volume_cap=None`` (unbounded volumes).
 
+The per-edge pass bodies live in the kernel backends
+(:mod:`repro.kernels`): the ``python`` backend runs the reference
+per-edge loop below, the default ``numpy`` backend vectorizes the
+conflict-free portion of each chunk and is bit-exact with the reference.
+
 Per-edge logic (matching Algorithm 1 line numbers):
 
 - lines 11-15: endpoints without a cluster open a fresh singleton cluster
@@ -36,6 +41,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.kernels import get_backend
 from repro.metrics.runtime import CostCounter
 
 
@@ -107,6 +113,9 @@ class StreamingClustering:
     use_true_degrees:
         When True (2PS-L), a degree array must be passed to :meth:`run`.
         When False, partial degrees are counted on the fly (Hollocou).
+    backend:
+        Kernel backend name (:mod:`repro.kernels`); ``None`` selects the
+        default.  Pure performance knob — backends are bit-exact.
     """
 
     def __init__(
@@ -114,6 +123,7 @@ class StreamingClustering:
         n_passes: int = 1,
         volume_cap: float | None = None,
         use_true_degrees: bool = True,
+        backend: str | None = None,
     ) -> None:
         if n_passes < 1:
             raise ConfigurationError(f"n_passes must be >= 1, got {n_passes}")
@@ -121,9 +131,11 @@ class StreamingClustering:
             raise ConfigurationError(
                 f"volume_cap must be positive or None, got {volume_cap}"
             )
+        get_backend(backend)  # validate the name eagerly
         self.n_passes = int(n_passes)
         self.volume_cap = volume_cap
         self.use_true_degrees = bool(use_true_degrees)
+        self.backend = backend
 
     # ------------------------------------------------------------------
     def run(
@@ -164,113 +176,24 @@ class StreamingClustering:
             n = int(n_vertices)
             degrees = np.zeros(n, dtype=np.int64)
 
-        # Hot-loop state as Python lists: scalar indexing on lists is
-        # several times faster than on numpy arrays, and this loop touches
-        # every edge 1-8 times.
-        v2c: list[int] = [-1] * n
-        vol: list[int] = []
-        deg: list[int] = degrees.tolist()
+        kernels = get_backend(self.backend)
+        state = kernels.clustering_init(np.asarray(degrees, dtype=np.int64))
         cap = float("inf") if self.volume_cap is None else float(self.volume_cap)
 
         for _ in range(self.n_passes):
             if self.use_true_degrees:
-                self._true_degree_pass(stream, v2c, vol, deg, cap, cost)
+                kernels.clustering_true_pass(stream, state, cap, cost)
             else:
-                self._partial_degree_pass(stream, v2c, vol, deg, cap, cost)
+                kernels.clustering_partial_pass(stream, state, cap, cost)
 
+        v2c, volumes, final_degrees = kernels.clustering_export(state)
         return ClusteringResult(
-            v2c=np.asarray(v2c, dtype=np.int64),
-            volumes=np.asarray(vol, dtype=np.int64),
-            degrees=np.asarray(deg, dtype=np.int64),
+            v2c=v2c,
+            volumes=volumes,
+            degrees=final_degrees,
             volume_cap=self.volume_cap,
             passes=self.n_passes,
         )
-
-    # ------------------------------------------------------------------
-    @staticmethod
-    def _true_degree_pass(stream, v2c, vol, deg, cap, cost) -> None:
-        """One Algorithm-1 pass with known true degrees."""
-        updates = 0
-        edges = 0
-        for chunk in stream.chunks():
-            edges += chunk.shape[0]
-            for u, v in chunk.tolist():
-                cu = v2c[u]
-                if cu < 0:
-                    cu = len(vol)
-                    v2c[u] = cu
-                    vol.append(deg[u])
-                    updates += 1
-                cv = v2c[v]
-                if cv < 0:
-                    cv = len(vol)
-                    v2c[v] = cv
-                    vol.append(deg[v])
-                    updates += 1
-                if cu == cv:
-                    continue
-                vol_u = vol[cu]
-                vol_v = vol[cv]
-                if vol_u <= cap and vol_v <= cap:
-                    # v_s: endpoint whose cluster (without it) is smaller.
-                    if vol_u - deg[u] <= vol_v - deg[v]:
-                        vs, cs, cl, ds = u, cu, cv, deg[u]
-                    else:
-                        vs, cs, cl, ds = v, cv, cu, deg[v]
-                    if vol[cl] + ds <= cap:
-                        vol[cl] += ds
-                        vol[cs] -= ds
-                        v2c[vs] = cl
-                        updates += 1
-        if cost is not None:
-            cost.cluster_updates += updates
-            cost.edges_streamed += edges
-
-    @staticmethod
-    def _partial_degree_pass(stream, v2c, vol, deg, cap, cost) -> None:
-        """One original-Hollocou pass: degrees counted on the fly.
-
-        Volumes are maintained incrementally (+1 per endpoint occurrence),
-        so a cluster's volume equals the sum of its members' *partial*
-        degrees observed so far — exactly the quantity Hollocou's algorithm
-        compares.
-        """
-        updates = 0
-        edges = 0
-        for chunk in stream.chunks():
-            edges += chunk.shape[0]
-            for u, v in chunk.tolist():
-                deg[u] += 1
-                deg[v] += 1
-                cu = v2c[u]
-                if cu < 0:
-                    cu = len(vol)
-                    v2c[u] = cu
-                    vol.append(0)
-                cv = v2c[v]
-                if cv < 0:
-                    cv = len(vol)
-                    v2c[v] = cv
-                    vol.append(0)
-                vol[cu] += 1
-                vol[cv] += 1
-                if cu == cv:
-                    continue
-                vol_u = vol[cu]
-                vol_v = vol[cv]
-                if vol_u <= cap and vol_v <= cap:
-                    if vol_u - deg[u] <= vol_v - deg[v]:
-                        vs, cs, cl, ds = u, cu, cv, deg[u]
-                    else:
-                        vs, cs, cl, ds = v, cv, cu, deg[v]
-                    if vol[cl] + ds <= cap:
-                        vol[cl] += ds
-                        vol[cs] -= ds
-                        v2c[vs] = cl
-                        updates += 1
-        if cost is not None:
-            cost.cluster_updates += updates
-            cost.edges_streamed += edges
 
 
 def default_volume_cap(n_edges: int, k: int, factor: float = 0.5) -> float:

@@ -38,7 +38,8 @@ class IncrementalPartitioner:
 
     Build one with :meth:`from_result` from a
     :class:`~repro.core.partitioner.TwoPhasePartitioner` run configured
-    with ``keep_state=True`` (so the result's ``extras`` carry the Phase-1
+    with ``keep_state=True`` (so the result carries typed
+    :class:`~repro.partitioning.base.PartitionArtifacts` with the Phase-1
     clustering and cluster-to-partition map), then register the base edges
     with :meth:`attach_edges` to enable deletions.
     """
@@ -94,13 +95,18 @@ class IncrementalPartitioner:
     @classmethod
     def from_result(cls, result: PartitionResult) -> "IncrementalPartitioner":
         """Build from a 2PS-L result that carries its clustering state."""
-        clustering = result.extras.get("_clustering")
-        c2p = result.extras.get("_c2p")
-        if clustering is None or c2p is None:
+        artifacts = result.artifacts
+        if (
+            artifacts is None
+            or artifacts.clustering is None
+            or artifacts.c2p is None
+        ):
             raise PartitioningError(
                 "result does not carry clustering state; partition with "
                 "TwoPhasePartitioner(keep_state=True)"
             )
+        clustering = artifacts.clustering
+        c2p = artifacts.c2p
         inc = cls(
             k=result.k,
             alpha=result.alpha,

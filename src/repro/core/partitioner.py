@@ -21,6 +21,11 @@ resort — both from the paper (line 40-41 and the prose below them).
 Setting ``mode="hdrf"`` replaces step 5's two-candidate scoring with the
 full HDRF score over all k partitions, which is the paper's **2PS-HDRF**
 variant (Section V-D): better replication factor, O(|E| * k) run-time.
+
+The per-pass edge processing is delegated to a pluggable kernel backend
+(:mod:`repro.kernels`): ``backend="numpy"`` (default) runs the
+chunk-vectorized kernels, ``backend="python"`` the per-edge reference
+kernels — both bit-exact with each other.
 """
 
 from __future__ import annotations
@@ -32,13 +37,15 @@ from repro.core.clustering import (
     default_volume_cap,
 )
 from repro.core.scheduling import graham_schedule
-from repro.core.scoring import HDRF_EPSILON
 from repro.errors import ConfigurationError
-from repro.graph.degrees import compute_degrees_from_stream
+from repro.kernels import TwoPhaseContext, get_backend
 from repro.metrics.memory import measured_state_bytes
 from repro.metrics.runtime import CostCounter, PhaseTimer
-from repro.partitioning.base import EdgePartitioner, PartitionResult
-from repro.partitioning.hashutil import splitmix64
+from repro.partitioning.base import (
+    EdgePartitioner,
+    PartitionArtifacts,
+    PartitionResult,
+)
 from repro.partitioning.state import PartitionState
 
 
@@ -61,10 +68,19 @@ class TwoPhasePartitioner(EdgePartitioner):
     hash_seed:
         Seed of the fallback hash.
     keep_state:
-        When True, the result's ``extras`` carry the Phase-1 clustering and
-        the cluster-to-partition map (keys ``_clustering`` / ``_c2p``), so
-        an :class:`~repro.core.incremental.IncrementalPartitioner` can be
+        When True, the result carries a typed
+        :class:`~repro.partitioning.base.PartitionArtifacts` (Phase-1
+        clustering + cluster-to-partition map), so an
+        :class:`~repro.core.incremental.IncrementalPartitioner` can be
         built from it for dynamic-graph updates.
+    backend:
+        Kernel backend name (:mod:`repro.kernels`); ``None`` selects the
+        default (``"numpy"``).  Backends are bit-exact, so this is a pure
+        performance knob.
+    chunk_size:
+        Default edges-per-chunk for every streaming pass of a run
+        (overridable per call via ``partition(..., chunk_size=...)``);
+        ``None`` keeps the stream's own default.
     """
 
     def __init__(
@@ -75,6 +91,8 @@ class TwoPhasePartitioner(EdgePartitioner):
         hdrf_lambda: float = 1.1,
         hash_seed: int = 0,
         keep_state: bool = False,
+        backend: str | None = None,
+        chunk_size: int | None = None,
     ) -> None:
         if mode not in ("linear", "hdrf"):
             raise ConfigurationError(
@@ -84,23 +102,31 @@ class TwoPhasePartitioner(EdgePartitioner):
             raise ConfigurationError(
                 f"volume_cap_factor must be positive, got {volume_cap_factor}"
             )
+        if chunk_size is not None and chunk_size <= 0:
+            raise ConfigurationError(
+                f"chunk_size must be positive, got {chunk_size}"
+            )
+        get_backend(backend)  # validate the name eagerly
         self.clustering_passes = int(clustering_passes)
         self.volume_cap_factor = float(volume_cap_factor)
         self.mode = mode
         self.hdrf_lambda = float(hdrf_lambda)
         self.hash_seed = int(hash_seed)
         self.keep_state = bool(keep_state)
+        self.backend = backend
+        self.chunk_size = chunk_size
         self.name = "2PS-L" if mode == "linear" else "2PS-HDRF"
 
     # ------------------------------------------------------------------
     def _run(self, stream, k: int, alpha: float) -> PartitionResult:
+        kernels = get_backend(self.backend)
         timer = PhaseTimer()
         cost = CostCounter()
         m = stream.n_edges
 
         # Pass 1: true vertex degrees (Figure 5: "Degree").
         with timer.phase("degree"):
-            degrees = compute_degrees_from_stream(stream)
+            degrees = kernels.degree_pass(stream, stream.n_vertices)
             cost.edges_streamed += m
         n = max(self._resolve_n_vertices(stream, degrees), len(degrees))
         if len(degrees) < n:
@@ -112,7 +138,9 @@ class TwoPhasePartitioner(EdgePartitioner):
         with timer.phase("clustering"):
             cap = default_volume_cap(m, k, self.volume_cap_factor)
             clustering = StreamingClustering(
-                n_passes=self.clustering_passes, volume_cap=cap
+                n_passes=self.clustering_passes,
+                volume_cap=cap,
+                backend=self.backend,
             ).run(stream, degrees=degrees, cost=cost)
 
         # Phase 2 Step 1: map clusters to partitions (no streaming).
@@ -121,31 +149,37 @@ class TwoPhasePartitioner(EdgePartitioner):
 
         state = PartitionState(n, k, m, alpha)
         assignments = np.full(m, -1, dtype=np.int32)
-        sizes: list[int] = [0] * k  # Python-list mirror of state.sizes (hot loop)
+        ctx = TwoPhaseContext(
+            k=k,
+            v2c=clustering.v2c,
+            c2p=c2p,
+            volumes=clustering.volumes,
+            degrees=degrees,
+            state=state,
+            assignments=assignments,
+            hash_seed=self.hash_seed,
+            cost=cost,
+            hdrf_lambda=self.hdrf_lambda,
+        )
 
         # Phase 2 Step 2: pre-partitioning pass.
         with timer.phase("prepartition"):
-            n_pre = self._prepartition_pass(
-                stream, clustering, c2p, state, sizes, assignments, degrees, k, cost
-            )
+            n_pre = kernels.prepartition_pass(stream, ctx)
 
         # Phase 2 Step 3: score remaining edges.
         with timer.phase("partitioning"):
             if self.mode == "linear":
-                self._remaining_pass_linear(
-                    stream, clustering, c2p, state, sizes, assignments, degrees, k, cost
-                )
+                kernels.remaining_pass_linear(stream, ctx)
             else:
-                self._remaining_pass_hdrf(
-                    stream, clustering, c2p, state, sizes, assignments, degrees, k, cost
-                )
+                kernels.remaining_pass_hdrf(stream, ctx)
 
-        state.sizes[:] = sizes
         state_bytes = measured_state_bytes(
             state, clustering.v2c, clustering.volumes, clustering.degrees, c2p, loads
         )
-        extra_state = (
-            {"_clustering": clustering, "_c2p": c2p} if self.keep_state else {}
+        artifacts = (
+            PartitionArtifacts(clustering=clustering, c2p=c2p)
+            if self.keep_state
+            else None
         )
         return PartitionResult(
             partitioner=self.name,
@@ -165,143 +199,7 @@ class TwoPhasePartitioner(EdgePartitioner):
                 "prepartitioned_edges": n_pre,
                 "remaining_edges": m - n_pre,
                 "mode": self.mode,
-                **extra_state,
+                "backend": kernels.name,
             },
+            artifacts=artifacts,
         )
-
-    # ------------------------------------------------------------------
-    def _fallback_partition(
-        self, u: int, v: int, deg: list, sizes: list, capacity: int, k: int, cost
-    ) -> int:
-        """Hash on the higher-degree endpoint; least-loaded open as last resort."""
-        hv = u if deg[u] >= deg[v] else v
-        p = int(splitmix64(hv, self.hash_seed) % np.uint64(k))
-        cost.hash_evaluations += 1
-        if sizes[p] >= capacity:
-            p = min(range(k), key=sizes.__getitem__)
-        return p
-
-    def _prepartition_pass(
-        self, stream, clustering, c2p, state, sizes, assignments, degrees, k, cost
-    ) -> int:
-        """Algorithm 2 lines 16-26; returns the number of edges assigned."""
-        v2c = clustering.v2c.tolist()
-        c2p_l = c2p.tolist()
-        deg = degrees.tolist()
-        replicas = state.replicas
-        capacity = state.capacity
-        idx = 0
-        n_pre = 0
-        for chunk in stream.chunks():
-            for u, v in chunk.tolist():
-                c1 = v2c[u]
-                c2 = v2c[v]
-                p1 = c2p_l[c1]
-                if c1 == c2 or p1 == c2p_l[c2]:
-                    p = p1
-                    if sizes[p] >= capacity:
-                        p = self._fallback_partition(
-                            u, v, deg, sizes, capacity, k, cost
-                        )
-                    sizes[p] += 1
-                    replicas[u, p] = True
-                    replicas[v, p] = True
-                    assignments[idx] = p
-                    n_pre += 1
-                idx += 1
-        cost.edges_streamed += stream.n_edges
-        return n_pre
-
-    def _remaining_pass_linear(
-        self, stream, clustering, c2p, state, sizes, assignments, degrees, k, cost
-    ) -> None:
-        """Algorithm 2 lines 27-44 with the two-candidate 2PS-L score."""
-        v2c = clustering.v2c.tolist()
-        c2p_l = c2p.tolist()
-        vol = clustering.volumes.tolist()
-        deg = degrees.tolist()
-        replicas = state.replicas
-        capacity = state.capacity
-        idx = 0
-        n_scored = 0
-        for chunk in stream.chunks():
-            for u, v in chunk.tolist():
-                c1 = v2c[u]
-                c2 = v2c[v]
-                p1 = c2p_l[c1]
-                p2 = c2p_l[c2]
-                if c1 == c2 or p1 == p2:
-                    idx += 1  # pre-partitioned in the previous pass
-                    continue
-                du = deg[u]
-                dv = deg[v]
-                dsum = du + dv
-                vol1 = vol[c1]
-                vol2 = vol[c2]
-                vsum = vol1 + vol2
-                # Score candidate p1: c1 is mapped to p1 (and c2 is not).
-                s1 = vol1 / vsum if vsum else 0.0
-                if replicas[u, p1]:
-                    s1 += 2.0 - du / dsum
-                if replicas[v, p1]:
-                    s1 += 2.0 - dv / dsum
-                # Score candidate p2 symmetrically.
-                s2 = vol2 / vsum if vsum else 0.0
-                if replicas[u, p2]:
-                    s2 += 2.0 - du / dsum
-                if replicas[v, p2]:
-                    s2 += 2.0 - dv / dsum
-                n_scored += 2
-                p = p1 if s1 >= s2 else p2
-                if sizes[p] >= capacity:
-                    p = self._fallback_partition(u, v, deg, sizes, capacity, k, cost)
-                sizes[p] += 1
-                replicas[u, p] = True
-                replicas[v, p] = True
-                assignments[idx] = p
-                idx += 1
-        cost.score_evaluations += n_scored
-        cost.edges_streamed += stream.n_edges
-
-    def _remaining_pass_hdrf(
-        self, stream, clustering, c2p, state, sizes, assignments, degrees, k, cost
-    ) -> None:
-        """2PS-HDRF: full HDRF scoring over all k partitions (Section V-D)."""
-        v2c = clustering.v2c.tolist()
-        c2p_l = c2p.tolist()
-        deg = degrees.tolist()
-        replicas = state.replicas
-        capacity = state.capacity
-        lam = self.hdrf_lambda
-        sizes_np = np.asarray(sizes, dtype=np.float64)
-        idx = 0
-        n_scored = 0
-        for chunk in stream.chunks():
-            for u, v in chunk.tolist():
-                c1 = v2c[u]
-                c2 = v2c[v]
-                if c1 == c2 or c2p_l[c1] == c2p_l[c2]:
-                    idx += 1
-                    continue
-                du = deg[u]
-                dv = deg[v]
-                theta_u = du / (du + dv)
-                scores = replicas[u] * (2.0 - theta_u) + replicas[v] * (
-                    1.0 + theta_u
-                )
-                maxs = sizes_np.max()
-                mins = sizes_np.min()
-                scores = scores + lam * (maxs - sizes_np) / (
-                    HDRF_EPSILON + maxs - mins
-                )
-                scores[sizes_np >= capacity] = -np.inf
-                p = int(np.argmax(scores))
-                n_scored += k
-                sizes[p] += 1
-                sizes_np[p] += 1.0
-                replicas[u, p] = True
-                replicas[v, p] = True
-                assignments[idx] = p
-                idx += 1
-        cost.score_evaluations += n_scored
-        cost.edges_streamed += stream.n_edges

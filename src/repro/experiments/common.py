@@ -66,13 +66,29 @@ FIGURE4_PARTITIONERS = (
 )
 
 
-def make_partitioner(name: str):
+def make_partitioner(
+    name: str,
+    backend: str | None = None,
+    chunk_size: int | None = None,
+):
     """Instantiate a partitioner by canonical name.
+
+    Parameters
+    ----------
+    name:
+        Canonical partitioner name (see :data:`ALL_PARTITIONERS`).
+    backend:
+        Kernel backend (:mod:`repro.kernels`) for partitioners that are
+        kernel-driven (2PS-L/2PS-HDRF and the stateless baselines).
+    chunk_size:
+        Stream chunk size for partitioners that expose one.
 
     Raises
     ------
     ConfigurationError
-        For unknown names (message lists the registry).
+        For unknown names (message lists the registry), or when a
+        ``backend``/``chunk_size`` override is requested for a
+        partitioner that does not support it.
     """
     try:
         factory = ALL_PARTITIONERS[name]
@@ -80,7 +96,16 @@ def make_partitioner(name: str):
         raise ConfigurationError(
             f"unknown partitioner {name!r}; available: {sorted(ALL_PARTITIONERS)}"
         ) from None
-    return factory()
+    partitioner = factory()
+    for attr, value in (("backend", backend), ("chunk_size", chunk_size)):
+        if value is None:
+            continue
+        if not hasattr(partitioner, attr):
+            raise ConfigurationError(
+                f"partitioner {name!r} does not support a {attr} override"
+            )
+        setattr(partitioner, attr, value)
+    return partitioner
 
 
 def run_one(

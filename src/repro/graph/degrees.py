@@ -18,8 +18,15 @@ def compute_degrees(graph: Graph) -> np.ndarray:
     return graph.degrees
 
 
-def compute_degrees_from_stream(stream, n_vertices: int | None = None) -> np.ndarray:
+def compute_degrees_from_stream(
+    stream, n_vertices: int | None = None, backend: str | None = None
+) -> np.ndarray:
     """One streaming pass that counts every endpoint occurrence.
+
+    The chunk processing is delegated to a kernel backend
+    (:mod:`repro.kernels`): per-chunk ``np.bincount`` on the default
+    ``numpy`` backend, a per-edge loop on the ``python`` reference
+    backend.
 
     Parameters
     ----------
@@ -27,7 +34,9 @@ def compute_degrees_from_stream(stream, n_vertices: int | None = None) -> np.nda
         Any edge stream exposing ``chunks()`` (see :mod:`repro.streaming`).
     n_vertices:
         Vertex-count hint.  If omitted, taken from the stream, and if the
-        stream does not know either, the array grows as larger ids appear.
+        stream does not know either, the array covers every id seen.
+    backend:
+        Kernel backend name; ``None`` selects the default.
 
     Returns
     -------
@@ -35,20 +44,11 @@ def compute_degrees_from_stream(stream, n_vertices: int | None = None) -> np.nda
         ``int64`` degree array of length ``n_vertices`` (or large enough to
         cover every id seen).
     """
+    from repro.kernels import get_backend
+
     if n_vertices is None:
         n_vertices = getattr(stream, "n_vertices", None)
-    size = int(n_vertices) if n_vertices else 0
-    deg = np.zeros(size, dtype=np.int64)
-    for chunk in stream.chunks():
-        if chunk.size == 0:
-            continue
-        top = int(chunk.max())
-        if top >= deg.shape[0]:
-            grown = np.zeros(max(top + 1, 2 * max(deg.shape[0], 1)), dtype=np.int64)
-            grown[: deg.shape[0]] = deg
-            deg = grown
-        np.add.at(deg, chunk[:, 0], 1)
-        np.add.at(deg, chunk[:, 1], 1)
+    deg = get_backend(backend).degree_pass(stream, n_vertices)
     if n_vertices and deg.shape[0] > int(n_vertices):
         deg = deg[: int(n_vertices)]
     return deg

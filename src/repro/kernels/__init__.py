@@ -1,0 +1,131 @@
+"""Backend-dispatched chunk-kernel execution layer for streaming passes.
+
+Every streaming pass of the toolkit — degree counting, Phase-1 clustering,
+2PS-L pre-partitioning, remaining-edge scoring, and the stateless hash
+baselines — consumes the edge stream as numpy ``(c, 2)`` chunks.  This
+package turns "what happens to a chunk" into a pluggable *kernel backend*
+so the same algorithm can run as a slow, obviously-correct per-edge loop
+or as vectorized numpy array code:
+
+- ``python`` — the reference backend.  Pure per-edge Python loops with the
+  exact control flow of the paper's pseudocode.  It is the semantic ground
+  truth that every other backend is property-tested against.
+- ``numpy`` — the default backend.  Chunk-vectorized kernels: per-chunk
+  ``np.bincount`` for degrees, gather/mask/scatter for the pre-partition
+  pass, vectorized splitmix64 for the stateless baselines, and
+  conflict-free sub-batching for the stateful clustering and scoring
+  passes (see below).
+
+Backend contract
+----------------
+A backend subclasses :class:`~repro.kernels.base.KernelBackend` and must
+be **bit-exact** with the ``python`` reference backend: for any stream,
+chunk size, ``k`` and ``alpha``, every pass must produce identical outputs
+(degree arrays, cluster ids and volumes, per-edge partition assignments,
+replication bits, partition sizes) *and* identical machine-neutral cost
+counts.  Chunk size is therefore a pure performance knob, never a
+semantics knob.  The equivalence property tests in
+``tests/test_kernels.py`` enforce this contract on random multigraphs,
+sweeping ``chunk_size`` through degenerate values (1, primes, larger than
+the edge count).
+
+The tricky part of the contract is the *stateful* passes, where an edge's
+decision depends on state mutated by earlier edges.  The ``numpy`` backend
+preserves serial semantics with conflict-free sub-batching inside each
+chunk:
+
+- An edge can be scored/migrated vectorized only when no other edge in the
+  chunk touches the same mutable state (vertex replica rows for scoring;
+  vertices *and* clusters for Phase-1 migration), and processing it out of
+  order is provably equivalent; every colliding edge falls through to the
+  serial reference kernel, in stream order.
+- A whole chunk falls back to the serial kernel whenever any partition
+  could hit the hard balance cap inside the chunk (the remaining capacity
+  ``capacity - max(sizes)`` is smaller than the chunk's candidate count),
+  because cap overflow makes decisions order-dependent through the
+  hash/least-loaded fallback chain.
+
+Adding a backend
+----------------
+1. Subclass :class:`~repro.kernels.base.KernelBackend` (or an existing
+   backend — ``NumpyBackend`` subclasses ``PythonBackend`` and overrides
+   only the passes it vectorizes, inheriting the rest).
+2. Override any subset of the pass methods: ``degree_pass``,
+   ``clustering_true_pass``, ``clustering_partial_pass``,
+   ``prepartition_pass``, ``remaining_pass_linear``,
+   ``remaining_pass_hdrf``, ``stateless_pass``.  Keep the serial fallback
+   path for conflicting edges — that is what makes correctness local.
+3. Register it: ``register_backend("numba", NumbaBackend)``.  The name
+   becomes valid everywhere a ``backend=`` parameter or the CLI
+   ``--backend`` flag is accepted.
+4. Add the name to the sweep list in ``tests/test_kernels.py`` so the
+   equivalence property suite pins it to the reference backend.
+
+A future numba/cython backend would typically keep the numpy chunk
+orchestration and replace only the serial conflict kernels with compiled
+per-edge loops.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.kernels.base import ClusteringState, KernelBackend, TwoPhaseContext
+from repro.kernels.python_backend import PythonBackend
+from repro.kernels.numpy_backend import NumpyBackend
+
+#: Name of the backend used when none is requested explicitly.
+DEFAULT_BACKEND = "numpy"
+
+_REGISTRY: dict[str, type[KernelBackend]] = {}
+_INSTANCES: dict[str, KernelBackend] = {}
+
+
+def register_backend(name: str, cls: type[KernelBackend]) -> None:
+    """Register a kernel backend class under ``name`` (see module docs)."""
+    if not issubclass(cls, KernelBackend):
+        raise ConfigurationError(
+            f"backend {name!r} must subclass KernelBackend, got {cls!r}"
+        )
+    _REGISTRY[name] = cls
+    _INSTANCES.pop(name, None)
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, reference backend first."""
+    return tuple(sorted(_REGISTRY, key=lambda n: (n != "python", n)))
+
+
+def get_backend(name: str | None = None) -> KernelBackend:
+    """Resolve a backend name (``None`` -> :data:`DEFAULT_BACKEND`).
+
+    Backends are stateless between runs, so instances are shared.
+
+    Raises
+    ------
+    ConfigurationError
+        For unknown names (message lists the registry).
+    """
+    key = DEFAULT_BACKEND if name is None else str(name)
+    if key not in _REGISTRY:
+        raise ConfigurationError(
+            f"unknown kernel backend {key!r}; available: {list(available_backends())}"
+        )
+    if key not in _INSTANCES:
+        _INSTANCES[key] = _REGISTRY[key]()
+    return _INSTANCES[key]
+
+
+register_backend("python", PythonBackend)
+register_backend("numpy", NumpyBackend)
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "ClusteringState",
+    "KernelBackend",
+    "NumpyBackend",
+    "PythonBackend",
+    "TwoPhaseContext",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+]

@@ -1,0 +1,169 @@
+"""Kernel-backend contracts shared by all backends.
+
+See the :mod:`repro.kernels` package docstring for the backend contract
+(bit-exactness against the ``python`` reference backend) and for how to
+add a backend.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.metrics.runtime import CostCounter
+from repro.partitioning.state import PartitionState
+
+
+class Int64Buffer:
+    """Append-friendly int64 array (amortized O(1) appends).
+
+    Phase-1 clustering allocates cluster ids sequentially; this buffer
+    gives the numpy backend list-like appends while keeping the contents
+    gatherable as a contiguous array view.
+    """
+
+    __slots__ = ("_buf", "_n")
+
+    def __init__(self, initial_capacity: int = 1024) -> None:
+        self._buf = np.zeros(max(int(initial_capacity), 1), dtype=np.int64)
+        self._n = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __getitem__(self, i: int):
+        return self._buf[i]
+
+    def __setitem__(self, i: int, value) -> None:
+        self._buf[i] = value
+
+    def append(self, value) -> None:
+        if self._n == self._buf.shape[0]:
+            grown = np.zeros(self._buf.shape[0] * 2, dtype=np.int64)
+            grown[: self._n] = self._buf
+            self._buf = grown
+        self._buf[self._n] = value
+        self._n += 1
+
+    def view(self) -> np.ndarray:
+        """Live array view of the filled prefix (invalidated by appends)."""
+        return self._buf[: self._n]
+
+
+@dataclass
+class ClusteringState:
+    """Mutable Phase-1 state; concrete field types are backend-owned.
+
+    The ``python`` backend stores plain lists (fast scalar indexing), the
+    ``numpy`` backend stores arrays / :class:`Int64Buffer`.  Only the
+    owning backend may touch the fields; everyone else goes through
+    :meth:`KernelBackend.clustering_export`.
+    """
+
+    v2c: object
+    vol: object
+    deg: object
+
+
+@dataclass
+class TwoPhaseContext:
+    """Shared read/write state of the 2PS-L Phase-2 streaming passes.
+
+    ``v2c``/``c2p``/``volumes``/``degrees`` are read-only int64 arrays in
+    these passes; ``state`` (replica bits + sizes + hard cap),
+    ``assignments`` and ``cost`` are mutated in place.
+    """
+
+    k: int
+    v2c: np.ndarray
+    c2p: np.ndarray
+    volumes: np.ndarray
+    degrees: np.ndarray
+    state: PartitionState
+    assignments: np.ndarray
+    hash_seed: int
+    cost: CostCounter
+    hdrf_lambda: float = 1.1
+
+
+class KernelBackend(ABC):
+    """One implementation of every streaming pass (see package docs).
+
+    All passes consume the stream through ``stream.chunks()`` so the
+    stream's ``default_chunk_size`` is the single chunk-size knob.
+    """
+
+    #: Registry name; subclasses override.
+    name: str = "abstract"
+
+    # ------------------------------------------------------------------
+    # stateless passes
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def degree_pass(self, stream, n_hint: int | None = None) -> np.ndarray:
+        """Count every endpoint occurrence in one streaming pass.
+
+        Returns an int64 array of length ``max(n_hint, max_id + 1)``.
+        """
+
+    @abstractmethod
+    def stateless_pass(
+        self,
+        stream,
+        map_chunk: Callable[[np.ndarray, np.ndarray], np.ndarray],
+        state: PartitionState,
+        assignments: np.ndarray,
+    ) -> None:
+        """Drive a stateless hash partitioner over the stream.
+
+        ``map_chunk(u, v)`` maps endpoint arrays to an int32 partition
+        array; it must be vectorized *and* well-defined on length-1 inputs
+        (the reference backend calls it per edge).  Replica bits and sizes
+        are recorded through ``state.scatter_edges``.
+        """
+
+    # ------------------------------------------------------------------
+    # Phase 1: streaming clustering
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def clustering_init(self, degrees: np.ndarray) -> ClusteringState:
+        """Fresh clustering state for ``len(degrees)`` vertices."""
+
+    @abstractmethod
+    def clustering_true_pass(
+        self, stream, st: ClusteringState, cap: float, cost: CostCounter | None
+    ) -> None:
+        """One Algorithm-1 pass with known true degrees."""
+
+    @abstractmethod
+    def clustering_partial_pass(
+        self, stream, st: ClusteringState, cap: float, cost: CostCounter | None
+    ) -> None:
+        """One original-Hollocou pass (degrees counted on the fly)."""
+
+    @abstractmethod
+    def clustering_export(
+        self, st: ClusteringState
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Snapshot ``(v2c, volumes, degrees)`` as int64 arrays."""
+
+    # ------------------------------------------------------------------
+    # Phase 2: 2PS-L partitioning passes
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def prepartition_pass(self, stream, ctx: TwoPhaseContext) -> int:
+        """Algorithm 2 lines 16-26; returns the number of edges assigned."""
+
+    @abstractmethod
+    def remaining_pass_linear(self, stream, ctx: TwoPhaseContext) -> None:
+        """Algorithm 2 lines 27-44, two-candidate constant-time scoring."""
+
+    @abstractmethod
+    def remaining_pass_hdrf(self, stream, ctx: TwoPhaseContext) -> None:
+        """2PS-HDRF: full HDRF scoring over all k partitions."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r}>"

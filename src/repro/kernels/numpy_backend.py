@@ -1,0 +1,580 @@
+"""The ``numpy`` backend: chunk-vectorized kernels (the default).
+
+Embarrassingly-batchable passes (degrees, pre-partitioning, stateless
+hashing) are fully vectorized.  The stateful passes (Phase-1 clustering
+and the remaining-edge scoring pass) use *conflict-free sub-batching*: the
+edges of a chunk whose mutable state cannot collide with any other edge of
+the chunk are processed as one array operation, everything else falls
+through to the per-edge serial kernel in stream order.  The result is
+bit-exact with the ``python`` reference backend — see the package
+docstring for the argument and ``tests/test_kernels.py`` for the
+enforcement.
+
+Why the sub-batching is exact, in short:
+
+- *Scoring pass*: an edge only reads/writes the replica-matrix rows of its
+  two endpoints (volumes and degrees are frozen in this pass).  An edge
+  whose endpoints make their chunk-first appearance on itself therefore
+  reads state no other chunk edge can have written, and writes state no
+  earlier chunk edge can read — so scoring all such edges against the
+  chunk-entry state commutes with the serial order.  Partition sizes only
+  feed the hard-cap fallback; a chunk is batched only when
+  ``capacity - max(sizes)`` exceeds the chunk's candidate count, which
+  makes the fallback provably unreachable either way.
+- *Clustering pass*: migrations also touch the two clusters' volumes, and
+  a serially-processed edge can only ever touch clusters reachable from
+  the pre-chunk cluster ids of chunk edges (a migration moves a vertex
+  between the two clusters of its edge).  So an edge is batched only when
+  its endpoints are chunk-unique *and* its two pre-chunk cluster ids
+  appear nowhere else in the chunk.  New-cluster creation stays serial so
+  cluster ids are allocated in exactly the reference order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.base import ClusteringState, Int64Buffer, TwoPhaseContext
+from repro.kernels.python_backend import PythonBackend
+
+#: Internal sub-batch size for the *stateful* passes.  Conflict detection
+#: happens within one block, so smaller blocks mean fewer vertex/cluster
+#: collisions and a larger vectorized share — but more per-block numpy
+#: overhead.  512 won a sweep on a 1M-edge R-MAT (hubs collide at any
+#: block size; the long tail stops colliding around this scale).  Stream
+#: chunk boundaries are semantically irrelevant, so re-blocking a chunk
+#: internally cannot change results.
+STATEFUL_BLOCK = 512
+
+#: Clustering demotes to the list kernel when the serial share of the
+#: last this-many blocks exceeds 40% (see ``clustering_true_pass``).
+_DEMOTE_WINDOW_BLOCKS = 4
+
+
+class NumpyBackend(PythonBackend):
+    """Vectorized kernels; inherits the reference kernel for the 2PS-HDRF
+    scoring pass (argmax over all k partitions per edge is already
+    array-at-a-time and inherently serial in the partition sizes)."""
+
+    name = "numpy"
+
+    # ------------------------------------------------------------------
+    # stateless passes
+    # ------------------------------------------------------------------
+    def degree_pass(self, stream, n_hint: int | None = None) -> np.ndarray:
+        deg = np.zeros(int(n_hint) if n_hint else 0, dtype=np.int64)
+        for chunk in stream.chunks():
+            if chunk.size == 0:
+                continue
+            counts = np.bincount(chunk.ravel(), minlength=deg.shape[0])
+            if counts.shape[0] > deg.shape[0]:
+                counts[: deg.shape[0]] += deg
+                deg = counts.astype(np.int64, copy=False)
+            else:
+                deg += counts
+        return deg
+
+    def stateless_pass(self, stream, map_chunk, state, assignments) -> None:
+        idx = 0
+        for chunk in stream.chunks():
+            u = chunk[:, 0]
+            v = chunk[:, 1]
+            parts = map_chunk(u, v)
+            state.scatter_edges(u, v, parts)
+            assignments[idx : idx + chunk.shape[0]] = parts
+            idx += chunk.shape[0]
+
+    # ------------------------------------------------------------------
+    # Phase 1: streaming clustering
+    # ------------------------------------------------------------------
+    def clustering_init(self, degrees: np.ndarray) -> ClusteringState:
+        return ClusteringState(
+            v2c=np.full(len(degrees), -1, dtype=np.int64),
+            vol=Int64Buffer(),
+            deg=degrees.astype(np.int64, copy=True),
+        )
+
+    def clustering_export(self, st: ClusteringState):
+        # The state may be in array mode or (after a serial-heavy pass
+        # demoted it) in list mode.
+        if isinstance(st.v2c, list):
+            return (
+                np.asarray(st.v2c, dtype=np.int64),
+                np.asarray(st.vol, dtype=np.int64),
+                np.asarray(st.deg, dtype=np.int64),
+            )
+        return st.v2c, st.vol.view().copy(), st.deg
+
+    @staticmethod
+    def _promote_clustering_state(st: ClusteringState) -> None:
+        """List mode -> array mode (start of a vectorized pass)."""
+        if isinstance(st.v2c, list):
+            st.v2c = np.asarray(st.v2c, dtype=np.int64)
+            buf = Int64Buffer(max(len(st.vol), 1))
+            for value in st.vol:
+                buf.append(value)
+            st.vol = buf
+            st.deg = np.asarray(st.deg, dtype=np.int64)
+
+    @staticmethod
+    def _demote_clustering_state(st: ClusteringState) -> None:
+        """Array mode -> list mode (serial-dominated pass)."""
+        if not isinstance(st.v2c, list):
+            st.v2c = st.v2c.tolist()
+            st.vol = st.vol.view().tolist()
+            st.deg = st.deg.tolist()
+
+    def clustering_true_pass(self, stream, st, cap, cost) -> None:
+        """Sub-batched Algorithm-1 pass with adaptive serial fallback.
+
+        Each pass starts in vectorized block mode.  Blocks that provably
+        cannot mutate any state are skipped wholesale (the common case
+        when re-streaming an almost-converged clustering); otherwise the
+        conflict-free share is batched and the rest runs serially.  When
+        the running serial share shows the vectorization is not paying
+        for itself — hub-dominated streams collide on vertices *and*
+        clusters in nearly every block — the pass demotes the state to
+        plain lists and continues with the reference kernel, so the
+        numpy backend never loses to the ``python`` backend by more than
+        the detection overhead of a few leading blocks.
+        """
+        self._promote_clustering_state(st)
+        updates = 0
+        edges = 0
+        window_serial = 0
+        window_seen = 0
+        window_blocks = 0
+        vector_mode = True
+        for chunk in stream.chunks():
+            c = chunk.shape[0]
+            edges += c
+            start = 0
+            if vector_mode:
+                while start < c:
+                    blk = chunk[start : start + STATEFUL_BLOCK]
+                    start += blk.shape[0]
+                    upd, n_serial = self._cluster_block(st, blk, cap)
+                    updates += upd
+                    window_serial += n_serial
+                    window_seen += blk.shape[0]
+                    window_blocks += 1
+                    if window_blocks == _DEMOTE_WINDOW_BLOCKS:
+                        # Rolling decision: if the last few blocks were
+                        # serial-dominated, vectorization is not paying
+                        # for itself — demote mid-chunk and finish the
+                        # pass on the list kernel.  (The first pass over
+                        # a fresh clustering always demotes fast: cluster
+                        # creation is inherently serial.  Re-streaming
+                        # passes re-promote at pass start and typically
+                        # stay vectorized via immutable-block skips.)
+                        if window_serial > 0.4 * window_seen:
+                            self._demote_clustering_state(st)
+                            vector_mode = False
+                            break
+                        window_serial = 0
+                        window_seen = 0
+                        window_blocks = 0
+            if not vector_mode and start < c:
+                updates += self.true_degree_edges(
+                    st.v2c, st.vol, st.deg, chunk[start:].tolist(), cap
+                )
+        if cost is not None:
+            cost.cluster_updates += updates
+            cost.edges_streamed += edges
+
+    def _cluster_block(self, st, blk, cap) -> tuple[int, int]:
+        """One sub-batch of the true-degree clustering pass.
+
+        Returns ``(updates, serial_edge_count)``.  Vectorized classes, in
+        order of application:
+
+        - *Immutable blocks*: if, under pre-block state, no edge would
+          create a cluster or pass the migration checks, then no edge can
+          mutate anything — so runtime state equals pre-block state for
+          every edge and the whole block is one vectorized no-op.
+        - *Frozen no-ops*: an edge whose (pre-block) endpoint cluster
+          volume exceeds the cap can do nothing — an over-cap cluster can
+          neither gain nor lose members (both migration checks require
+          volumes within the cap), so its members are pinned for the rest
+          of the pass.  Needs no uniqueness condition because the outcome
+          is state-independent.
+        - *Same-cluster no-ops* with block-unique vertices.
+        - *Batched migrations*: block-unique vertices and block-private
+          clusters (counted over the edges that could actually mutate).
+        - Everything else: the serial reference kernel, in stream order.
+        """
+        v2c, vol, deg = st.v2c, st.vol, st.deg
+        u = blk[:, 0]
+        v = blk[:, 1]
+        cu = v2c[u]
+        cv = v2c[v]
+        assigned = (cu >= 0) & (cv >= 0)
+        vols = vol.view()
+        if bool(assigned.all()) and len(vol):
+            differs = cu != cv
+            if not differs.any():
+                return 0, 0
+            vol_u = vols[cu]
+            vol_v = vols[cv]
+            du = deg[u]
+            dv = deg[v]
+            ds = np.where((vol_u - du) <= (vol_v - dv), du, dv)
+            target = np.where((vol_u - du) <= (vol_v - dv), vol_v, vol_u)
+            could_migrate = (
+                differs
+                & (vol_u <= cap)
+                & (vol_v <= cap)
+                & (target + ds <= cap)
+            )
+            if not could_migrate.any():
+                return 0, 0  # immutable block: all edges are no-ops
+            frozen = (vol_u > cap) | (vol_v > cap)
+        elif len(vol) and cap != np.inf:
+            frozen = assigned & (
+                (vols[np.maximum(cu, 0)] > cap)
+                | (vols[np.maximum(cv, 0)] > cap)
+            )
+        else:
+            frozen = np.zeros(blk.shape[0], dtype=bool)
+        # Block-unique vertices: batched edges must own their state.
+        uniq, counts = np.unique(blk.ravel(), return_counts=True)
+        occ_u = counts[np.searchsorted(uniq, u)]
+        occ_v = counts[np.searchsorted(uniq, v)]
+        vert_unique = np.where(u == v, occ_u == 2, (occ_u == 1) & (occ_v == 1))
+        skip = frozen | (vert_unique & assigned & (cu == cv))
+        active = ~skip
+        if not active.any():
+            return 0, 0
+        au = u[active]
+        av = v[active]
+        acu = cu[active]
+        acv = cv[active]
+        # Cluster privacy over the active (possibly-mutating) edges only:
+        # guaranteed no-ops can never write, so they cannot leak their
+        # cluster ids into the block's reachable set.
+        act_c = np.concatenate([acu, acv])
+        c_uniq, c_counts = np.unique(act_c, return_counts=True)
+        cc_u = c_counts[np.searchsorted(c_uniq, acu)]
+        cc_v = c_counts[np.searchsorted(c_uniq, acv)]
+        mig = (
+            vert_unique[active]
+            & (acu >= 0)
+            & (acv >= 0)
+            & (acu != acv)
+            & (cc_u == 1)
+            & (cc_v == 1)
+        )
+        updates = 0
+        if mig.any():
+            updates += self._migrate_batch(
+                v2c, vol, deg, au[mig], av[mig], acu[mig], acv[mig], cap
+            )
+        serial = ~mig
+        n_serial = int(serial.sum())
+        if n_serial:
+            # The reference kernel runs unchanged over the array state:
+            # v2c/vol/deg share the same indexable protocol as lists.
+            updates += self.true_degree_edges(
+                v2c, vol, deg,
+                zip(au[serial].tolist(), av[serial].tolist()),
+                cap,
+            )
+        return updates, n_serial
+
+    @staticmethod
+    def _migrate_batch(v2c, vol, deg, u, v, cu, cv, cap) -> int:
+        """Vectorized Algorithm-1 migration over conflict-free edges."""
+        vols = vol.view()
+        vol_u = vols[cu]
+        vol_v = vols[cv]
+        du = deg[u]
+        dv = deg[v]
+        ok = (vol_u <= cap) & (vol_v <= cap)
+        small_u = (vol_u - du) <= (vol_v - dv)
+        vs = np.where(small_u, u, v)
+        cs = np.where(small_u, cu, cv)
+        cl = np.where(small_u, cv, cu)
+        ds = np.where(small_u, du, dv)
+        apply = ok & (vols[cl] + ds <= cap)
+        if not apply.any():
+            return 0
+        # Cluster ids are chunk-private, so the scatters are collision-free.
+        vols[cl[apply]] += ds[apply]
+        vols[cs[apply]] -= ds[apply]
+        v2c[vs[apply]] = cl[apply]
+        return int(apply.sum())
+
+    def clustering_partial_pass(self, stream, st, cap, cost) -> None:
+        """Hollocou ablation pass: on-the-fly degree updates couple every
+        edge, so there is no conflict-free batch to extract — demote to
+        list state and run the reference kernel."""
+        self._demote_clustering_state(st)
+        super().clustering_partial_pass(stream, st, cap, cost)
+
+    # ------------------------------------------------------------------
+    # Phase 2: 2PS-L partitioning passes
+    # ------------------------------------------------------------------
+    def prepartition_pass(self, stream, ctx: TwoPhaseContext) -> int:
+        v2c, c2p = ctx.v2c, ctx.c2p
+        sizes = ctx.state.sizes
+        replicas = ctx.state.replicas
+        capacity = ctx.state.capacity
+        assignments = ctx.assignments
+        k = ctx.k
+        idx = 0
+        n_pre = 0
+        for chunk in stream.chunks():
+            c = chunk.shape[0]
+            if c == 0:
+                continue
+            u = chunk[:, 0]
+            v = chunk[:, 1]
+            cu = v2c[u]
+            cv = v2c[v]
+            p1 = c2p[cu]
+            mask = (cu == cv) | (p1 == c2p[cv])
+            if mask.any():
+                tu = u[mask]
+                tv = v[mask]
+                tp = p1[mask]
+                counts = np.bincount(tp, minlength=k)
+                if int((sizes + counts).max()) <= capacity:
+                    # No edge can hit the cap: pure gather/scatter.
+                    sizes += counts
+                    replicas[tu, tp] = True
+                    replicas[tv, tp] = True
+                    assignments[idx : idx + c][mask] = tp
+                    n_pre += int(tp.shape[0])
+                else:
+                    n_pre += self._prepartition_spill(
+                        ctx, tu, tv, tp, idx + np.flatnonzero(mask)
+                    )
+            idx += c
+        ctx.cost.edges_streamed += stream.n_edges
+        return n_pre
+
+    def _prepartition_spill(self, ctx, tu, tv, tp, positions) -> int:
+        """Cap-aware tail of the pre-partition pass.
+
+        The prefix of edges that provably stays below the hard cap in
+        serial order is still scattered vectorized; from the first edge
+        that can hit the cap onward, the serial reference kernel runs
+        (the hash/least-loaded fallback is order-dependent).
+        """
+        sizes = ctx.state.sizes
+        replicas = ctx.state.replicas
+        capacity = ctx.state.capacity
+        deg = ctx.degrees
+        k, cost, seed = ctx.k, ctx.cost, ctx.hash_seed
+        n = tp.shape[0]
+        # Rank of each edge within its target-partition group, in order.
+        order = np.argsort(tp, kind="stable")
+        sorted_tp = tp[order]
+        boundary = np.empty(n, dtype=bool)
+        boundary[0] = True
+        boundary[1:] = sorted_tp[1:] != sorted_tp[:-1]
+        group_starts = np.maximum.accumulate(
+            np.where(boundary, np.arange(n), 0)
+        )
+        rank = np.empty(n, dtype=np.int64)
+        rank[order] = np.arange(n) - group_starts
+        safe = rank < (capacity - sizes)[tp]
+        j = int(np.flatnonzero(~safe)[0])
+        if j:
+            pp = tp[:j]
+            sizes += np.bincount(pp, minlength=k)
+            replicas[tu[:j], pp] = True
+            replicas[tv[:j], pp] = True
+            ctx.assignments[positions[:j]] = pp
+
+        def least_loaded() -> int:
+            return int(np.argmin(sizes))
+
+        for i in range(j, n):
+            uu = int(tu[i])
+            vv = int(tv[i])
+            p = int(tp[i])
+            if sizes[p] >= capacity:
+                p = self._fallback_partition(
+                    uu, vv, deg, sizes, capacity, k, seed, cost, least_loaded
+                )
+            sizes[p] += 1
+            replicas[uu, p] = True
+            replicas[vv, p] = True
+            ctx.assignments[positions[i]] = p
+        return n
+
+    def remaining_pass_linear(self, stream, ctx: TwoPhaseContext) -> None:
+        v2c, c2p = ctx.v2c, ctx.c2p
+        idx = 0
+        n_scored = 0
+        for chunk in stream.chunks():
+            c = chunk.shape[0]
+            if c == 0:
+                continue
+            u = chunk[:, 0]
+            v = chunk[:, 1]
+            cu = v2c[u]
+            cv = v2c[v]
+            p1 = c2p[cu]
+            p2 = c2p[cv]
+            rem = ~((cu == cv) | (p1 == p2))
+            nrem = int(rem.sum())
+            if nrem:
+                n_scored += 2 * nrem
+                ru = u[rem]
+                rv = v[rem]
+                rp1 = p1[rem]
+                rp2 = p2[rem]
+                positions = idx + np.flatnonzero(rem)
+                # Score components that are frozen in this pass (degrees,
+                # cluster volumes): vectorized once for the whole chunk so
+                # the serial conflict path runs at list speed.
+                r1, r2, term_u, term_v = self._score_terms(
+                    ctx, ru, rv, cu[rem], cv[rem]
+                )
+                for s in range(0, nrem, STATEFUL_BLOCK):
+                    e = s + STATEFUL_BLOCK
+                    self._remaining_block(
+                        ctx,
+                        ru[s:e],
+                        rv[s:e],
+                        rp1[s:e],
+                        rp2[s:e],
+                        positions[s:e],
+                        r1[s:e],
+                        r2[s:e],
+                        term_u[s:e],
+                        term_v[s:e],
+                    )
+            idx += c
+        ctx.cost.score_evaluations += n_scored
+        ctx.cost.edges_streamed += stream.n_edges
+
+    @staticmethod
+    def _score_terms(ctx, ru, rv, rcu, rcv):
+        """The state-independent parts of the two-candidate score."""
+        du = ctx.degrees[ru]
+        dv = ctx.degrees[rv]
+        dsum = (du + dv).astype(np.float64)
+        vol1 = ctx.volumes[rcu]
+        vol2 = ctx.volumes[rcv]
+        vsum = (vol1 + vol2).astype(np.float64)
+        nonzero = vsum > 0
+        with np.errstate(divide="ignore", invalid="ignore"):
+            r1 = np.where(nonzero, vol1 / vsum, 0.0)
+            r2 = np.where(nonzero, vol2 / vsum, 0.0)
+            term_u = 2.0 - du / dsum
+            term_v = 2.0 - dv / dsum
+        return r1, r2, term_u, term_v
+
+    def _remaining_block(
+        self, ctx, ru, rv, rp1, rp2, positions, r1, r2, term_u, term_v
+    ) -> None:
+        """One sub-batch of the scoring pass.
+
+        Edges whose endpoints make their block-first appearance on the
+        edge itself are scored as one array operation (their replica rows
+        cannot have been written by an earlier block edge, and their
+        writes cannot be read by one); the rest runs serially in stream
+        order.  If the hard cap is reachable within the block, the whole
+        block runs serially — cap overflow makes every decision
+        order-dependent through the hash/least-loaded fallback.
+        """
+        sizes = ctx.state.sizes
+        nrem = ru.shape[0]
+        if ctx.state.capacity - int(sizes.max()) < nrem:
+            self._remaining_serial(
+                ctx, ru, rv, rp1, rp2, positions, r1, r2, term_u, term_v,
+                np.arange(nrem),
+            )
+            return
+        ids = np.empty(2 * nrem, dtype=np.int64)
+        ids[0::2] = ru
+        ids[1::2] = rv
+        uniq, first_pos = np.unique(ids, return_index=True)
+        first_edge = first_pos // 2
+        eidx = np.arange(nrem)
+        conflict = (first_edge[np.searchsorted(uniq, ru)] < eidx) | (
+            first_edge[np.searchsorted(uniq, rv)] < eidx
+        )
+        batch = ~conflict
+        if batch.any():
+            replicas = ctx.state.replicas
+            bu = ru[batch]
+            bv = rv[batch]
+            bp1 = rp1[batch]
+            bp2 = rp2[batch]
+            # Same association order as the reference: ratio, +u, +v.
+            s1 = (
+                r1[batch]
+                + replicas[bu, bp1] * term_u[batch]
+                + replicas[bv, bp1] * term_v[batch]
+            )
+            s2 = (
+                r2[batch]
+                + replicas[bu, bp2] * term_u[batch]
+                + replicas[bv, bp2] * term_v[batch]
+            )
+            p = np.where(s1 >= s2, bp1, bp2)
+            sizes += np.bincount(p, minlength=ctx.k)
+            replicas[bu, p] = True
+            replicas[bv, p] = True
+            ctx.assignments[positions[batch]] = p
+        if conflict.any():
+            self._remaining_serial(
+                ctx, ru, rv, rp1, rp2, positions, r1, r2, term_u, term_v,
+                np.flatnonzero(conflict),
+            )
+
+    def _remaining_serial(
+        self, ctx, ru, rv, rp1, rp2, positions, r1, r2, term_u, term_v,
+        indices,
+    ) -> None:
+        """Per-edge reference scoring, in stream order, over the
+        precomputed state-independent score components."""
+        replicas = ctx.state.replicas
+        sizes = ctx.state.sizes
+        capacity = ctx.state.capacity
+        deg = ctx.degrees
+        k, cost, seed = ctx.k, ctx.cost, ctx.hash_seed
+        assignments = ctx.assignments
+        lu = ru.tolist()
+        lv = rv.tolist()
+        lp1 = rp1.tolist()
+        lp2 = rp2.tolist()
+        lr1 = r1.tolist()
+        lr2 = r2.tolist()
+        ltu = term_u.tolist()
+        ltv = term_v.tolist()
+        lpos = positions.tolist()
+
+        def least_loaded() -> int:
+            return int(np.argmin(sizes))
+
+        for i in indices.tolist():
+            u = lu[i]
+            v = lv[i]
+            p1 = lp1[i]
+            p2 = lp2[i]
+            tu = ltu[i]
+            tv = ltv[i]
+            s1 = lr1[i]
+            if replicas[u, p1]:
+                s1 += tu
+            if replicas[v, p1]:
+                s1 += tv
+            s2 = lr2[i]
+            if replicas[u, p2]:
+                s2 += tu
+            if replicas[v, p2]:
+                s2 += tv
+            p = p1 if s1 >= s2 else p2
+            if sizes[p] >= capacity:
+                p = self._fallback_partition(
+                    u, v, deg, sizes, capacity, k, seed, cost, least_loaded
+                )
+            sizes[p] += 1
+            replicas[u, p] = True
+            replicas[v, p] = True
+            assignments[lpos[i]] = p

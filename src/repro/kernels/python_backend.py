@@ -1,0 +1,325 @@
+"""The ``python`` reference backend: per-edge pure-Python kernels.
+
+This backend is the semantic ground truth.  Every pass follows the
+paper's pseudocode edge by edge, with hot-loop state held in plain Python
+lists (scalar indexing on lists is several times faster than on numpy
+arrays).  Vectorized backends are property-tested for bit-exact
+equivalence against it — keep this code boring and obviously correct.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.base import ClusteringState, KernelBackend, TwoPhaseContext
+from repro.partitioning.hashutil import splitmix64
+from repro.partitioning.state import LeastLoadedTracker
+
+
+class PythonBackend(KernelBackend):
+    """Per-edge reference kernels (see module docstring)."""
+
+    name = "python"
+
+    # ------------------------------------------------------------------
+    # stateless passes
+    # ------------------------------------------------------------------
+    def degree_pass(self, stream, n_hint: int | None = None) -> np.ndarray:
+        deg: list[int] = [0] * (int(n_hint) if n_hint else 0)
+        for chunk in stream.chunks():
+            for u, v in chunk.tolist():
+                top = u if u >= v else v
+                if top >= len(deg):
+                    deg.extend([0] * (top + 1 - len(deg)))
+                deg[u] += 1
+                deg[v] += 1
+        return np.asarray(deg, dtype=np.int64)
+
+    def stateless_pass(self, stream, map_chunk, state, assignments) -> None:
+        idx = 0
+        for chunk in stream.chunks():
+            for row in range(chunk.shape[0]):
+                u = chunk[row : row + 1, 0]
+                v = chunk[row : row + 1, 1]
+                parts = map_chunk(u, v)
+                state.scatter_edges(u, v, parts)
+                assignments[idx] = parts[0]
+                idx += 1
+
+    # ------------------------------------------------------------------
+    # Phase 1: streaming clustering
+    # ------------------------------------------------------------------
+    def clustering_init(self, degrees: np.ndarray) -> ClusteringState:
+        return ClusteringState(
+            v2c=[-1] * len(degrees), vol=[], deg=degrees.tolist()
+        )
+
+    def clustering_export(self, st: ClusteringState):
+        return (
+            np.asarray(st.v2c, dtype=np.int64),
+            np.asarray(st.vol, dtype=np.int64),
+            np.asarray(st.deg, dtype=np.int64),
+        )
+
+    @staticmethod
+    def true_degree_edges(v2c, vol, deg, pairs, cap) -> int:
+        """Reference Algorithm-1 body over ``(u, v)`` pairs on list state;
+        returns the number of cluster updates.  Shared with the numpy
+        backend, which falls back to this kernel when a pass turns out to
+        be serial-dominated."""
+        updates = 0
+        for u, v in pairs:
+            cu = v2c[u]
+            if cu < 0:
+                cu = len(vol)
+                v2c[u] = cu
+                vol.append(deg[u])
+                updates += 1
+            cv = v2c[v]
+            if cv < 0:
+                cv = len(vol)
+                v2c[v] = cv
+                vol.append(deg[v])
+                updates += 1
+            if cu == cv:
+                continue
+            vol_u = vol[cu]
+            vol_v = vol[cv]
+            if vol_u <= cap and vol_v <= cap:
+                # v_s: endpoint whose cluster (without it) is smaller.
+                if vol_u - deg[u] <= vol_v - deg[v]:
+                    vs, cs, cl, ds = u, cu, cv, deg[u]
+                else:
+                    vs, cs, cl, ds = v, cv, cu, deg[v]
+                if vol[cl] + ds <= cap:
+                    vol[cl] += ds
+                    vol[cs] -= ds
+                    v2c[vs] = cl
+                    updates += 1
+        return updates
+
+    @staticmethod
+    def partial_degree_edges(v2c, vol, deg, pairs, cap) -> int:
+        """Reference Hollocou body (degrees counted on the fly) over
+        ``(u, v)`` pairs on list state; returns the update count.
+
+        Volumes are maintained incrementally (+1 per endpoint occurrence),
+        so a cluster's volume equals the sum of its members' *partial*
+        degrees observed so far — exactly the quantity Hollocou's
+        algorithm compares.
+        """
+        updates = 0
+        for u, v in pairs:
+            deg[u] += 1
+            deg[v] += 1
+            cu = v2c[u]
+            if cu < 0:
+                cu = len(vol)
+                v2c[u] = cu
+                vol.append(0)
+            cv = v2c[v]
+            if cv < 0:
+                cv = len(vol)
+                v2c[v] = cv
+                vol.append(0)
+            vol[cu] += 1
+            vol[cv] += 1
+            if cu == cv:
+                continue
+            vol_u = vol[cu]
+            vol_v = vol[cv]
+            if vol_u <= cap and vol_v <= cap:
+                if vol_u - deg[u] <= vol_v - deg[v]:
+                    vs, cs, cl, ds = u, cu, cv, deg[u]
+                else:
+                    vs, cs, cl, ds = v, cv, cu, deg[v]
+                if vol[cl] + ds <= cap:
+                    vol[cl] += ds
+                    vol[cs] -= ds
+                    v2c[vs] = cl
+                    updates += 1
+        return updates
+
+    def clustering_true_pass(self, stream, st, cap, cost) -> None:
+        updates = 0
+        edges = 0
+        for chunk in stream.chunks():
+            edges += chunk.shape[0]
+            updates += self.true_degree_edges(
+                st.v2c, st.vol, st.deg, chunk.tolist(), cap
+            )
+        if cost is not None:
+            cost.cluster_updates += updates
+            cost.edges_streamed += edges
+
+    def clustering_partial_pass(self, stream, st, cap, cost) -> None:
+        updates = 0
+        edges = 0
+        for chunk in stream.chunks():
+            edges += chunk.shape[0]
+            updates += self.partial_degree_edges(
+                st.v2c, st.vol, st.deg, chunk.tolist(), cap
+            )
+        if cost is not None:
+            cost.cluster_updates += updates
+            cost.edges_streamed += edges
+
+    # ------------------------------------------------------------------
+    # Phase 2: 2PS-L partitioning passes
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _fallback_partition(
+        u, v, deg, sizes, capacity, k, hash_seed, cost, least_loaded
+    ) -> int:
+        """Hash on the higher-degree endpoint; least-loaded as last resort.
+
+        The single implementation of the order-sensitive fallback chain —
+        every backend's serial path must route through it so the chain
+        can never diverge between backends.  ``least_loaded`` is a
+        zero-argument callable (e.g. ``LeastLoadedTracker.argmin`` or an
+        ``np.argmin`` closure) returning the smallest-index minimum of
+        the live sizes.
+        """
+        hv = u if deg[u] >= deg[v] else v
+        p = int(splitmix64(hv, hash_seed) % np.uint64(k))
+        cost.hash_evaluations += 1
+        if sizes[p] >= capacity:
+            p = least_loaded()
+        return p
+
+    def prepartition_pass(self, stream, ctx: TwoPhaseContext) -> int:
+        v2c = ctx.v2c.tolist()
+        c2p = ctx.c2p.tolist()
+        deg = ctx.degrees.tolist()
+        replicas = ctx.state.replicas
+        capacity = ctx.state.capacity
+        sizes = ctx.state.sizes.tolist()
+        least_loaded = LeastLoadedTracker(sizes).argmin
+        assignments = ctx.assignments
+        k, cost, seed = ctx.k, ctx.cost, ctx.hash_seed
+        idx = 0
+        n_pre = 0
+        for chunk in stream.chunks():
+            for u, v in chunk.tolist():
+                c1 = v2c[u]
+                c2 = v2c[v]
+                p1 = c2p[c1]
+                if c1 == c2 or p1 == c2p[c2]:
+                    p = p1
+                    if sizes[p] >= capacity:
+                        p = self._fallback_partition(
+                            u, v, deg, sizes, capacity, k, seed, cost,
+                            least_loaded,
+                        )
+                    sizes[p] += 1
+                    replicas[u, p] = True
+                    replicas[v, p] = True
+                    assignments[idx] = p
+                    n_pre += 1
+                idx += 1
+        ctx.state.sizes[:] = sizes
+        cost.edges_streamed += stream.n_edges
+        return n_pre
+
+    def remaining_pass_linear(self, stream, ctx: TwoPhaseContext) -> None:
+        v2c = ctx.v2c.tolist()
+        c2p = ctx.c2p.tolist()
+        vol = ctx.volumes.tolist()
+        deg = ctx.degrees.tolist()
+        replicas = ctx.state.replicas
+        capacity = ctx.state.capacity
+        sizes = ctx.state.sizes.tolist()
+        least_loaded = LeastLoadedTracker(sizes).argmin
+        assignments = ctx.assignments
+        k, cost, seed = ctx.k, ctx.cost, ctx.hash_seed
+        idx = 0
+        n_scored = 0
+        for chunk in stream.chunks():
+            for u, v in chunk.tolist():
+                c1 = v2c[u]
+                c2 = v2c[v]
+                p1 = c2p[c1]
+                p2 = c2p[c2]
+                if c1 == c2 or p1 == p2:
+                    idx += 1  # pre-partitioned in the previous pass
+                    continue
+                du = deg[u]
+                dv = deg[v]
+                dsum = du + dv
+                vol1 = vol[c1]
+                vol2 = vol[c2]
+                vsum = vol1 + vol2
+                # Score candidate p1: c1 is mapped to p1 (and c2 is not).
+                s1 = vol1 / vsum if vsum else 0.0
+                if replicas[u, p1]:
+                    s1 += 2.0 - du / dsum
+                if replicas[v, p1]:
+                    s1 += 2.0 - dv / dsum
+                # Score candidate p2 symmetrically.
+                s2 = vol2 / vsum if vsum else 0.0
+                if replicas[u, p2]:
+                    s2 += 2.0 - du / dsum
+                if replicas[v, p2]:
+                    s2 += 2.0 - dv / dsum
+                n_scored += 2
+                p = p1 if s1 >= s2 else p2
+                if sizes[p] >= capacity:
+                    p = self._fallback_partition(
+                        u, v, deg, sizes, capacity, k, seed, cost,
+                        least_loaded,
+                    )
+                sizes[p] += 1
+                replicas[u, p] = True
+                replicas[v, p] = True
+                assignments[idx] = p
+                idx += 1
+        ctx.state.sizes[:] = sizes
+        cost.score_evaluations += n_scored
+        cost.edges_streamed += stream.n_edges
+
+    def remaining_pass_hdrf(self, stream, ctx: TwoPhaseContext) -> None:
+        """2PS-HDRF: full HDRF scoring over all k partitions (Section V-D)."""
+        from repro.core.scoring import HDRF_EPSILON
+
+        v2c = ctx.v2c.tolist()
+        c2p = ctx.c2p.tolist()
+        deg = ctx.degrees.tolist()
+        replicas = ctx.state.replicas
+        capacity = ctx.state.capacity
+        sizes = ctx.state.sizes.tolist()
+        assignments = ctx.assignments
+        k, cost = ctx.k, ctx.cost
+        lam = ctx.hdrf_lambda
+        sizes_np = np.asarray(sizes, dtype=np.float64)
+        idx = 0
+        n_scored = 0
+        for chunk in stream.chunks():
+            for u, v in chunk.tolist():
+                c1 = v2c[u]
+                c2 = v2c[v]
+                if c1 == c2 or c2p[c1] == c2p[c2]:
+                    idx += 1
+                    continue
+                du = deg[u]
+                dv = deg[v]
+                theta_u = du / (du + dv)
+                scores = replicas[u] * (2.0 - theta_u) + replicas[v] * (
+                    1.0 + theta_u
+                )
+                maxs = sizes_np.max()
+                mins = sizes_np.min()
+                scores = scores + lam * (maxs - sizes_np) / (
+                    HDRF_EPSILON + maxs - mins
+                )
+                scores[sizes_np >= capacity] = -np.inf
+                p = int(np.argmax(scores))
+                n_scored += k
+                sizes[p] += 1
+                sizes_np[p] += 1.0
+                replicas[u, p] = True
+                replicas[v, p] = True
+                assignments[idx] = p
+                idx += 1
+        ctx.state.sizes[:] = sizes
+        cost.score_evaluations += n_scored
+        cost.edges_streamed += stream.n_edges

@@ -12,7 +12,17 @@ partitioners lives here:
   phase timings and the machine-neutral operation counts.
 """
 
-from repro.partitioning.state import PartitionState
-from repro.partitioning.base import EdgePartitioner, PartitionResult
+from repro.partitioning.state import LeastLoadedTracker, PartitionState
+from repro.partitioning.base import (
+    EdgePartitioner,
+    PartitionArtifacts,
+    PartitionResult,
+)
 
-__all__ = ["PartitionState", "EdgePartitioner", "PartitionResult"]
+__all__ = [
+    "LeastLoadedTracker",
+    "PartitionState",
+    "EdgePartitioner",
+    "PartitionArtifacts",
+    "PartitionResult",
+]

@@ -21,6 +21,31 @@ from repro.streaming.stream import EdgeStream, as_stream
 
 
 @dataclass
+class PartitionArtifacts:
+    """Typed hand-off of reusable algorithm state.
+
+    Produced by partitioners that can seed downstream consumers (e.g.
+    ``TwoPhasePartitioner(keep_state=True)`` exposes its Phase-1 state so
+    an :class:`~repro.core.incremental.IncrementalPartitioner` can be
+    built without re-running the pipeline).  Unlike ``extras`` — a loose
+    bag of run diagnostics — these fields are part of the public result
+    contract.
+
+    Attributes
+    ----------
+    clustering:
+        The Phase-1 :class:`~repro.core.clustering.ClusteringResult`
+        (vertex-to-cluster map, cluster volumes, degree array).
+    c2p:
+        ``int64`` cluster-to-partition map from the Graham scheduling
+        step.
+    """
+
+    clustering: object | None = None
+    c2p: np.ndarray | None = None
+
+
+@dataclass
 class PartitionResult:
     """Outcome of one partitioning run.
 
@@ -45,6 +70,9 @@ class PartitionResult:
     extras:
         Algorithm-specific diagnostics (e.g. 2PS-L's pre-partitioned edge
         count, number of clusters).
+    artifacts:
+        Typed :class:`PartitionArtifacts` for downstream consumers, or
+        ``None`` when the partitioner did not keep reusable state.
     """
 
     partitioner: str
@@ -58,6 +86,7 @@ class PartitionResult:
     cost: CostCounter
     state_bytes: int = 0
     extras: dict = field(default_factory=dict)
+    artifacts: PartitionArtifacts | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -115,8 +144,18 @@ class EdgePartitioner(ABC):
     #: Human-readable algorithm name; subclasses override.
     name: str = "abstract"
 
+    #: Default stream chunk size for this partitioner's passes; ``None``
+    #: keeps the stream's own default.  Settable on any instance and
+    #: overridable per call via ``partition(..., chunk_size=...)``.
+    chunk_size: int | None = None
+
     def partition(
-        self, source, k: int, alpha: float = 1.05, n_vertices: int | None = None
+        self,
+        source,
+        k: int,
+        alpha: float = 1.05,
+        n_vertices: int | None = None,
+        chunk_size: int | None = None,
     ) -> PartitionResult:
         """Partition an edge source into ``k`` parts.
 
@@ -131,6 +170,14 @@ class EdgePartitioner(ABC):
             Imbalance bound for the hard cap (default 1.05, as in the paper).
         n_vertices:
             Vertex-count override for bare arrays.
+        chunk_size:
+            Edges per stream chunk for every pass of this run.  Defaults
+            to the partitioner's own ``chunk_size`` attribute (when it has
+            one), else the stream's current default.  Scoped to this run:
+            a caller-supplied stream gets its previous default back
+            afterwards.  A chunk size is a pure performance knob: results
+            are identical for any value (enforced by the kernel-backend
+            contract).
 
         Raises
         ------
@@ -138,12 +185,24 @@ class EdgePartitioner(ABC):
             If the subclass produced an invalid assignment (internal bug
             guard) or the inputs are malformed.
         """
+        if chunk_size is None:
+            chunk_size = getattr(self, "chunk_size", None)
         stream = as_stream(source, n_vertices=n_vertices)
+        if chunk_size is not None and chunk_size <= 0:
+            raise PartitioningError(
+                f"chunk_size must be positive, got {chunk_size}"
+            )
         if k < 2:
             raise PartitioningError(f"k must be >= 2, got {k}")
         if stream.n_edges == 0:
             raise PartitioningError("cannot partition an empty edge stream")
-        result = self._run(stream, k, alpha)
+        previous_chunk_size = stream.default_chunk_size
+        try:
+            if chunk_size is not None:
+                stream.default_chunk_size = int(chunk_size)
+            result = self._run(stream, k, alpha)
+        finally:
+            stream.default_chunk_size = previous_chunk_size
         if result.assignments.shape[0] != stream.n_edges:
             raise PartitioningError(
                 f"{self.name}: produced {result.assignments.shape[0]} "

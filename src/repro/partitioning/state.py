@@ -9,11 +9,54 @@ cap") is owned by this class so every partitioner enforces it identically.
 
 from __future__ import annotations
 
+import heapq
 import math
 
 import numpy as np
 
 from repro.errors import BalanceError, PartitioningError
+
+
+class LeastLoadedTracker:
+    """Amortized O(log k) argmin over a monotonically growing sizes vector.
+
+    The streaming passes query the least-loaded partition only on capacity
+    overflows, but naively that query is an O(k) scan per overflow.  This
+    tracker keeps a lazily-refreshed heap of ``(size, partition)`` entries:
+    sizes only ever grow during a pass, so a stale top entry (recorded size
+    below the live one) can never hide the true minimum — it is refreshed
+    in place and the pop retried.  Each assignment stales at most one
+    entry, so the total refresh work is O(assignments + queries) heap
+    operations.
+
+    Ties break toward the smallest partition index, matching a
+    ``min(range(k), key=sizes.__getitem__)`` scan bit for bit.
+
+    Parameters
+    ----------
+    sizes:
+        Live, indexable per-partition edge counts (list or ndarray).  The
+        caller keeps mutating it; entries must be non-decreasing for the
+        lifetime of the tracker.
+    """
+
+    __slots__ = ("_sizes", "_heap")
+
+    def __init__(self, sizes) -> None:
+        self._sizes = sizes
+        self._heap = [(int(s), p) for p, s in enumerate(sizes)]
+        heapq.heapify(self._heap)
+
+    def argmin(self) -> int:
+        """Index of the smallest current size (smallest index on ties)."""
+        heap = self._heap
+        sizes = self._sizes
+        while True:
+            recorded, p = heap[0]
+            current = int(sizes[p])
+            if recorded == current:
+                return p
+            heapq.heapreplace(heap, (current, p))
 
 
 class PartitionState:
@@ -72,6 +115,21 @@ class PartitionState:
         self.sizes[p] += 1
         self.replicas[u, p] = True
         self.replicas[v, p] = True
+
+    def scatter_edges(self, us, vs, ps) -> None:
+        """Batch-record assigned edges: replica bits plus size counts.
+
+        Vectorized counterpart of :meth:`assign` for whole stream chunks;
+        duplicate (vertex, partition) pairs collapse naturally because the
+        replica matrix is boolean.  The hard cap is *not* enforced here —
+        callers either pre-check capacity per chunk (2PS-L kernels) or do
+        not enforce balance at all (stateless baselines, which report the
+        measured alpha instead).
+        """
+        ps = np.asarray(ps)
+        self.replicas[us, ps] = True
+        self.replicas[vs, ps] = True
+        self.sizes += np.bincount(ps, minlength=self.k)
 
     def is_full(self, p: int) -> bool:
         """Whether partition ``p`` reached the hard cap."""

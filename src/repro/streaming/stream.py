@@ -35,10 +35,27 @@ DEFAULT_CHUNK_SIZE = 65_536
 
 
 class EdgeStream(ABC):
-    """Protocol for a re-iterable out-of-core edge stream."""
+    """Protocol for a re-iterable out-of-core edge stream.
+
+    Every stream carries a mutable :attr:`default_chunk_size` so callers
+    that own the stream (e.g. ``EdgePartitioner.partition(...,
+    chunk_size=...)``) can tune the chunk granularity of *every* pass
+    without threading a parameter through each ``chunks()`` call site.
+    """
 
     def __init__(self) -> None:
         self.stats = IOStats()
+        #: Chunk size used when ``chunks()`` is called without an explicit
+        #: override; per-run tunable (see class docstring).
+        self.default_chunk_size = DEFAULT_CHUNK_SIZE
+
+    def _resolve_chunk_size(self, chunk_size: int | None) -> int:
+        resolved = (
+            self.default_chunk_size if chunk_size is None else chunk_size
+        )
+        if resolved <= 0:
+            raise StreamError(f"chunk_size must be positive, got {resolved}")
+        return int(resolved)
 
     # ------------------------------------------------------------------
     @property
@@ -52,8 +69,11 @@ class EdgeStream(ABC):
         """Vertex count if known, else ``None`` (derive with a degree pass)."""
 
     @abstractmethod
-    def chunks(self, chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[np.ndarray]:
-        """Yield ``(c, 2)`` int64 chunks covering one full pass, in order."""
+    def chunks(self, chunk_size: int | None = None) -> Iterator[np.ndarray]:
+        """Yield ``(c, 2)`` int64 chunks covering one full pass, in order.
+
+        ``chunk_size=None`` (the default) uses :attr:`default_chunk_size`.
+        """
 
     # ------------------------------------------------------------------
     def edges(self) -> Iterator[tuple[int, int]]:
@@ -109,9 +129,8 @@ class InMemoryEdgeStream(EdgeStream):
     def n_vertices(self) -> int | None:
         return self._n
 
-    def chunks(self, chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[np.ndarray]:
-        if chunk_size <= 0:
-            raise StreamError(f"chunk_size must be positive, got {chunk_size}")
+    def chunks(self, chunk_size: int | None = None) -> Iterator[np.ndarray]:
+        chunk_size = self._resolve_chunk_size(chunk_size)
         m = self.n_edges
         for start in range(0, m, chunk_size):
             chunk = self._edges[start : start + chunk_size]
@@ -166,9 +185,8 @@ class FileEdgeStream(EdgeStream):
     def n_vertices(self) -> int | None:
         return self._n
 
-    def chunks(self, chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[np.ndarray]:
-        if chunk_size <= 0:
-            raise StreamError(f"chunk_size must be positive, got {chunk_size}")
+    def chunks(self, chunk_size: int | None = None) -> Iterator[np.ndarray]:
+        chunk_size = self._resolve_chunk_size(chunk_size)
         bytes_per_chunk = chunk_size * BYTES_PER_EDGE
         with open(self._path, "rb") as fh:
             while True:
@@ -187,8 +205,21 @@ class FileEdgeStream(EdgeStream):
         self.stats.record_pass()
 
 
-def as_stream(source, n_vertices: int | None = None) -> EdgeStream:
-    """Coerce a Graph / array / existing stream into an :class:`EdgeStream`."""
+def as_stream(
+    source, n_vertices: int | None = None, chunk_size: int | None = None
+) -> EdgeStream:
+    """Coerce a Graph / array / existing stream into an :class:`EdgeStream`.
+
+    ``chunk_size``, when given, becomes the stream's
+    :attr:`~EdgeStream.default_chunk_size` (also on an already-constructed
+    stream passed as ``source``).
+    """
     if isinstance(source, EdgeStream):
-        return source
-    return InMemoryEdgeStream(source, n_vertices=n_vertices)
+        stream = source
+    else:
+        stream = InMemoryEdgeStream(source, n_vertices=n_vertices)
+    if chunk_size is not None:
+        if chunk_size <= 0:
+            raise StreamError(f"chunk_size must be positive, got {chunk_size}")
+        stream.default_chunk_size = int(chunk_size)
+    return stream

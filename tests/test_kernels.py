@@ -1,0 +1,327 @@
+"""Kernel-backend contract tests (see :mod:`repro.kernels`).
+
+The contract: every backend is bit-exact with the ``python`` reference
+backend for any stream, chunk size, k and alpha — identical per-edge
+assignments, replication state, balance, cluster ids and cost counters.
+Chunk size must be a pure performance knob.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import DBH, Grid, RandomHash
+from repro.core import IncrementalPartitioner, TwoPhasePartitioner
+from repro.core.clustering import StreamingClustering
+from repro.errors import ConfigurationError, PartitioningError
+from repro.graph import Graph
+from repro.graph.degrees import compute_degrees_from_stream
+from repro.kernels import (
+    DEFAULT_BACKEND,
+    KernelBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from repro.kernels.base import Int64Buffer
+from repro.partitioning import LeastLoadedTracker, PartitionArtifacts
+from repro.partitioning.state import PartitionState
+from repro.streaming import DEFAULT_CHUNK_SIZE, InMemoryEdgeStream
+
+#: Every non-reference backend is pinned to the reference here.
+VECTOR_BACKENDS = [n for n in available_backends() if n != "python"]
+
+SLOW = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: Degenerate and odd chunk sizes, including 1 and larger than any edge
+#: count the graph strategy can produce.
+CHUNK_SIZES = st.sampled_from([1, 2, 7, 64, 500])
+
+
+@st.composite
+def graphs(draw, max_vertices=60, max_edges=300):
+    """Random non-empty multigraphs (self-loops and duplicates allowed)."""
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    m = draw(st.integers(min_value=1, max_value=max_edges))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    edges = rng.integers(0, n, size=(m, 2))
+    return Graph(edges, n)
+
+
+def assert_results_identical(reference, other):
+    """Bit-exact equality of two partitioning results."""
+    np.testing.assert_array_equal(reference.assignments, other.assignments)
+    np.testing.assert_array_equal(reference.state.sizes, other.state.sizes)
+    np.testing.assert_array_equal(
+        reference.state.replicas, other.state.replicas
+    )
+    assert reference.replication_factor == other.replication_factor
+    assert reference.measured_alpha == other.measured_alpha
+    assert reference.cost == other.cost
+
+
+@pytest.mark.parametrize("backend", VECTOR_BACKENDS)
+class TestBackendEquivalence:
+    @SLOW
+    @given(
+        graph=graphs(),
+        k=st.integers(min_value=2, max_value=12),
+        alpha=st.sampled_from([1.0, 1.01, 1.05, 1.5]),
+        chunk_size=CHUNK_SIZES,
+    )
+    def test_2psl_bit_exact(self, backend, graph, k, alpha, chunk_size):
+        ref = TwoPhasePartitioner(backend="python").partition(
+            graph, k, alpha=alpha, chunk_size=chunk_size
+        )
+        out = TwoPhasePartitioner(backend=backend).partition(
+            graph, k, alpha=alpha, chunk_size=chunk_size
+        )
+        assert_results_identical(ref, out)
+        assert ref.extras["prepartitioned_edges"] == (
+            out.extras["prepartitioned_edges"]
+        )
+
+    @SLOW
+    @given(
+        graph=graphs(max_edges=150),
+        k=st.integers(min_value=2, max_value=8),
+        chunk_size=CHUNK_SIZES,
+        passes=st.integers(min_value=1, max_value=3),
+    )
+    def test_2psl_restreaming_bit_exact(
+        self, backend, graph, k, chunk_size, passes
+    ):
+        ref = TwoPhasePartitioner(
+            backend="python", clustering_passes=passes
+        ).partition(graph, k, chunk_size=chunk_size)
+        out = TwoPhasePartitioner(
+            backend=backend, clustering_passes=passes
+        ).partition(graph, k, chunk_size=chunk_size)
+        assert_results_identical(ref, out)
+
+    @SLOW
+    @given(
+        graph=graphs(max_edges=120),
+        k=st.integers(min_value=2, max_value=8),
+        chunk_size=CHUNK_SIZES,
+    )
+    def test_2pshdrf_bit_exact(self, backend, graph, k, chunk_size):
+        ref = TwoPhasePartitioner(backend="python", mode="hdrf").partition(
+            graph, k, chunk_size=chunk_size
+        )
+        out = TwoPhasePartitioner(backend=backend, mode="hdrf").partition(
+            graph, k, chunk_size=chunk_size
+        )
+        assert_results_identical(ref, out)
+
+    @SLOW
+    @given(
+        graph=graphs(),
+        chunk_size=CHUNK_SIZES,
+        use_true=st.booleans(),
+        passes=st.integers(min_value=1, max_value=3),
+    )
+    def test_clustering_bit_exact(
+        self, backend, graph, chunk_size, use_true, passes
+    ):
+        results = {}
+        for name in ("python", backend):
+            stream = InMemoryEdgeStream(graph)
+            stream.default_chunk_size = chunk_size
+            degrees = (
+                compute_degrees_from_stream(stream, backend=name)
+                if use_true
+                else None
+            )
+            results[name] = StreamingClustering(
+                n_passes=passes,
+                volume_cap=graph.n_edges / 2 + 1,
+                use_true_degrees=use_true,
+                backend=name,
+            ).run(stream, degrees=degrees, n_vertices=graph.n_vertices)
+        ref, out = results["python"], results[backend]
+        np.testing.assert_array_equal(ref.v2c, out.v2c)
+        np.testing.assert_array_equal(ref.volumes, out.volumes)
+        np.testing.assert_array_equal(ref.degrees, out.degrees)
+
+    @SLOW
+    @given(graph=graphs(), chunk_size=CHUNK_SIZES)
+    def test_degree_pass_bit_exact(self, backend, graph, chunk_size):
+        stream = InMemoryEdgeStream(graph)
+        stream.default_chunk_size = chunk_size
+        ref = compute_degrees_from_stream(stream, backend="python")
+        out = compute_degrees_from_stream(stream, backend=backend)
+        np.testing.assert_array_equal(ref, out)
+
+    @SLOW
+    @given(
+        graph=graphs(),
+        k=st.integers(min_value=2, max_value=12),
+        chunk_size=CHUNK_SIZES,
+        algo=st.sampled_from([DBH, Grid, RandomHash]),
+    )
+    def test_stateless_bit_exact(self, backend, graph, k, chunk_size, algo):
+        ref = algo(backend="python").partition(
+            graph, k, chunk_size=chunk_size
+        )
+        out = algo(backend=backend).partition(graph, k, chunk_size=chunk_size)
+        assert_results_identical(ref, out)
+
+
+class TestChunkSizeIsPerfKnobOnly:
+    @SLOW
+    @given(
+        graph=graphs(max_edges=150),
+        k=st.integers(min_value=2, max_value=8),
+        chunk_size=CHUNK_SIZES,
+    )
+    def test_chunk_size_never_changes_output(self, graph, k, chunk_size):
+        base = TwoPhasePartitioner().partition(graph, k)
+        out = TwoPhasePartitioner(chunk_size=chunk_size).partition(graph, k)
+        assert_results_identical(base, out)
+
+    @staticmethod
+    def _spy_on_chunks(stream, observed):
+        original = stream.chunks
+
+        def spy(chunk_size=None):
+            for chunk in original(chunk_size):
+                observed.append(chunk.shape[0])
+                yield chunk
+
+        stream.chunks = spy
+
+    def test_chunk_size_plumbs_to_every_pass(self, community_graph):
+        stream = InMemoryEdgeStream(community_graph)
+        observed = []
+        self._spy_on_chunks(stream, observed)
+        TwoPhasePartitioner().partition(stream, 4, chunk_size=123)
+        assert observed and max(observed) <= 123
+        # Scoped to the run: the caller's stream default is restored.
+        assert stream.default_chunk_size == DEFAULT_CHUNK_SIZE
+
+    def test_constructor_chunk_size_used(self, community_graph):
+        stream = InMemoryEdgeStream(community_graph)
+        observed = []
+        self._spy_on_chunks(stream, observed)
+        TwoPhasePartitioner(chunk_size=77).partition(stream, 4)
+        assert observed and max(observed) <= 77
+        assert stream.default_chunk_size == DEFAULT_CHUNK_SIZE
+
+    def test_invalid_chunk_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TwoPhasePartitioner(chunk_size=0)
+
+
+class TestRegistry:
+    def test_default_backend_is_numpy(self):
+        assert DEFAULT_BACKEND == "numpy"
+        assert get_backend().name == "numpy"
+
+    def test_reference_backend_listed_first(self):
+        assert available_backends()[0] == "python"
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_backend("cuda")
+        with pytest.raises(ConfigurationError):
+            TwoPhasePartitioner(backend="cuda")
+
+    def test_register_requires_kernel_backend(self):
+        with pytest.raises(ConfigurationError):
+            register_backend("bogus", dict)
+
+    def test_backend_recorded_in_extras(self, community_graph):
+        result = TwoPhasePartitioner().partition(community_graph, 4)
+        assert result.extras["backend"] == DEFAULT_BACKEND
+
+    def test_backends_are_kernel_instances(self):
+        for name in available_backends():
+            assert isinstance(get_backend(name), KernelBackend)
+
+
+class TestArtifacts:
+    def test_keep_state_exposes_typed_artifacts(self, community_graph):
+        result = TwoPhasePartitioner(keep_state=True).partition(
+            community_graph, 4
+        )
+        assert isinstance(result.artifacts, PartitionArtifacts)
+        assert result.artifacts.clustering is not None
+        assert result.artifacts.c2p is not None
+        assert "_clustering" not in result.extras
+        assert "_c2p" not in result.extras
+
+    def test_no_artifacts_by_default(self, community_graph):
+        result = TwoPhasePartitioner().partition(community_graph, 4)
+        assert result.artifacts is None
+        with pytest.raises(PartitioningError):
+            IncrementalPartitioner.from_result(result)
+
+    def test_incremental_builds_from_artifacts(self, community_graph):
+        result = TwoPhasePartitioner(keep_state=True).partition(
+            community_graph, 4
+        )
+        inc = IncrementalPartitioner.from_result(result)
+        assert inc.replication_factor() == pytest.approx(
+            result.replication_factor
+        )
+
+
+class TestLeastLoadedTracker:
+    @SLOW
+    @given(
+        k=st.integers(min_value=1, max_value=24),
+        increments=st.lists(
+            st.integers(min_value=0, max_value=23), max_size=200
+        ),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_matches_linear_scan_under_growth(self, k, increments, seed):
+        rng = np.random.default_rng(seed)
+        sizes = [0] * k
+        tracker = LeastLoadedTracker(sizes)
+        for p in increments:
+            sizes[p % k] += int(rng.integers(1, 4))
+            expected = min(range(k), key=sizes.__getitem__)
+            assert tracker.argmin() == expected
+
+    def test_works_on_numpy_sizes(self):
+        sizes = np.array([5, 3, 3, 9], dtype=np.int64)
+        tracker = LeastLoadedTracker(sizes)
+        assert tracker.argmin() == 1
+        sizes[1] += 10
+        assert tracker.argmin() == 2
+
+
+class TestStateBatchApis:
+    def test_scatter_edges_matches_serial_assign(self):
+        rng = np.random.default_rng(3)
+        n, k, m = 40, 5, 200
+        us = rng.integers(0, n, m)
+        vs = rng.integers(0, n, m)
+        ps = rng.integers(0, k, m).astype(np.int32)
+        batch = PartitionState(n, k, m, alpha=64.0)
+        batch.scatter_edges(us, vs, ps)
+        serial = PartitionState(n, k, m, alpha=64.0)
+        for u, v, p in zip(us.tolist(), vs.tolist(), ps.tolist()):
+            serial.assign(u, v, p)
+        np.testing.assert_array_equal(batch.sizes, serial.sizes)
+        np.testing.assert_array_equal(batch.replicas, serial.replicas)
+
+    def test_int64_buffer_grows(self):
+        buf = Int64Buffer(initial_capacity=2)
+        for i in range(100):
+            buf.append(i * 3)
+        assert len(buf) == 100
+        assert buf[99] == 297
+        np.testing.assert_array_equal(
+            buf.view(), np.arange(100, dtype=np.int64) * 3
+        )
+        buf[0] = -7
+        assert buf.view()[0] == -7
