@@ -1,20 +1,34 @@
 """Kernel-backend throughput benchmark -> BENCH_kernels.json.
 
-Runs the full 2PS-L pipeline with every registered kernel backend on a
+Runs three kernel-routed pipelines with every registered backend on a
 synthetic R-MAT graph (Graph500 generator, >= 1M edges at the default
 scale), verifies the backends produce bit-identical partitionings, and
 records per-phase wall times and edges/sec so the perf trajectory of the
-kernel layer is tracked from PR to PR.
+kernel layer is tracked from PR to PR:
+
+- ``2psl``     — sequential 2PS-L (``TwoPhasePartitioner``)
+- ``2pshdrf``  — sequential 2PS-HDRF (``mode="hdrf"``)
+- ``parallel`` — sharded ``ParallelTwoPhase`` (kernel-dispatched windows)
 
 Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py [--scale 16] [--k 32] \
-        [--out BENCH_kernels.json]
+        [--out BENCH_kernels.json] [--smoke]
 
-The acceptance gate of the kernel-layer PR: the default ``numpy`` backend
-must reach >= 5x edges/sec over the ``python`` reference backend on the
-degree and pre-partition passes (``speedup_vs_python.degree`` /
-``.prepartition`` in the output, summarized in ``meets_5x_target``).
+Exit status is non-zero unless every gate passes:
+
+- speedup gates (default ``numpy`` backend vs the ``python`` reference):
+  ``2psl`` degree and prepartition passes >= 5x, and the 2PS-HDRF
+  remaining pass (``partitioning`` phase) >= 5x — the acceptance gate of
+  the blocked HDRF kernel;
+- correctness gates: all backends bit-identical per pipeline, and
+  ``ParallelTwoPhase(n_workers=1)`` bit-exact with sequential 2PS-L
+  (assignments, replicas, sizes, cost counters) — the differential
+  contract of the kernel-routed parallel path.
+
+``--smoke`` runs the same gates at a reduced scale (65k edges) with
+proportionally relaxed speedup thresholds, so CI can check the kernel
+layer in seconds without the full 1M-edge run.
 """
 
 from __future__ import annotations
@@ -26,25 +40,33 @@ import time
 
 import numpy as np
 
-from repro.core import TwoPhasePartitioner
+from repro.core import ParallelTwoPhase, TwoPhasePartitioner
 from repro.graph.generators import rmat_graph
 from repro.kernels import DEFAULT_BACKEND, available_backends
 from repro.streaming import InMemoryEdgeStream
 
-#: Phases whose vectorization this PR is gated on.
-GATED_PHASES = ("degree", "prepartition")
+#: Speedup gates per pipeline: {config: {phase: threshold}}.  The smoke
+#: thresholds are lower because vectorization amortizes less at 65k edges.
+FULL_GATES = {
+    "2psl": {"degree": 5.0, "prepartition": 5.0},
+    "2pshdrf": {"partitioning": 5.0},
+}
+SMOKE_GATES = {
+    "2psl": {"degree": 3.0, "prepartition": 3.0},
+    "2pshdrf": {"partitioning": 2.0},
+}
+
+SMOKE_SCALE = 12
 
 
-def run_backend(
-    stream, backend: str, k: int, alpha: float, repeats: int
-) -> dict:
+def run_config(partitioner_factory, stream, k, alpha, repeats) -> dict:
     """Best of ``repeats`` full pipeline runs (wall-clock noise on shared
     machines easily exceeds the phase deltas being measured); returns the
     fastest run's timings plus its result for the cross-backend equality
     check."""
     best = None
     for _ in range(repeats):
-        partitioner = TwoPhasePartitioner(backend=backend)
+        partitioner = partitioner_factory()
         start = time.perf_counter()
         result = partitioner.partition(stream, k, alpha=alpha)
         elapsed = time.perf_counter() - start
@@ -52,24 +74,33 @@ def run_backend(
             best = (elapsed, result)
     total, result = best
     m = result.n_edges
-    phase_seconds = {
-        name: round(seconds, 6) for name, seconds in result.timer.totals.items()
-    }
-    edges_per_s = {
-        name: round(m / seconds) if seconds > 0 else None
-        for name, seconds in result.timer.totals.items()
-    }
     return {
         "result": result,
         "row": {
             "total_seconds": round(total, 4),
             "total_edges_per_s": round(m / total),
-            "phase_seconds": phase_seconds,
-            "phase_edges_per_s": edges_per_s,
+            "phase_seconds": {
+                name: round(seconds, 6)
+                for name, seconds in result.timer.totals.items()
+            },
+            "phase_edges_per_s": {
+                name: round(m / seconds) if seconds > 0 else None
+                for name, seconds in result.timer.totals.items()
+            },
             "replication_factor": round(result.replication_factor, 4),
             "measured_alpha": round(result.measured_alpha, 4),
         },
     }
+
+
+def assert_bit_exact(reference, other, label: str) -> None:
+    if not (
+        np.array_equal(reference.assignments, other.assignments)
+        and np.array_equal(reference.state.replicas, other.state.replicas)
+        and np.array_equal(reference.state.sizes, other.state.sizes)
+        and reference.cost == other.cost
+    ):
+        raise SystemExit(f"equality gate failed: {label}")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -86,63 +117,133 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--repeats", type=int, default=3, help="runs per backend (best kept)"
     )
-    parser.add_argument("--out", default="BENCH_kernels.json")
+    parser.add_argument("--n-workers", type=int, default=4)
+    parser.add_argument("--sync-interval", type=int, default=65536)
+    parser.add_argument("--out", default=None)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=f"small-scale gate check (scale {SMOKE_SCALE}, 1 repeat, "
+        "relaxed speedup thresholds)",
+    )
     args = parser.parse_args(argv)
 
-    graph = rmat_graph(args.scale, edge_factor=args.edge_factor, seed=args.seed)
+    if args.smoke:
+        scale = min(args.scale, SMOKE_SCALE)
+        repeats = 1
+        gates = SMOKE_GATES
+        out = args.out or "BENCH_kernels_smoke.json"
+    else:
+        scale = args.scale
+        repeats = args.repeats
+        gates = FULL_GATES
+        out = args.out or "BENCH_kernels.json"
+
+    graph = rmat_graph(scale, edge_factor=args.edge_factor, seed=args.seed)
     stream = InMemoryEdgeStream(graph)
     print(
-        f"R-MAT scale {args.scale}: |V|={graph.n_vertices:,} "
+        f"R-MAT scale {scale}: |V|={graph.n_vertices:,} "
         f"|E|={graph.n_edges:,}, k={args.k}, alpha={args.alpha}"
+        + (" [smoke]" if args.smoke else "")
     )
 
-    runs = {}
-    for backend in available_backends():
-        runs[backend] = run_backend(
-            stream, backend, args.k, args.alpha, args.repeats
-        )
-        row = runs[backend]["row"]
-        print(
-            f"  {backend:>8}: {row['total_seconds']:.2f}s total "
-            f"({row['total_edges_per_s']:,} edges/s), phases: "
-            + ", ".join(
-                f"{k}={v:.3f}s" for k, v in row["phase_seconds"].items()
-            )
-        )
+    configs = {
+        "2psl": lambda backend: TwoPhasePartitioner(backend=backend),
+        "2pshdrf": lambda backend: TwoPhasePartitioner(
+            mode="hdrf", backend=backend
+        ),
+        "parallel": lambda backend: ParallelTwoPhase(
+            n_workers=args.n_workers,
+            sync_interval=args.sync_interval,
+            backend=backend,
+        ),
+    }
 
-    reference = runs["python"]["result"]
-    for backend, run in runs.items():
-        if not np.array_equal(run["result"].assignments, reference.assignments):
-            raise SystemExit(
-                f"backend {backend!r} diverged from the reference assignment"
+    payload_configs = {}
+    results = {}
+    for name, factory in configs.items():
+        runs = {}
+        for backend in available_backends():
+            runs[backend] = run_config(
+                lambda backend=backend: factory(backend),
+                stream,
+                args.k,
+                args.alpha,
+                repeats,
             )
-    print("  all backends produced bit-identical assignments")
-
-    speedups = {}
-    ref_phases = runs["python"]["row"]["phase_seconds"]
-    for backend in available_backends():
-        if backend == "python":
-            continue
-        rows = runs[backend]["row"]["phase_seconds"]
-        speedups[backend] = {
-            name: round(ref_phases[name] / rows[name], 2)
-            if rows[name] > 0
-            else None
-            for name in ref_phases
+            row = runs[backend]["row"]
+            print(
+                f"  {name:>9}/{backend:<7}: {row['total_seconds']:.2f}s total "
+                f"({row['total_edges_per_s']:,} edges/s), phases: "
+                + ", ".join(
+                    f"{k}={v:.3f}s" for k, v in row["phase_seconds"].items()
+                )
+            )
+        # Cross-backend equality: the kernel contract, enforced per run.
+        reference = runs["python"]["result"]
+        for backend, run in runs.items():
+            assert_bit_exact(
+                reference, run["result"], f"{name}: backend {backend!r}"
+            )
+        ref_phases = runs["python"]["row"]["phase_seconds"]
+        speedups = {}
+        for backend in available_backends():
+            if backend == "python":
+                continue
+            rows = runs[backend]["row"]["phase_seconds"]
+            speedups[backend] = {
+                phase: round(ref_phases[phase] / rows[phase], 2)
+                if rows[phase] > 0
+                else None
+                for phase in ref_phases
+            }
+            speedups[backend]["total"] = round(
+                runs["python"]["row"]["total_seconds"]
+                / runs[backend]["row"]["total_seconds"],
+                2,
+            )
+        results[name] = runs
+        payload_configs[name] = {
+            "backends": {b: run["row"] for b, run in runs.items()},
+            "speedup_vs_python": speedups,
         }
-        speedups[backend]["total"] = round(
-            runs["python"]["row"]["total_seconds"]
-            / runs[backend]["row"]["total_seconds"],
-            2,
-        )
+    print("  all pipelines produced bit-identical results across backends")
 
-    gate = speedups.get(DEFAULT_BACKEND, {})
-    meets = all((gate.get(p) or 0) >= 5.0 for p in GATED_PHASES)
+    # Differential gate: the kernel-routed parallel path with one worker
+    # must be bit-exact with the sequential pipeline (any sync interval).
+    single = ParallelTwoPhase(
+        n_workers=1,
+        sync_interval=args.sync_interval,
+        backend=DEFAULT_BACKEND,
+    ).partition(stream, args.k, alpha=args.alpha)
+    assert_bit_exact(
+        results["2psl"][DEFAULT_BACKEND]["result"],
+        single,
+        "ParallelTwoPhase(n_workers=1) vs sequential 2PS-L",
+    )
+    print("  parallel(n_workers=1) is bit-exact with sequential 2PS-L")
+
+    gate_rows = {}
+    meets = True
+    for name, phases in gates.items():
+        config_speedups = payload_configs[name]["speedup_vs_python"].get(
+            DEFAULT_BACKEND, {}
+        )
+        for phase, threshold in phases.items():
+            speedup = config_speedups.get(phase) or 0.0
+            passed = speedup >= threshold
+            meets = meets and passed
+            gate_rows[f"{name}.{phase}"] = {
+                "threshold": threshold,
+                "speedup": speedup,
+                "pass": passed,
+            }
+
     payload = {
-        "benchmark": "kernel-backend throughput (2PS-L full pipeline)",
+        "benchmark": "kernel-backend throughput (2PS-L / 2PS-HDRF / parallel)",
         "graph": {
             "generator": "rmat",
-            "scale": args.scale,
+            "scale": scale,
             "edge_factor": args.edge_factor,
             "seed": args.seed,
             "n_vertices": graph.n_vertices,
@@ -150,21 +251,24 @@ def main(argv: list[str] | None = None) -> int:
         },
         "k": args.k,
         "alpha": args.alpha,
-        "repeats": args.repeats,
+        "repeats": repeats,
+        "smoke": args.smoke,
+        "n_workers": args.n_workers,
+        "sync_interval": args.sync_interval,
         "python_version": platform.python_version(),
         "numpy_version": np.__version__,
         "default_backend": DEFAULT_BACKEND,
-        "backends": {name: run["row"] for name, run in runs.items()},
-        "speedup_vs_python": speedups,
-        "gated_phases": list(GATED_PHASES),
-        "meets_5x_target": meets,
+        "configs": payload_configs,
+        "gates": gate_rows,
         "identical_assignments": True,
+        "parallel_matches_sequential": True,
+        "meets_gates": meets,
     }
-    with open(args.out, "w") as fh:
+    with open(out, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=False)
         fh.write("\n")
-    print(f"  speedups vs python: {json.dumps(speedups)}")
-    print(f"  wrote {args.out} (meets_5x_target={meets})")
+    print(f"  gates: {json.dumps(gate_rows)}")
+    print(f"  wrote {out} (meets_gates={meets})")
     return 0 if meets else 1
 
 

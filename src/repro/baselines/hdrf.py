@@ -13,9 +13,13 @@ Faithful details:
 - the hard balance cap is enforced by masking full partitions before the
   argmax (capacity bound alpha * |E| / k).
 
-The score vector per edge is computed with numpy over all k partitions —
-one simulated "score evaluation" per partition per edge is charged to the
-cost counter, preserving the O(|E| * k) operation count.
+The per-edge decision routes through the kernel layer's scoring twin
+(:meth:`repro.kernels.python_backend.PythonBackend.hdrf_choose`) — the
+single implementation of the HDRF argmax shared with the 2PS-HDRF
+remaining pass, so the score arithmetic can never diverge between the
+baseline and the two-phase variant.  One simulated "score evaluation" per
+partition per edge is charged to the cost counter, preserving the
+O(|E| * k) operation count.
 """
 
 from __future__ import annotations
@@ -23,6 +27,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.scoring import HDRF_EPSILON
+from repro.kernels.python_backend import PythonBackend
 from repro.metrics.memory import measured_state_bytes
 from repro.metrics.runtime import CostCounter, PhaseTimer
 from repro.partitioning.base import EdgePartitioner, PartitionResult
@@ -56,6 +61,7 @@ class HDRF(EdgePartitioner):
         capacity = state.capacity
         lam = self.lam
 
+        choose = PythonBackend.hdrf_choose
         with timer.phase("partitioning"):
             idx = 0
             for chunk in stream.chunks():
@@ -66,16 +72,10 @@ class HDRF(EdgePartitioner):
                     dv = partial_deg[v]
                     theta_u = du / (du + dv)
                     # C_REP + lambda * C_BAL over all k partitions at once.
-                    scores = replicas[u] * (2.0 - theta_u) + replicas[v] * (
-                        1.0 + theta_u
+                    p = choose(
+                        replicas[u], replicas[v], theta_u, sizes, capacity,
+                        lam, HDRF_EPSILON,
                     )
-                    maxs = sizes.max()
-                    mins = sizes.min()
-                    scores = scores + lam * (maxs - sizes) / (
-                        HDRF_EPSILON + maxs - mins
-                    )
-                    scores[sizes >= capacity] = -np.inf
-                    p = int(np.argmax(scores))
                     sizes[p] += 1.0
                     replicas[u, p] = True
                     replicas[v, p] = True

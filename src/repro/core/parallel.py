@@ -7,11 +7,29 @@ can lead to lower partitioning quality."
 
 This module simulates exactly that trade-off.  The edge stream is split
 into ``n_workers`` contiguous shards.  Phase 1 (degrees, clustering,
-mapping) is shared — it is cheap and embarrassingly mergeable — while the
-Phase-2 scoring pass runs per worker against a *stale* copy of the global
-replication state that is re-synchronized only every ``sync_interval``
-edges.  ``sync_interval=1`` degenerates to sequential 2PS-L behaviour (no
-staleness); larger intervals trade quality for (modeled) parallel speedup.
+mapping) is shared — it is cheap and embarrassingly mergeable — while both
+Phase-2 streaming passes (pre-partitioning and remaining-edge scoring) run
+per worker against a *stale* copy of the global replication state that is
+re-synchronized only every ``sync_interval`` edges.
+
+Every sync window executes through the kernel layer
+(:mod:`repro.kernels`): a worker pulls its next window of edges from the
+stream's shard-window iterator (:meth:`repro.streaming.stream.EdgeStream.
+window` — no ``materialize()``, so a :class:`~repro.streaming.stream.
+FileEdgeStream` stays out-of-core) and dispatches the same
+``prepartition_pass`` / ``remaining_pass_*`` kernels the sequential
+pipeline uses, against its stale :class:`~repro.partitioning.state.
+PartitionState` view.  Consequences:
+
+- ``n_workers=1`` is **bit-exact** with the sequential
+  :class:`~repro.core.partitioner.TwoPhasePartitioner` for *any*
+  ``sync_interval`` (a single worker's view is never stale, and window
+  boundaries are ordinary chunk boundaries, which the kernel contract
+  guarantees are semantics-free).  The differential suite in
+  ``tests/test_parallel_kernels.py`` pins assignments, replica bits,
+  sizes and cost counters.
+- Any registered kernel backend accelerates the parallel path for free,
+  and backends stay bit-exact with each other here too.
 
 Note on balance: each worker enforces the cap against its *stale* size
 view, so within one sync window the global partition sizes can overshoot
@@ -21,26 +39,83 @@ shows.  The measured alpha is reported in the result as usual.
 The simulation is single-process but round-robins workers in quanta so the
 interleaving (and therefore the staleness pattern) matches a real parallel
 run with barrier syncs; the modeled parallel wall-clock is
-``sequential_time / n_workers + syncs * sync_latency``.
+``sequential_phase2_time / n_workers + syncs * sync_latency``.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.clustering import StreamingClustering, default_volume_cap
-from repro.core.scheduling import graham_schedule
+from repro.core.partitioner import run_phase1
 from repro.errors import ConfigurationError
-from repro.graph.degrees import compute_degrees_from_stream
+from repro.kernels import TwoPhaseContext, get_backend
 from repro.metrics.memory import measured_state_bytes
 from repro.metrics.runtime import CostCounter, PhaseTimer
 from repro.partitioning.base import EdgePartitioner, PartitionResult
-from repro.partitioning.hashutil import splitmix64
 from repro.partitioning.state import PartitionState
 
 
+class _WindowStream:
+    """One sync window of a shard, consumable like a stream by kernels.
+
+    Holds at most ``sync_interval`` edges (the chunks already pulled from
+    the shard-window iterator), so worker windows — not the edge set —
+    bound the memory of the parallel path.
+    """
+
+    __slots__ = ("_chunks", "n_edges")
+
+    n_vertices = None
+
+    def __init__(self, chunks, n_edges: int) -> None:
+        self._chunks = chunks
+        self.n_edges = n_edges
+
+    def chunks(self, chunk_size=None):
+        return iter(self._chunks)
+
+
+class _ShardCursor:
+    """Pulls one worker's shard from the stream in sync-window quanta.
+
+    Wraps a single :meth:`EdgeStream.window` iterator (one sequential
+    read of the shard per pass) and re-chunks it at window boundaries;
+    a partial chunk is carried over to the next window.
+    """
+
+    __slots__ = ("_iter", "_carry", "position", "remaining")
+
+    def __init__(self, stream, start: int, stop: int) -> None:
+        self._iter = stream.window(start, stop)
+        self._carry = None
+        self.position = start
+        self.remaining = stop - start
+
+    def take(self, n_edges: int) -> _WindowStream:
+        """Next window of up to ``n_edges`` edges, in stream order."""
+        chunks = []
+        got = 0
+        while got < n_edges:
+            if self._carry is not None:
+                chunk, self._carry = self._carry, None
+            else:
+                chunk = next(self._iter, None)
+                if chunk is None:
+                    break
+            need = n_edges - got
+            if chunk.shape[0] > need:
+                self._carry = chunk[need:]
+                chunk = chunk[:need]
+            if chunk.shape[0]:
+                chunks.append(chunk)
+                got += chunk.shape[0]
+        self.position += got
+        self.remaining -= got
+        return _WindowStream(chunks, got)
+
+
 class ParallelTwoPhase(EdgePartitioner):
-    """Sharded 2PS-L with periodic state synchronization.
+    """Sharded 2PS-L / 2PS-HDRF with periodic state synchronization.
 
     Parameters
     ----------
@@ -49,20 +124,34 @@ class ParallelTwoPhase(EdgePartitioner):
     sync_interval:
         Edges each worker processes between state synchronizations; larger
         means staler replica/size views and lower quality.
+    clustering_passes:
+        Streaming clustering passes of the shared Phase 1.
+    mode:
+        ``"linear"`` (2PS-L scoring) or ``"hdrf"`` (2PS-HDRF scoring) for
+        the remaining pass, exactly as in the sequential partitioner.
     sync_latency:
         Modeled seconds per synchronization barrier (for the parallel
         wall-clock estimate in ``extras``).
+    backend:
+        Kernel backend name (:mod:`repro.kernels`); ``None`` selects the
+        default.  Pure performance knob — backends are bit-exact.
+    chunk_size:
+        Default edges-per-chunk for every streaming pass of a run;
+        ``None`` keeps the stream's own default.
     """
-
-    name = "2PS-L-parallel"
 
     def __init__(
         self,
         n_workers: int = 4,
         sync_interval: int = 1024,
+        clustering_passes: int = 1,
         volume_cap_factor: float = 0.5,
+        mode: str = "linear",
+        hdrf_lambda: float = 1.1,
         sync_latency: float = 0.001,
         hash_seed: int = 0,
+        backend: str | None = None,
+        chunk_size: int | None = None,
     ) -> None:
         if n_workers < 1:
             raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
@@ -70,121 +159,103 @@ class ParallelTwoPhase(EdgePartitioner):
             raise ConfigurationError(
                 f"sync_interval must be >= 1, got {sync_interval}"
             )
+        if mode not in ("linear", "hdrf"):
+            raise ConfigurationError(
+                f"mode must be 'linear' or 'hdrf', got {mode!r}"
+            )
+        if volume_cap_factor <= 0:
+            raise ConfigurationError(
+                f"volume_cap_factor must be positive, got {volume_cap_factor}"
+            )
+        if chunk_size is not None and chunk_size <= 0:
+            raise ConfigurationError(
+                f"chunk_size must be positive, got {chunk_size}"
+            )
+        get_backend(backend)  # validate the name eagerly
         self.n_workers = int(n_workers)
         self.sync_interval = int(sync_interval)
+        self.clustering_passes = int(clustering_passes)
         self.volume_cap_factor = float(volume_cap_factor)
+        self.mode = mode
+        self.hdrf_lambda = float(hdrf_lambda)
         self.sync_latency = float(sync_latency)
         self.hash_seed = int(hash_seed)
+        self.backend = backend
+        self.chunk_size = chunk_size
+        self.name = (
+            "2PS-L-parallel" if mode == "linear" else "2PS-HDRF-parallel"
+        )
 
     # ------------------------------------------------------------------
     def _run(self, stream, k: int, alpha: float) -> PartitionResult:
+        kernels = get_backend(self.backend)
         timer = PhaseTimer()
         cost = CostCounter()
         m = stream.n_edges
 
-        with timer.phase("degree"):
-            degrees = compute_degrees_from_stream(stream)
-            cost.edges_streamed += m
-        n = max(self._resolve_n_vertices(stream, degrees), len(degrees))
-
-        with timer.phase("clustering"):
-            cap = default_volume_cap(m, k, self.volume_cap_factor)
-            clustering = StreamingClustering(volume_cap=cap).run(
-                stream, degrees=degrees, cost=cost
-            )
-        with timer.phase("mapping"):
-            c2p, _ = graham_schedule(clustering.volumes, k, cost=cost)
-
-        # Materialize shard boundaries over the stream order.
-        edges = stream.materialize().edges
-        shard_bounds = np.linspace(0, m, self.n_workers + 1).astype(np.int64)
+        n, degrees, clustering, c2p, loads = run_phase1(
+            stream,
+            k,
+            backend=self.backend,
+            clustering_passes=self.clustering_passes,
+            volume_cap_factor=self.volume_cap_factor,
+            timer=timer,
+            cost=cost,
+        )
 
         state = PartitionState(n, k, m, alpha)
         assignments = np.full(m, -1, dtype=np.int32)
-        global_sizes = np.zeros(k, dtype=np.int64)
-        # Per-worker stale views.
-        stale_replicas = [state.replicas.copy() for _ in range(self.n_workers)]
-        stale_sizes = [global_sizes.copy() for _ in range(self.n_workers)]
-        cursors = shard_bounds[:-1].copy()
-        syncs = 0
+        shard_bounds = np.linspace(0, m, self.n_workers + 1).astype(np.int64)
 
-        v2c = clustering.v2c.tolist()
-        c2p_l = c2p.tolist()
-        vol = clustering.volumes.tolist()
-        deg = degrees.tolist()
-        capacity = state.capacity
+        # Per-worker stale views.  A single worker's view is never stale,
+        # so it shares the global state outright (this is what makes
+        # n_workers=1 bit-exact with the sequential pipeline, with no
+        # merge work).
+        if self.n_workers == 1:
+            worker_states = [state]
+        else:
+            worker_states = []
+            for _ in range(self.n_workers):
+                ws = PartitionState(n, k, m, alpha)
+                worker_states.append(ws)
 
+        def make_ctx(worker_state, window_assignments):
+            return TwoPhaseContext(
+                k=k,
+                v2c=clustering.v2c,
+                c2p=c2p,
+                volumes=clustering.volumes,
+                degrees=degrees,
+                state=worker_state,
+                assignments=window_assignments,
+                hash_seed=self.hash_seed,
+                cost=cost,
+                hdrf_lambda=self.hdrf_lambda,
+            )
+
+        with timer.phase("prepartition"):
+            n_pre, syncs_pre = self._sharded_pass(
+                stream, shard_bounds, worker_states, state, assignments,
+                kernels.prepartition_pass, make_ctx,
+            )
         with timer.phase("partitioning"):
-            active = True
-            while active:
-                active = False
-                for w in range(self.n_workers):
-                    start = int(cursors[w])
-                    end = min(int(shard_bounds[w + 1]), start + self.sync_interval)
-                    if start >= end:
-                        continue
-                    active = True
-                    replicas = stale_replicas[w]
-                    sizes = stale_sizes[w]
-                    for idx in range(start, end):
-                        u = int(edges[idx, 0])
-                        v = int(edges[idx, 1])
-                        c1 = v2c[u]
-                        c2 = v2c[v]
-                        p1 = c2p_l[c1]
-                        p2 = c2p_l[c2]
-                        if c1 == c2 or p1 == p2:
-                            p = p1
-                        else:
-                            du = deg[u]
-                            dv = deg[v]
-                            dsum = du + dv
-                            vol1 = vol[c1]
-                            vol2 = vol[c2]
-                            vsum = vol1 + vol2
-                            s1 = vol1 / vsum if vsum else 0.0
-                            if replicas[u, p1]:
-                                s1 += 2.0 - du / dsum
-                            if replicas[v, p1]:
-                                s1 += 2.0 - dv / dsum
-                            s2 = vol2 / vsum if vsum else 0.0
-                            if replicas[u, p2]:
-                                s2 += 2.0 - du / dsum
-                            if replicas[v, p2]:
-                                s2 += 2.0 - dv / dsum
-                            cost.score_evaluations += 2
-                            p = p1 if s1 >= s2 else p2
-                        if sizes[p] >= capacity:
-                            hv = u if deg[u] >= deg[v] else v
-                            p = int(splitmix64(hv, self.hash_seed) % np.uint64(k))
-                            cost.hash_evaluations += 1
-                            if sizes[p] >= capacity:
-                                open_mask = sizes < capacity
-                                candidates = np.where(open_mask)[0]
-                                p = int(candidates[np.argmin(sizes[candidates])])
-                        sizes[p] += 1
-                        replicas[u, p] = True
-                        replicas[v, p] = True
-                        assignments[idx] = p
-                    cursors[w] = end
-                # Barrier: merge worker deltas into the global state and
-                # refresh every stale view.
-                merged = np.logical_or.reduce(
-                    [state.replicas] + stale_replicas
-                )
-                state.replicas[:] = merged
-                counted = np.bincount(
-                    assignments[assignments >= 0], minlength=k
-                ).astype(np.int64)
-                global_sizes[:] = counted
-                for w in range(self.n_workers):
-                    stale_replicas[w][:] = merged
-                    stale_sizes[w][:] = global_sizes
-                syncs += 1
-            cost.edges_streamed += m
+            remaining_pass = (
+                kernels.remaining_pass_linear
+                if self.mode == "linear"
+                else kernels.remaining_pass_hdrf
+            )
+            _, syncs_rem = self._sharded_pass(
+                stream, shard_bounds, worker_states, state, assignments,
+                remaining_pass, make_ctx,
+            )
+        syncs = syncs_pre + syncs_rem
 
-        state.sizes[:] = global_sizes
-        sequential = timer.totals.get("partitioning", 0.0)
+        sequential_phase2 = timer.totals.get("prepartition", 0.0) + (
+            timer.totals.get("partitioning", 0.0)
+        )
+        worker_bytes = sum(
+            ws.nbytes() for ws in worker_states if ws is not state
+        )
         return PartitionResult(
             partitioner=self.name,
             k=k,
@@ -195,13 +266,85 @@ class ParallelTwoPhase(EdgePartitioner):
             state=state,
             timer=timer,
             cost=cost,
-            state_bytes=measured_state_bytes(state, degrees, clustering.v2c, c2p)
-            * (1 + self.n_workers),
+            state_bytes=measured_state_bytes(
+                state, clustering.v2c, clustering.volumes,
+                clustering.degrees, c2p, loads,
+            )
+            + worker_bytes,
             extras={
                 "n_workers": self.n_workers,
                 "sync_interval": self.sync_interval,
                 "syncs": syncs,
-                "parallel_wall_s": sequential / self.n_workers
+                "parallel_wall_s": sequential_phase2 / self.n_workers
                 + syncs * self.sync_latency,
+                "mode": self.mode,
+                "backend": kernels.name,
+                "n_clusters": clustering.n_nonempty_clusters,
+                "prepartitioned_edges": n_pre,
+                "remaining_edges": m - n_pre,
             },
         )
+
+    # ------------------------------------------------------------------
+    def _sharded_pass(
+        self, stream, shard_bounds, worker_states, state, assignments,
+        pass_kernel, make_ctx,
+    ) -> tuple[int, int]:
+        """One Phase-2 pass, sharded over workers in sync-window quanta.
+
+        Returns ``(sum of kernel return values, barrier count)``.  Each
+        quantum dispatches ``pass_kernel`` on a :class:`_WindowStream` of
+        at most ``sync_interval`` edges against the worker's stale state
+        view, writing into the global assignment array's matching slice;
+        after every round-robin sweep the barrier merges worker deltas
+        into the global state and refreshes every stale view.
+        """
+        cursors = [
+            _ShardCursor(stream, int(shard_bounds[w]), int(shard_bounds[w + 1]))
+            for w in range(self.n_workers)
+        ]
+        total = 0
+        syncs = 0
+        active = True
+        while active:
+            active = False
+            for w, worker_state in enumerate(worker_states):
+                cursor = cursors[w]
+                if cursor.remaining <= 0:
+                    continue
+                pos = cursor.position
+                window = cursor.take(self.sync_interval)
+                if window.n_edges == 0:
+                    continue
+                active = True
+                ctx = make_ctx(
+                    worker_state, assignments[pos : pos + window.n_edges]
+                )
+                out = pass_kernel(window, ctx)
+                if out is not None:
+                    total += int(out)
+            if active:
+                syncs += 1
+                self._barrier(worker_states, state)
+        return total, syncs
+
+    def _barrier(self, worker_states, state) -> None:
+        """Merge worker deltas into the global state, refresh stale views.
+
+        Replica bits merge by OR; sizes merge by summing each worker's
+        delta against the last synchronized global sizes (every edge is
+        assigned by exactly one worker, so deltas are disjoint).
+        """
+        if self.n_workers == 1:
+            return  # the worker shares the global state: nothing to do
+        merged = np.logical_or.reduce(
+            [state.replicas] + [ws.replicas for ws in worker_states]
+        )
+        new_sizes = state.sizes + sum(
+            ws.sizes - state.sizes for ws in worker_states
+        )
+        state.replicas[:] = merged
+        state.sizes[:] = new_sizes
+        for ws in worker_states:
+            ws.replicas[:] = merged
+            ws.sizes[:] = new_sizes

@@ -49,6 +49,51 @@ from repro.partitioning.base import (
 from repro.partitioning.state import PartitionState
 
 
+def run_phase1(
+    stream,
+    k: int,
+    *,
+    backend: str | None,
+    clustering_passes: int,
+    volume_cap_factor: float,
+    timer: PhaseTimer,
+    cost: CostCounter,
+):
+    """Degree pass + Phase-1 clustering + cluster mapping.
+
+    Shared by the sequential :class:`TwoPhasePartitioner` and the sharded
+    :class:`~repro.core.parallel.ParallelTwoPhase`, so the two pipelines
+    are bit-identical (outputs *and* cost counters) up to the Phase-2
+    streaming passes.  Returns ``(n, degrees, clustering, c2p, loads)``.
+    """
+    kernels = get_backend(backend)
+    m = stream.n_edges
+
+    # Pass 1: true vertex degrees (Figure 5: "Degree").
+    with timer.phase("degree"):
+        degrees = kernels.degree_pass(stream, stream.n_vertices)
+        cost.edges_streamed += m
+    n = max(EdgePartitioner._resolve_n_vertices(stream, degrees), len(degrees))
+    if len(degrees) < n:
+        grown = np.zeros(n, dtype=np.int64)
+        grown[: len(degrees)] = degrees
+        degrees = grown
+
+    # Phase 1: streaming clustering (Figure 5: "Clustering").
+    with timer.phase("clustering"):
+        cap = default_volume_cap(m, k, volume_cap_factor)
+        clustering = StreamingClustering(
+            n_passes=clustering_passes,
+            volume_cap=cap,
+            backend=backend,
+        ).run(stream, degrees=degrees, cost=cost)
+
+    # Phase 2 Step 1: map clusters to partitions (no streaming).
+    with timer.phase("mapping"):
+        c2p, loads = graham_schedule(clustering.volumes, k, cost=cost)
+    return n, degrees, clustering, c2p, loads
+
+
 class TwoPhasePartitioner(EdgePartitioner):
     """2PS-L (default) or 2PS-HDRF (``mode="hdrf"``).
 
@@ -124,28 +169,15 @@ class TwoPhasePartitioner(EdgePartitioner):
         cost = CostCounter()
         m = stream.n_edges
 
-        # Pass 1: true vertex degrees (Figure 5: "Degree").
-        with timer.phase("degree"):
-            degrees = kernels.degree_pass(stream, stream.n_vertices)
-            cost.edges_streamed += m
-        n = max(self._resolve_n_vertices(stream, degrees), len(degrees))
-        if len(degrees) < n:
-            grown = np.zeros(n, dtype=np.int64)
-            grown[: len(degrees)] = degrees
-            degrees = grown
-
-        # Phase 1: streaming clustering (Figure 5: "Clustering").
-        with timer.phase("clustering"):
-            cap = default_volume_cap(m, k, self.volume_cap_factor)
-            clustering = StreamingClustering(
-                n_passes=self.clustering_passes,
-                volume_cap=cap,
-                backend=self.backend,
-            ).run(stream, degrees=degrees, cost=cost)
-
-        # Phase 2 Step 1: map clusters to partitions (no streaming).
-        with timer.phase("mapping"):
-            c2p, loads = graham_schedule(clustering.volumes, k, cost=cost)
+        n, degrees, clustering, c2p, loads = run_phase1(
+            stream,
+            k,
+            backend=self.backend,
+            clustering_passes=self.clustering_passes,
+            volume_cap_factor=self.volume_cap_factor,
+            timer=timer,
+            cost=cost,
+        )
 
         state = PartitionState(n, k, m, alpha)
         assignments = np.full(m, -1, dtype=np.int32)

@@ -31,22 +31,32 @@ the edge count).
 
 The tricky part of the contract is the *stateful* passes, where an edge's
 decision depends on state mutated by earlier edges.  The ``numpy`` backend
-preserves serial semantics with conflict-free sub-batching inside each
-chunk:
+preserves serial semantics with two techniques:
 
-- An edge can be scored/migrated vectorized only when no other edge in the
+- *Conflict-free sub-batching* (Phase-1 clustering, 2PS-L scoring): an
+  edge can be scored/migrated vectorized only when no other edge in the
   chunk touches the same mutable state (vertex replica rows for scoring;
   vertices *and* clusters for Phase-1 migration), and processing it out of
   order is provably equivalent; every colliding edge falls through to the
   serial reference kernel, in stream order.
-- A whole chunk falls back to the serial kernel whenever any partition
-  could hit the hard balance cap inside the chunk (the remaining capacity
-  ``capacity - max(sizes)`` is smaller than the chunk's candidate count),
-  because cap overflow makes decisions order-dependent through the
-  hash/least-loaded fallback chain.
+- *Speculate-verify-repair* (the 2PS-HDRF remaining pass, where every
+  edge mutates the partition sizes every other edge's balance term
+  reads, so no conflict-free subset exists): block decisions are guessed
+  vectorized, each edge's exact serial-order inputs are reconstructed
+  vectorized (prefix counts for sizes, a segmented prefix-OR for replica
+  rows), and re-scoring confirms a prefix of provably-serial decisions;
+  the unverified tail runs serially.  The serial path itself uses an
+  exact scalar engine (``_HdrfScalarEngine``) that collapses the k-way
+  argmax to at most four candidates.
 
-Adding a backend
-----------------
+In both techniques, a whole block falls back to the serial kernel
+whenever any partition could hit the hard balance cap inside it (the
+remaining capacity ``capacity - max(sizes)`` is smaller than the block's
+candidate count), because cap overflow makes decisions order-dependent
+through the masking / hash / least-loaded fallback chains.
+
+Writing a backend
+-----------------
 1. Subclass :class:`~repro.kernels.base.KernelBackend` (or an existing
    backend — ``NumpyBackend`` subclasses ``PythonBackend`` and overrides
    only the passes it vectorizes, inheriting the rest).
@@ -54,12 +64,33 @@ Adding a backend
    ``clustering_true_pass``, ``clustering_partial_pass``,
    ``prepartition_pass``, ``remaining_pass_linear``,
    ``remaining_pass_hdrf``, ``stateless_pass``.  Keep the serial fallback
-   path for conflicting edges — that is what makes correctness local.
+   path for conflicting edges — that is what makes correctness local —
+   and route order-sensitive decisions through the shared twins
+   (``PythonBackend._fallback_partition`` for the hash/least-loaded
+   chain, ``PythonBackend.hdrf_choose`` for the HDRF argmax) so float
+   arithmetic and tie-breaks can never diverge between backends.
 3. Register it: ``register_backend("numba", NumbaBackend)``.  The name
    becomes valid everywhere a ``backend=`` parameter or the CLI
    ``--backend`` flag is accepted.
-4. Add the name to the sweep list in ``tests/test_kernels.py`` so the
-   equivalence property suite pins it to the reference backend.
+4. Run the equivalence suite against it.  A backend is correct only when
+   it passes **all** of:
+
+   - ``tests/test_kernels.py`` — per-pass property sweep against the
+     reference backend over random multigraphs and hub-heavy R-MAT,
+     with ``chunk_size`` through degenerate values (1, primes, larger
+     than ``|E|``), ``alpha`` down to 1.0 (cap guard) and
+     ``hdrf_lambda`` through 0 (degenerate balance term);
+   - ``tests/test_parallel_kernels.py`` — the same kernels dispatched
+     through the sharded parallel path (stale state views, sync-window
+     streams, barrier merges), plus ``FileEdgeStream`` vs
+     ``InMemoryEdgeStream`` source parity;
+   - ``benchmarks/run_bench.py --smoke`` — end-to-end bit-exactness on
+     a 65k-edge R-MAT plus the speedup gates (CI runs exactly this).
+
+   Equality is *byte-level*: assignments, replica bits, partition sizes,
+   cluster state **and** machine-neutral cost counters.  Add the backend
+   name to the sweep lists (they enumerate ``available_backends()``, so
+   registration before test collection usually suffices).
 
 A future numba/cython backend would typically keep the numpy chunk
 orchestration and replace only the serial conflict kernels with compiled

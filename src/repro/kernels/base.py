@@ -94,6 +94,15 @@ class KernelBackend(ABC):
 
     All passes consume the stream through ``stream.chunks()`` so the
     stream's ``default_chunk_size`` is the single chunk-size knob.
+
+    Passes must only rely on ``stream.chunks()`` and ``stream.n_edges``
+    (plus ``stream.n_vertices`` for the degree pass): the sharded
+    parallel partitioner dispatches every Phase-2 pass on lightweight
+    sync-window sub-streams that expose exactly that surface, with
+    ``ctx.assignments`` sliced to the window.  Since backends are
+    bit-exact across chunk boundaries, window boundaries are free too —
+    that is what makes ``ParallelTwoPhase(n_workers=1)`` bit-exact with
+    the sequential pipeline.
     """
 
     #: Registry name; subclasses override.

@@ -28,9 +28,16 @@ Why the sub-batching is exact, in short:
   its endpoints are chunk-unique *and* its two pre-chunk cluster ids
   appear nowhere else in the chunk.  New-cluster creation stays serial so
   cluster ids are allocated in exactly the reference order.
+- *2PS-HDRF remaining pass*: every edge mutates the partition sizes that
+  every other edge's balance term reads, so no conflict-free subset
+  exists at all; this pass uses speculate-verify-repair blocks plus an
+  exact scalar engine instead (see ``_hdrf_block`` and
+  ``_HdrfScalarEngine``).
 """
 
 from __future__ import annotations
+
+from bisect import insort
 
 import numpy as np
 
@@ -50,11 +57,32 @@ STATEFUL_BLOCK = 512
 #: last this-many blocks exceeds 40% (see ``clustering_true_pass``).
 _DEMOTE_WINDOW_BLOCKS = 4
 
+#: Sub-batch size of the speculative 2PS-HDRF remaining kernel.  Smaller
+#: than STATEFUL_BLOCK: every edge of this pass mutates the partition
+#: sizes that feed the balance term, so convergence of the speculation
+#: (see ``_hdrf_block``) degrades with block length.
+HDRF_BLOCK = 256
+
+#: Speculation rounds before ``_hdrf_block`` gives the unverified tail to
+#: the serial scalar engine.  Each round confirms at least one more edge,
+#: so this bounds the vectorized work per block; the rolling demotion in
+#: ``remaining_pass_hdrf`` turns speculation off entirely when it keeps
+#: failing to converge.
+HDRF_SPECULATION_ROUNDS = 6
+
 
 class NumpyBackend(PythonBackend):
-    """Vectorized kernels; inherits the reference kernel for the 2PS-HDRF
-    scoring pass (argmax over all k partitions per edge is already
-    array-at-a-time and inherently serial in the partition sizes)."""
+    """Vectorized kernels (see module docstring for the batching rules).
+
+    The 2PS-HDRF remaining pass is the hardest to batch — every edge
+    mutates the partition sizes that feed every other edge's balance
+    term — and uses speculation instead of conflict filtering: decisions
+    for a whole block are guessed vectorized, then *verified* by exactly
+    reconstructing each edge's serial-order inputs (running sizes via a
+    prefix count, running replica bits via a segmented prefix-OR over
+    endpoint occurrences) and re-scoring; the first mismatching edge is
+    corrected and the tail re-speculated, so the accepted decisions are
+    provably the serial ones."""
 
     name = "numpy"
 
@@ -578,3 +606,499 @@ class NumpyBackend(PythonBackend):
             replicas[u, p] = True
             replicas[v, p] = True
             assignments[lpos[i]] = p
+
+    # ------------------------------------------------------------------
+    # 2PS-HDRF remaining pass: blocked speculation + scalar engine
+    # ------------------------------------------------------------------
+    def remaining_pass_hdrf(self, stream, ctx: TwoPhaseContext) -> None:
+        from repro.core.scoring import HDRF_EPSILON
+
+        if ctx.hdrf_lambda <= 0.0:
+            # Degenerate balance weight: the scalar engine's complement
+            # shortcut (scores strictly ordered by partition size) needs
+            # lam > 0, so run the reference kernel outright.
+            super().remaining_pass_hdrf(stream, ctx)
+            return
+        v2c, c2p = ctx.v2c, ctx.c2p
+        degrees = ctx.degrees
+        engine = _HdrfScalarEngine(ctx, HDRF_EPSILON)
+        if stream.n_edges > 4 * ctx.state.replicas.shape[0]:
+            # Long pass over a comparatively small vertex set: one
+            # vectorized packing beats per-vertex lazy misses.  Short
+            # sync-window dispatches (the parallel path) stay lazy.
+            engine.pack_all()
+        speculate = True
+        win_edges = 0
+        win_batched = 0
+        idx = 0
+        n_rem = 0
+        for chunk in stream.chunks():
+            c = chunk.shape[0]
+            if c == 0:
+                continue
+            u = chunk[:, 0]
+            v = chunk[:, 1]
+            cu = v2c[u]
+            cv = v2c[v]
+            rem = ~((cu == cv) | (c2p[cu] == c2p[cv]))
+            nrem = int(rem.sum())
+            if nrem:
+                n_rem += nrem
+                ru = u[rem]
+                rv = v[rem]
+                positions = idx + np.flatnonzero(rem)
+                # theta is frozen in this pass (true degrees): vectorized
+                # once, bit-identical to the reference per-edge division.
+                theta = degrees[ru] / (degrees[ru] + degrees[rv])
+                for s in range(0, nrem, HDRF_BLOCK):
+                    e = s + HDRF_BLOCK
+                    batched = self._hdrf_block(
+                        ctx, engine, ru[s:e], rv[s:e], positions[s:e],
+                        theta[s:e], HDRF_EPSILON, speculate,
+                    )
+                    if speculate:
+                        win_edges += min(HDRF_BLOCK, nrem - s)
+                        win_batched += batched
+                        if win_edges >= 8 * HDRF_BLOCK:
+                            # Rolling decision, like the clustering
+                            # demotion: when speculation keeps failing to
+                            # verify (balance-dominated streams make the
+                            # decisions inherently serial), stop paying
+                            # for it and let the scalar engine carry.
+                            speculate = win_batched >= 0.25 * win_edges
+                            win_edges = 0
+                            win_batched = 0
+            idx += c
+        engine.flush()
+        ctx.cost.score_evaluations += ctx.k * n_rem
+        ctx.cost.edges_streamed += stream.n_edges
+
+    def _hdrf_block(
+        self, ctx, engine, bu, bv, positions, theta, eps, speculate
+    ) -> int:
+        """One sub-batch of the 2PS-HDRF remaining pass; returns the
+        number of edges decided by verified vectorized speculation.
+
+        Unlike the linear pass, *every* edge of this pass mutates state
+        every other edge reads (the balance term runs over the live
+        partition sizes), so there is no conflict-free subset to simply
+        extract.  Instead the block's decisions are *speculated*
+        vectorized — a k-way score matrix under pre-block state — and
+        then verified against an exact vectorized reconstruction of each
+        edge's serial-order inputs:
+
+        - running sizes before edge ``i`` = pre-block sizes + an
+          exclusive prefix count of the speculated decisions;
+        - running replica rows = pre-block rows OR-ed with the decisions
+          of earlier block edges sharing an endpoint (a segmented
+          exclusive prefix-OR over endpoint occurrences grouped by
+          vertex id).
+
+        Re-scoring under those inputs uses the exact float expressions
+        of the reference twin, so a row whose re-scored argmax equals
+        its speculated decision — with every row before it equally
+        confirmed — provably carries the serial decision (induction over
+        the prefix).  The first mismatching row is corrected (its inputs
+        were already exact) and the tail re-speculated; each round
+        verifies at least one more row, and after
+        ``HDRF_SPECULATION_ROUNDS`` the unverified tail goes to the
+        serial scalar engine.  Cap reachability demotes the whole block
+        to serial upfront, exactly like the linear pass.
+        """
+        b = bu.shape[0]
+        if not speculate:
+            self._hdrf_serial(ctx, engine, bu, bv, positions, theta, 0)
+            return 0
+        engine.flush()
+        sizes = ctx.state.sizes
+        if ctx.state.capacity - int(sizes.max()) < b:
+            self._hdrf_serial(ctx, engine, bu, bv, positions, theta, 0)
+            return 0
+        replicas = ctx.state.replicas
+        k = ctx.k
+        lam = ctx.hdrf_lambda
+        tu = 2.0 - theta
+        tv = 1.0 + theta
+        ru0 = replicas[bu]
+        rv0 = replicas[bv]
+        rep0 = ru0 * tu[:, None] + rv0 * tv[:, None]
+        s0 = sizes.astype(np.float64)
+        # Occurrence bookkeeping for the running-replica reconstruction:
+        # endpoint occurrences in stream order, grouped by vertex id.
+        ids = np.empty(2 * b, dtype=np.int64)
+        ids[0::2] = bu
+        ids[1::2] = bv
+        order = np.argsort(ids, kind="stable")
+        has_dups = np.unique(ids).shape[0] < 2 * b
+        if has_dups:
+            gids = ids[order]
+            occ_edge = np.repeat(np.arange(b), 2)[order]
+            t = np.arange(2 * b)
+            new_group = np.empty(2 * b, dtype=bool)
+            new_group[0] = True
+            new_group[1:] = gids[1:] != gids[:-1]
+            gstart = np.maximum.accumulate(np.where(new_group, t, 0))
+            # Both occurrences of a self-loop edge sit adjacent in its
+            # group; the second must not see the first (an edge reads
+            # its replica rows before writing them).
+            same_edge_prev = np.zeros(2 * b, dtype=bool)
+            same_edge_prev[1:] = ~new_group[1:] & (
+                occ_edge[1:] == occ_edge[:-1]
+            )
+            self_rows = np.flatnonzero(same_edge_prev)
+        # Initial speculation: every edge scored under pre-block state.
+        maxs = s0.max()
+        mins = s0.min()
+        bal0 = lam * (maxs - s0) / (eps + maxs - mins)
+        p = np.argmax(rep0 + bal0[None, :], axis=1)
+        part_range = np.arange(k)
+        verified = 0
+        for _ in range(HDRF_SPECULATION_ROUNDS):
+            onehot = p[:, None] == part_range
+            before = np.cumsum(onehot, axis=0) - onehot
+            S = s0[None, :] + before
+            M = S.max(axis=1)
+            m_ = S.min(axis=1)
+            if has_dups:
+                occ_p = np.repeat(p, 2)[order]
+                pbits = occ_p[:, None] == part_range
+                # Segmented inclusive prefix-OR (Hillis-Steele; the RHS
+                # fancy index copies, so the in-place OR cannot alias).
+                shift = 1
+                while shift < 2 * b:
+                    rows = np.flatnonzero(t - gstart >= shift)
+                    pbits[rows] |= pbits[rows - shift]
+                    shift <<= 1
+                vis = np.zeros_like(pbits)
+                vis[1:][~new_group[1:]] = pbits[:-1][~new_group[1:]]
+                if self_rows.size:
+                    vis[self_rows] = vis[self_rows - 1]
+                vis_orig = np.empty_like(vis)
+                vis_orig[order] = vis
+                rep = (ru0 | vis_orig[0::2]) * tu[:, None] + (
+                    rv0 | vis_orig[1::2]
+                ) * tv[:, None]
+            else:
+                rep = rep0
+            scores = rep + lam * (M[:, None] - S) / (eps + M - m_)[:, None]
+            p_new = np.argmax(scores, axis=1)
+            agree = p_new == p
+            if agree.all():
+                verified = b
+                break
+            i0 = int(np.argmin(agree))
+            p[i0:] = p_new[i0:]
+            verified = i0 + 1
+        if verified:
+            vp = p[:verified]
+            sizes += np.bincount(vp, minlength=k)
+            replicas[bu[:verified], vp] = True
+            replicas[bv[:verified], vp] = True
+            ctx.assignments[positions[:verified]] = vp
+            engine.note_batch(bu[:verified], bv[:verified], vp)
+        if verified < b:
+            self._hdrf_serial(ctx, engine, bu, bv, positions, theta, verified)
+        return verified
+
+    @staticmethod
+    def _hdrf_serial(ctx, engine, bu, bv, positions, theta, start) -> None:
+        """Per-edge serial decisions through the scalar engine for the
+        rows of a block the speculation did not verify."""
+        if start >= bu.shape[0]:
+            return
+        ps = engine.run_serial(bu, bv, theta, start)
+        ctx.assignments[positions[start:]] = ps
+        engine.defer(bu[start:], bv[start:], ps)
+
+
+class _HdrfScalarEngine:
+    """Scalar mirror of the live 2PS-HDRF pass state.
+
+    The HDRF argmax reads the two endpoints' replica rows and every
+    partition's size; evaluated with per-edge numpy calls (the
+    reference) that is a dozen kernel launches per edge, and a naive
+    scalar loop is O(k).  This engine gets the decision down to a
+    handful of Python operations per edge by exploiting the score's
+    structure.  For one edge the replication term takes only four
+    values — ``tu + tv`` (both endpoints replicated), ``tu``, ``tv``,
+    and ``0.0`` — and within one such *category* the score differs only
+    by the balance term, which is strictly decreasing in the partition
+    size (``lam > 0``; strict because consecutive integer sizes are
+    orders of magnitude above one float ulp apart).  Hence only the
+    lowest-indexed minimum-size partition of each category can enter
+    the argmax set, and the full k-way argmax collapses to at most four
+    exactly-scored candidates.
+
+    State kept per pass:
+
+    - per-vertex replica rows as int bitmasks (``masks``), packed
+      *lazily* on first touch — construction stays O(k), so the
+      parallel path can afford one engine per sync window;
+    - per-size-level partition bitmasks (``levels``) plus the sorted
+      list of occupied sizes (``order``), so "lowest-indexed minimum-
+      size partition inside bitmask X below the cap" is a couple of int
+      operations;
+    - ties are exact: within a category equal sizes give bit-equal
+      scores (lowest set bit wins, as ``np.argmax``), across categories
+      float-equal candidate scores resolve by partition index.
+
+    Decisions are made against the engine's scalar state; the matching
+    numpy-state updates (replica matrix, size vector) are *deferred* and
+    applied vectorized by :meth:`flush` — before a speculative block
+    reads the numpy state, and at the end of the pass — so the serial
+    hot loop performs no numpy writes at all.
+    """
+
+    __slots__ = (
+        "lam", "eps", "capacity", "replicas", "np_sizes", "masks",
+        "sizes", "levels", "order", "all_mask", "pending",
+    )
+
+    def __init__(self, ctx, eps) -> None:
+        self.lam = ctx.hdrf_lambda
+        self.eps = eps
+        self.capacity = ctx.state.capacity
+        self.replicas = ctx.state.replicas
+        self.np_sizes = ctx.state.sizes
+        self.masks: dict[int, int] = {}
+        self.all_mask = (1 << ctx.k) - 1
+        self.sizes = ctx.state.sizes.tolist()
+        levels: dict[int, int] = {}
+        for p, s in enumerate(self.sizes):
+            levels[s] = levels.get(s, 0) | (1 << p)
+        self.levels = levels
+        self.order = sorted(levels)
+        self.pending: list[tuple] = []
+
+    def _pack_row(self, vertex) -> int:
+        """Pack one replica row into an int bitmask (first touch only)."""
+        row = np.packbits(self.replicas[vertex], bitorder="little")
+        return int.from_bytes(row.tobytes(), "little")
+
+    def pack_all(self) -> None:
+        """Eagerly pack every replica row in one vectorized pass,
+        densifying ``masks`` from dict to list (plain indexing in the
+        hot loop).  Worth it only when the pass will touch most vertices
+        (the caller decides); already-cached masks win over the fresh
+        packing.
+        """
+        packed = np.packbits(self.replicas, axis=1, bitorder="little")
+        dense = [
+            int.from_bytes(row.tobytes(), "little") for row in packed
+        ]
+        for vertex, mask in self.masks.items():
+            dense[vertex] = mask
+        self.masks = dense
+
+    def note_batch(self, bu, bv, bp) -> None:
+        """Absorb a vectorized block apply (numpy state already updated)."""
+        masks = self.masks
+        if isinstance(masks, list):
+            for u, v, p in zip(bu.tolist(), bv.tolist(), bp.tolist()):
+                bit = 1 << p
+                masks[u] |= bit
+                masks[v] |= bit
+                self._bump(p, bit)
+            return
+        pack = self._pack_row
+        for u, v, p in zip(bu.tolist(), bv.tolist(), bp.tolist()):
+            bit = 1 << p
+            mu = masks.get(u)
+            # The numpy replica row already carries this batch's bit, so
+            # a fresh pack absorbs it; the |= is only for cached masks.
+            masks[u] = (pack(u) if mu is None else mu) | bit
+            mv = masks.get(v)
+            masks[v] = (pack(v) if mv is None else mv) | bit
+            self._bump(p, bit)
+
+    def defer(self, bu, bv, bp) -> None:
+        """Queue numpy-state updates for a serially-decided segment."""
+        self.pending.append((bu, bv, bp))
+
+    def flush(self) -> None:
+        """Apply deferred segments to the numpy replica matrix / sizes."""
+        if not self.pending:
+            return
+        us = np.concatenate([seg[0] for seg in self.pending])
+        vs = np.concatenate([seg[1] for seg in self.pending])
+        ps = np.concatenate([seg[2] for seg in self.pending])
+        self.pending.clear()
+        self.replicas[us, ps] = True
+        self.replicas[vs, ps] = True
+        self.np_sizes += np.bincount(ps, minlength=self.np_sizes.shape[0])
+
+    def _bump(self, p, bit) -> None:
+        """Move partition ``p`` one size level up."""
+        sizes = self.sizes
+        s = sizes[p]
+        sizes[p] = s + 1
+        levels = self.levels
+        rest = levels[s] & ~bit
+        if rest:
+            levels[s] = rest
+        else:
+            del levels[s]
+            self.order.remove(s)
+        s1 = s + 1
+        if s1 in levels:
+            levels[s1] |= bit
+        else:
+            levels[s1] = bit
+            insort(self.order, s1)
+
+    def run_serial(self, bu, bv, theta, start) -> np.ndarray:
+        """Decide rows ``start..`` of a block serially; returns their
+        partitions.  numpy-state updates are deferred (the caller routes
+        them through :meth:`defer`; :meth:`flush` applies them).
+
+        The four replication categories are unrolled inline — this is
+        the hot loop of the whole 2PS-HDRF pipeline, so it trades
+        repetition for zero per-edge function-call overhead.
+        """
+        lu = bu.tolist()
+        lv = bv.tolist()
+        lt = theta.tolist()
+        masks = self.masks
+        dense = isinstance(masks, list)
+        masks_get = None if dense else masks.get
+        pack = self._pack_row
+        levels = self.levels
+        order = self.order
+        sizes = self.sizes
+        lam = self.lam
+        eps = self.eps
+        cap = self.capacity
+        all_mask = self.all_mask
+        out = []
+        append = out.append
+        for i in range(start, len(lu)):
+            u = lu[i]
+            v = lv[i]
+            if dense:
+                mu = masks[u]
+                mv = masks[v]
+            else:
+                mu = masks_get(u)
+                if mu is None:
+                    mu = pack(u)
+                    masks[u] = mu
+                mv = masks_get(v)
+                if mv is None:
+                    mv = pack(v)
+                    masks[v] = mv
+            X = mu & mv
+            m0 = order[0]
+            if X and m0 < cap:
+                L = levels[m0] & X
+                if L:
+                    # Dominance fast path: a both-replicated partition at
+                    # the global minimum size has the maximal balance term
+                    # on top of the maximal replication term, beating any
+                    # other partition by at least min(tu, tv) >= 1.0 —
+                    # orders of magnitude above float rounding, so no
+                    # score needs computing at all.
+                    best_p = (L & -L).bit_length() - 1
+                    bit = 1 << best_p
+                    masks[u] = mu | bit
+                    masks[v] = masks[v] | bit
+                    s = sizes[best_p]
+                    sizes[best_p] = s + 1
+                    rest = levels[s] & ~bit
+                    if rest:
+                        levels[s] = rest
+                    else:
+                        del levels[s]
+                        order.remove(s)
+                    s1 = s + 1
+                    if s1 in levels:
+                        levels[s1] |= bit
+                    else:
+                        levels[s1] = bit
+                        insort(order, s1)
+                    append(best_p)
+                    continue
+            th = lt[i]
+            Mf = float(order[-1])
+            denom = (eps + Mf) - float(m0)
+            tu = 2.0 - th
+            tv = 1.0 + th
+            best_p = -1
+            best_s = 0.0
+            if X:  # both endpoints replicated: rep = tu + tv
+                for s in order:
+                    if s >= cap:
+                        break
+                    L = levels[s] & X
+                    if L:
+                        best_p = (L & -L).bit_length() - 1
+                        best_s = (tu + tv) + lam * (Mf - float(s)) / denom
+                        break
+            X = mu & ~mv
+            if X:  # u replicated only: rep = tu (+ 0.0 is exact)
+                for s in order:
+                    if s >= cap:
+                        break
+                    L = levels[s] & X
+                    if L:
+                        score = tu + lam * (Mf - float(s)) / denom
+                        if best_p < 0 or score > best_s:
+                            best_p = (L & -L).bit_length() - 1
+                            best_s = score
+                        elif score == best_s:
+                            p = (L & -L).bit_length() - 1
+                            if p < best_p:
+                                best_p = p
+                        break
+            X = mv & ~mu
+            if X:  # v replicated only: rep = tv
+                for s in order:
+                    if s >= cap:
+                        break
+                    L = levels[s] & X
+                    if L:
+                        score = tv + lam * (Mf - float(s)) / denom
+                        if best_p < 0 or score > best_s:
+                            best_p = (L & -L).bit_length() - 1
+                            best_s = score
+                        elif score == best_s:
+                            p = (L & -L).bit_length() - 1
+                            if p < best_p:
+                                best_p = p
+                        break
+            X = all_mask & ~(mu | mv)
+            if X:  # neither replicated: rep = 0.0, score = balance term
+                for s in order:
+                    if s >= cap:
+                        break
+                    L = levels[s] & X
+                    if L:
+                        score = lam * (Mf - float(s)) / denom
+                        if best_p < 0 or score > best_s:
+                            best_p = (L & -L).bit_length() - 1
+                            best_s = score
+                        elif score == best_s:
+                            p = (L & -L).bit_length() - 1
+                            if p < best_p:
+                                best_p = p
+                        break
+            if best_p < 0:
+                best_p = 0  # every partition at the cap: argmax of -inf
+            bit = 1 << best_p
+            masks[u] |= bit
+            masks[v] |= bit
+            s = sizes[best_p]
+            sizes[best_p] = s + 1
+            rest = levels[s] & ~bit
+            if rest:
+                levels[s] = rest
+            else:
+                del levels[s]
+                order.remove(s)
+            s1 = s + 1
+            if s1 in levels:
+                levels[s1] |= bit
+            else:
+                levels[s1] = bit
+                insort(order, s1)
+            append(best_p)
+        return np.asarray(out, dtype=np.int64)

@@ -277,6 +277,32 @@ class PythonBackend(KernelBackend):
         cost.score_evaluations += n_scored
         cost.edges_streamed += stream.n_edges
 
+    @staticmethod
+    def hdrf_choose(
+        u_row, v_row, theta_u, sizes_np, capacity, lam, eps
+    ) -> int:
+        """One HDRF argmax over all k partitions — the scoring twin.
+
+        ``u_row``/``v_row`` are the live boolean replica rows of the two
+        endpoints, ``theta_u = d_u / (d_u + d_v)`` (true or partial
+        degrees, caller's choice), ``sizes_np`` the float64 view of the
+        live partition sizes.  Partitions at the hard cap are masked to
+        ``-inf`` before the argmax (first-index tie-break, as
+        ``np.argmax``).
+
+        This is the single implementation of the HDRF decision — the
+        reference 2PS-HDRF pass, the ``numpy`` backend's serial fallback
+        and the classic HDRF baseline all route through it, so the
+        score arithmetic (and therefore its float rounding) can never
+        diverge between them.
+        """
+        scores = u_row * (2.0 - theta_u) + v_row * (1.0 + theta_u)
+        maxs = sizes_np.max()
+        mins = sizes_np.min()
+        scores = scores + lam * (maxs - sizes_np) / (eps + maxs - mins)
+        scores[sizes_np >= capacity] = -np.inf
+        return int(np.argmax(scores))
+
     def remaining_pass_hdrf(self, stream, ctx: TwoPhaseContext) -> None:
         """2PS-HDRF: full HDRF scoring over all k partitions (Section V-D)."""
         from repro.core.scoring import HDRF_EPSILON
@@ -290,6 +316,7 @@ class PythonBackend(KernelBackend):
         assignments = ctx.assignments
         k, cost = ctx.k, ctx.cost
         lam = ctx.hdrf_lambda
+        choose = self.hdrf_choose
         sizes_np = np.asarray(sizes, dtype=np.float64)
         idx = 0
         n_scored = 0
@@ -303,16 +330,10 @@ class PythonBackend(KernelBackend):
                 du = deg[u]
                 dv = deg[v]
                 theta_u = du / (du + dv)
-                scores = replicas[u] * (2.0 - theta_u) + replicas[v] * (
-                    1.0 + theta_u
+                p = choose(
+                    replicas[u], replicas[v], theta_u, sizes_np, capacity,
+                    lam, HDRF_EPSILON,
                 )
-                maxs = sizes_np.max()
-                mins = sizes_np.min()
-                scores = scores + lam * (maxs - sizes_np) / (
-                    HDRF_EPSILON + maxs - mins
-                )
-                scores[sizes_np >= capacity] = -np.inf
-                p = int(np.argmax(scores))
                 n_scored += k
                 sizes[p] += 1
                 sizes_np[p] += 1.0

@@ -76,6 +76,53 @@ class EdgeStream(ABC):
         """
 
     # ------------------------------------------------------------------
+    def window(
+        self, start: int, stop: int, chunk_size: int | None = None
+    ) -> Iterator[np.ndarray]:
+        """Yield ``(c, 2)`` chunks covering stream positions ``[start, stop)``.
+
+        The shard-window iterator behind the parallel partitioner: each
+        worker reads only its contiguous slice of the stream order, so an
+        out-of-core stream never needs to materialize the full edge array.
+        Several windows of the same stream may be consumed concurrently
+        (interleaved), each holding at most one chunk in memory.
+
+        This base implementation replays :meth:`chunks` and slices — one
+        full (lazy) pass per window.  Streams with random access override
+        it: :class:`InMemoryEdgeStream` slices the edge array directly,
+        :class:`FileEdgeStream` seeks to the window's byte offset.
+
+        Raises
+        ------
+        StreamError
+            If ``[start, stop)`` is not within ``[0, n_edges]``.
+        """
+        start, stop = self._validate_window(start, stop)
+        return self._window_iter(start, stop, chunk_size)
+
+    def _validate_window(self, start: int, stop: int) -> tuple[int, int]:
+        start, stop = int(start), int(stop)
+        if not 0 <= start <= stop <= self.n_edges:
+            raise StreamError(
+                f"invalid window [{start}, {stop}) for a stream of "
+                f"{self.n_edges} edges"
+            )
+        return start, stop
+
+    def _window_iter(
+        self, start: int, stop: int, chunk_size: int | None
+    ) -> Iterator[np.ndarray]:
+        if start == stop:
+            return
+        pos = 0
+        for chunk in self.chunks(chunk_size):
+            c = chunk.shape[0]
+            if pos + c > start:
+                yield chunk[max(start - pos, 0) : min(stop - pos, c)]
+            pos += c
+            if pos >= stop:
+                return
+
     def edges(self) -> Iterator[tuple[int, int]]:
         """Per-edge iteration (convenience wrapper over :meth:`chunks`)."""
         for chunk in self.chunks():
@@ -130,13 +177,17 @@ class InMemoryEdgeStream(EdgeStream):
         return self._n
 
     def chunks(self, chunk_size: int | None = None) -> Iterator[np.ndarray]:
+        yield from self._window_iter(0, self.n_edges, chunk_size)
+        self.stats.record_pass()
+
+    def _window_iter(
+        self, start: int, stop: int, chunk_size: int | None
+    ) -> Iterator[np.ndarray]:
         chunk_size = self._resolve_chunk_size(chunk_size)
-        m = self.n_edges
-        for start in range(0, m, chunk_size):
-            chunk = self._edges[start : start + chunk_size]
+        for lo in range(start, stop, chunk_size):
+            chunk = self._edges[lo : min(lo + chunk_size, stop)]
             self.stats.record_chunk(chunk.shape[0], chunk.shape[0] * BYTES_PER_EDGE)
             yield chunk
-        self.stats.record_pass()
 
 
 class FileEdgeStream(EdgeStream):
@@ -186,15 +237,22 @@ class FileEdgeStream(EdgeStream):
         return self._n
 
     def chunks(self, chunk_size: int | None = None) -> Iterator[np.ndarray]:
+        yield from self._window_iter(0, self.n_edges, chunk_size)
+        self.stats.record_pass()
+
+    def _window_iter(
+        self, start: int, stop: int, chunk_size: int | None
+    ) -> Iterator[np.ndarray]:
         chunk_size = self._resolve_chunk_size(chunk_size)
         bytes_per_chunk = chunk_size * BYTES_PER_EDGE
         with open(self._path, "rb") as fh:
-            while True:
-                data = fh.read(bytes_per_chunk)
-                if not data:
-                    break
-                if len(data) % BYTES_PER_EDGE:
+            fh.seek(start * BYTES_PER_EDGE)
+            left = (stop - start) * BYTES_PER_EDGE
+            while left > 0:
+                data = fh.read(min(bytes_per_chunk, left))
+                if not data or len(data) % BYTES_PER_EDGE:
                     raise StreamError(f"{self._path}: truncated edge record")
+                left -= len(data)
                 flat = np.frombuffer(data, dtype="<u4")
                 chunk = flat.reshape(-1, 2).astype(np.int64)
                 seconds = 0.0
@@ -202,7 +260,6 @@ class FileEdgeStream(EdgeStream):
                     seconds = self._device.charge_read(self._path, len(data))
                 self.stats.record_chunk(chunk.shape[0], len(data), seconds)
                 yield chunk
-        self.stats.record_pass()
 
 
 def as_stream(

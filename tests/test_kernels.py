@@ -17,6 +17,7 @@ from repro.core.clustering import StreamingClustering
 from repro.errors import ConfigurationError, PartitioningError
 from repro.graph import Graph
 from repro.graph.degrees import compute_degrees_from_stream
+from repro.graph.generators import rmat_graph
 from repro.kernels import (
     DEFAULT_BACKEND,
     KernelBackend,
@@ -110,13 +111,55 @@ class TestBackendEquivalence:
         graph=graphs(max_edges=120),
         k=st.integers(min_value=2, max_value=8),
         chunk_size=CHUNK_SIZES,
+        alpha=st.sampled_from([1.0, 1.05, 1.5]),
     )
-    def test_2pshdrf_bit_exact(self, backend, graph, k, chunk_size):
+    def test_2pshdrf_bit_exact(self, backend, graph, k, chunk_size, alpha):
         ref = TwoPhasePartitioner(backend="python", mode="hdrf").partition(
-            graph, k, chunk_size=chunk_size
+            graph, k, alpha=alpha, chunk_size=chunk_size
         )
         out = TwoPhasePartitioner(backend=backend, mode="hdrf").partition(
-            graph, k, chunk_size=chunk_size
+            graph, k, alpha=alpha, chunk_size=chunk_size
+        )
+        assert_results_identical(ref, out)
+
+    @pytest.mark.parametrize("mode", ["linear", "hdrf"])
+    @pytest.mark.parametrize("chunk_size", [1, 64, 10**6])
+    def test_hub_heavy_rmat_bit_exact(self, backend, mode, chunk_size):
+        """Hub-heavy R-MAT: worst case for conflict-free batching (hubs
+        collide in nearly every block) and for the HDRF speculation
+        (balance-dominated decisions); chunk_size sweeps through 1 and
+        far beyond |E|."""
+        graph = rmat_graph(9, edge_factor=8, seed=3)
+        ref = TwoPhasePartitioner(backend="python", mode=mode).partition(
+            graph, 8, chunk_size=chunk_size
+        )
+        out = TwoPhasePartitioner(backend=backend, mode=mode).partition(
+            graph, 8, chunk_size=chunk_size
+        )
+        assert_results_identical(ref, out)
+
+    @pytest.mark.parametrize("hdrf_lambda", [0.0, 1.1, 15.0])
+    def test_2pshdrf_lambda_sweep_bit_exact(self, backend, hdrf_lambda):
+        """Degenerate (0: reference-kernel fallback) and dominant balance
+        weights both stay bit-exact."""
+        graph = rmat_graph(8, edge_factor=8, seed=5)
+        ref = TwoPhasePartitioner(
+            backend="python", mode="hdrf", hdrf_lambda=hdrf_lambda
+        ).partition(graph, 6)
+        out = TwoPhasePartitioner(
+            backend=backend, mode="hdrf", hdrf_lambda=hdrf_lambda
+        ).partition(graph, 6)
+        assert_results_identical(ref, out)
+
+    def test_2pshdrf_tight_cap_bit_exact(self, backend):
+        """alpha=1.0 keeps the hard cap reachable in nearly every block,
+        exercising the serial cap guard of the HDRF kernel."""
+        graph = rmat_graph(8, edge_factor=8, seed=7)
+        ref = TwoPhasePartitioner(backend="python", mode="hdrf").partition(
+            graph, 5, alpha=1.0, chunk_size=37
+        )
+        out = TwoPhasePartitioner(backend=backend, mode="hdrf").partition(
+            graph, 5, alpha=1.0, chunk_size=37
         )
         assert_results_identical(ref, out)
 

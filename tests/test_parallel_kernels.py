@@ -1,0 +1,241 @@
+"""Differential-equivalence suite for the kernel-routed parallel path.
+
+Three contracts are pinned here:
+
+1. ``ParallelTwoPhase(n_workers=1)`` is **bit-exact** with the sequential
+   ``TwoPhasePartitioner`` — identical per-edge assignments, replica
+   bits, partition sizes *and* cost counters — for any sync interval,
+   chunk size, k, alpha, mode and backend.  A single worker's state view
+   is never stale, and window boundaries are ordinary chunk boundaries,
+   which the kernel contract makes semantics-free.
+2. Kernel backends stay bit-exact with each other *through the parallel
+   path* (stale views, barrier merges and all), for any worker count.
+3. Streaming the same graph from memory or from disk
+   (``InMemoryEdgeStream`` vs ``FileEdgeStream``) yields identical
+   results for every kernel-routed partitioner — this is what catches
+   chunk-boundary bugs in the shard-window iterator.
+
+The parallel path must also honor the out-of-core promise: it never
+materializes the stream, and worker windows bound its memory.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import ParallelTwoPhase, TwoPhasePartitioner
+from repro.graph import Graph
+from repro.graph.formats import write_binary_edge_list
+from repro.kernels import available_backends
+from repro.streaming import FileEdgeStream, InMemoryEdgeStream
+
+VECTOR_BACKENDS = [n for n in available_backends() if n != "python"]
+
+SLOW = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def graphs(draw, max_vertices=50, max_edges=250):
+    """Random non-empty multigraphs (self-loops and duplicates allowed)."""
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    m = draw(st.integers(min_value=1, max_value=max_edges))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    return Graph(rng.integers(0, n, size=(m, 2)), n)
+
+
+def assert_bit_exact(reference, other):
+    """Byte-identical assignments, replicas, sizes and cost counters."""
+    np.testing.assert_array_equal(reference.assignments, other.assignments)
+    np.testing.assert_array_equal(reference.state.sizes, other.state.sizes)
+    np.testing.assert_array_equal(
+        reference.state.replicas, other.state.replicas
+    )
+    assert reference.cost == other.cost
+
+
+@pytest.mark.parametrize("backend", available_backends())
+class TestSingleWorkerIsSequential:
+    @SLOW
+    @given(
+        graph=graphs(),
+        k=st.integers(min_value=2, max_value=10),
+        alpha=st.sampled_from([1.0, 1.05, 1.5]),
+        chunk_size=st.sampled_from([1, 7, 64, 500]),
+        sync_interval=st.sampled_from([1, 13, 10**9]),
+    )
+    def test_2psl_bit_exact(
+        self, backend, graph, k, alpha, chunk_size, sync_interval
+    ):
+        seq = TwoPhasePartitioner(backend=backend).partition(
+            graph, k, alpha=alpha, chunk_size=chunk_size
+        )
+        par = ParallelTwoPhase(
+            n_workers=1, sync_interval=sync_interval, backend=backend
+        ).partition(graph, k, alpha=alpha, chunk_size=chunk_size)
+        assert_bit_exact(seq, par)
+        assert seq.extras["prepartitioned_edges"] == (
+            par.extras["prepartitioned_edges"]
+        )
+
+    @SLOW
+    @given(
+        graph=graphs(max_edges=150),
+        k=st.integers(min_value=2, max_value=8),
+        chunk_size=st.sampled_from([1, 7, 64, 500]),
+    )
+    def test_2pshdrf_bit_exact(self, backend, graph, k, chunk_size):
+        seq = TwoPhasePartitioner(backend=backend, mode="hdrf").partition(
+            graph, k, chunk_size=chunk_size
+        )
+        par = ParallelTwoPhase(
+            n_workers=1, sync_interval=1, mode="hdrf", backend=backend
+        ).partition(graph, k, chunk_size=chunk_size)
+        assert_bit_exact(seq, par)
+
+    def test_sync_interval_one_explicit(self, backend, community_graph):
+        """The ISSUE's headline case: n_workers=1, sync_interval=1."""
+        seq = TwoPhasePartitioner(backend=backend).partition(
+            community_graph, 8
+        )
+        par = ParallelTwoPhase(
+            n_workers=1, sync_interval=1, backend=backend
+        ).partition(community_graph, 8)
+        assert_bit_exact(seq, par)
+
+
+@pytest.mark.parametrize("backend", VECTOR_BACKENDS)
+class TestParallelBackendEquivalence:
+    @SLOW
+    @given(
+        graph=graphs(),
+        k=st.integers(min_value=2, max_value=10),
+        n_workers=st.integers(min_value=2, max_value=5),
+        sync_interval=st.sampled_from([1, 17, 256]),
+        mode=st.sampled_from(["linear", "hdrf"]),
+    )
+    def test_backends_agree_through_stale_merges(
+        self, backend, graph, k, n_workers, sync_interval, mode
+    ):
+        ref = ParallelTwoPhase(
+            n_workers=n_workers,
+            sync_interval=sync_interval,
+            mode=mode,
+            backend="python",
+        ).partition(graph, k)
+        out = ParallelTwoPhase(
+            n_workers=n_workers,
+            sync_interval=sync_interval,
+            mode=mode,
+            backend=backend,
+        ).partition(graph, k)
+        assert_bit_exact(ref, out)
+
+
+class TestStreamSourceParity:
+    """FileEdgeStream vs InMemoryEdgeStream: identical kernel results."""
+
+    PARTITIONERS = {
+        "2PS-L": lambda: TwoPhasePartitioner(),
+        "2PS-HDRF": lambda: TwoPhasePartitioner(mode="hdrf"),
+        "2PS-L-parallel": lambda: ParallelTwoPhase(
+            n_workers=4, sync_interval=17
+        ),
+    }
+
+    @pytest.fixture(scope="class")
+    def graph_file(self, tmp_path_factory, community_graph):
+        path = tmp_path_factory.mktemp("parity") / "g.bin"
+        write_binary_edge_list(community_graph, path)
+        return path
+
+    @pytest.mark.parametrize("backend", available_backends())
+    @pytest.mark.parametrize("name", sorted(PARTITIONERS))
+    @pytest.mark.parametrize("chunk_size", [64, 4096])
+    def test_file_matches_memory(
+        self, name, backend, chunk_size, graph_file, community_graph
+    ):
+        make = self.PARTITIONERS[name]
+        in_mem = make()
+        in_mem.backend = backend
+        from_file = make()
+        from_file.backend = backend
+        a = in_mem.partition(
+            InMemoryEdgeStream(community_graph), 8, chunk_size=chunk_size
+        )
+        b = from_file.partition(
+            FileEdgeStream(graph_file, n_vertices=community_graph.n_vertices),
+            8,
+            chunk_size=chunk_size,
+        )
+        assert_bit_exact(a, b)
+
+    def test_odd_chunk_boundaries(self, graph_file, community_graph):
+        """Chunk sizes that never align with shard or window bounds."""
+        for chunk_size in (1, 3, 61):
+            a = ParallelTwoPhase(n_workers=3, sync_interval=7).partition(
+                InMemoryEdgeStream(community_graph), 4, chunk_size=chunk_size
+            )
+            b = ParallelTwoPhase(n_workers=3, sync_interval=7).partition(
+                FileEdgeStream(
+                    graph_file, n_vertices=community_graph.n_vertices
+                ),
+                4,
+                chunk_size=chunk_size,
+            )
+            assert_bit_exact(a, b)
+
+
+class TestOutOfCore:
+    def test_parallel_never_materializes(
+        self, tmp_path, community_graph, monkeypatch
+    ):
+        """The out-of-core regression fixed by the shard-window iterator:
+        the parallel path must not pull the whole edge array into memory."""
+        path = tmp_path / "g.bin"
+        write_binary_edge_list(community_graph, path)
+        stream = FileEdgeStream(path, n_vertices=community_graph.n_vertices)
+
+        def boom(self):
+            raise AssertionError("parallel path called materialize()")
+
+        monkeypatch.setattr(type(stream), "materialize", boom)
+        result = ParallelTwoPhase(n_workers=4, sync_interval=32).partition(
+            stream, 8
+        )
+        assert result.assignments.min() >= 0
+
+    def test_window_chunks_bound_memory(self, tmp_path, community_graph):
+        """No window chunk may exceed the configured chunk size, so the
+        resident set is O(n_workers * chunk + sync_interval), not O(|E|)."""
+        path = tmp_path / "g.bin"
+        write_binary_edge_list(community_graph, path)
+        stream = FileEdgeStream(path, n_vertices=community_graph.n_vertices)
+        observed = []
+        original = type(stream)._window_iter
+
+        def spy(self, start, stop, chunk_size):
+            for chunk in original(self, start, stop, chunk_size):
+                observed.append(chunk.shape[0])
+                yield chunk
+
+        stream._window_iter = spy.__get__(stream)
+        ParallelTwoPhase(n_workers=4, sync_interval=64).partition(
+            stream, 8, chunk_size=128
+        )
+        assert observed, "shard windows were never used"
+        assert max(observed) <= 128
+
+    def test_parallel_quality_still_reasonable(self, social_graph):
+        """Kernel routing must not regress staleness behaviour: 4 stale
+        workers stay within a band of the sequential quality."""
+        par = ParallelTwoPhase(n_workers=4, sync_interval=256).partition(
+            social_graph, 8
+        )
+        seq = TwoPhasePartitioner().partition(social_graph, 8)
+        assert par.replication_factor < seq.replication_factor * 1.3

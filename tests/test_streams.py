@@ -141,3 +141,109 @@ class TestDegreesFromStream:
         write_binary_edge_list(community_graph, path)
         deg = compute_degrees_from_stream(FileEdgeStream(path))
         assert deg.sum() == 2 * community_graph.n_edges
+
+
+class TestShardWindows:
+    """The shard-window iterator behind the parallel partitioner."""
+
+    @pytest.fixture
+    def graph_file(self, tmp_path, powerlaw_graph):
+        path = tmp_path / "g.bin"
+        write_binary_edge_list(powerlaw_graph, path)
+        return path
+
+    @pytest.mark.parametrize("bounds", [(0, 10), (5, 5), (0, 0), (7, 4000)])
+    def test_in_memory_window_matches_slice(self, powerlaw_graph, bounds):
+        start, stop = bounds
+        stream = InMemoryEdgeStream(powerlaw_graph)
+        parts = list(stream.window(start, stop, chunk_size=13))
+        collected = (
+            np.concatenate(parts)
+            if parts
+            else np.empty((0, 2), dtype=np.int64)
+        )
+        assert np.array_equal(collected, powerlaw_graph.edges[start:stop])
+
+    @pytest.mark.parametrize("bounds", [(0, 10), (5, 5), (7, 4000)])
+    def test_file_window_matches_slice(self, graph_file, powerlaw_graph, bounds):
+        start, stop = bounds
+        stream = FileEdgeStream(graph_file)
+        parts = list(stream.window(start, stop, chunk_size=13))
+        collected = (
+            np.concatenate(parts)
+            if parts
+            else np.empty((0, 2), dtype=np.int64)
+        )
+        assert np.array_equal(collected, powerlaw_graph.edges[start:stop])
+
+    def test_base_class_window_replays_chunks(self, powerlaw_graph):
+        """A stream without random access still windows correctly."""
+        from repro.streaming import EdgeStream
+
+        inner = InMemoryEdgeStream(powerlaw_graph)
+
+        class OpaqueStream(EdgeStream):
+            @property
+            def n_edges(self):
+                return inner.n_edges
+
+            @property
+            def n_vertices(self):
+                return inner.n_vertices
+
+            def chunks(self, chunk_size=None):
+                return inner.chunks(chunk_size)
+
+        stream = OpaqueStream()
+        collected = np.concatenate(list(stream.window(11, 222, chunk_size=17)))
+        assert np.array_equal(collected, powerlaw_graph.edges[11:222])
+
+    def test_windows_cover_stream_exactly(self, powerlaw_graph):
+        stream = InMemoryEdgeStream(powerlaw_graph)
+        m = stream.n_edges
+        cuts = [0, m // 3, m // 2, m]
+        parts = []
+        for lo, hi in zip(cuts[:-1], cuts[1:]):
+            parts.extend(stream.window(lo, hi))
+        assert np.array_equal(np.concatenate(parts), powerlaw_graph.edges)
+
+    def test_interleaved_windows_are_independent(self, graph_file, powerlaw_graph):
+        """Concurrent shard readers do not disturb each other."""
+        stream = FileEdgeStream(graph_file)
+        m = stream.n_edges
+        half = m // 2
+        a = stream.window(0, half, chunk_size=19)
+        b = stream.window(half, m, chunk_size=23)
+        parts_a, parts_b = [], []
+        exhausted_a = exhausted_b = False
+        while not (exhausted_a and exhausted_b):
+            chunk = next(a, None)
+            if chunk is None:
+                exhausted_a = True
+            else:
+                parts_a.append(chunk)
+            chunk = next(b, None)
+            if chunk is None:
+                exhausted_b = True
+            else:
+                parts_b.append(chunk)
+        collected = np.concatenate(parts_a + parts_b)
+        assert np.array_equal(collected, powerlaw_graph.edges)
+
+    def test_window_respects_default_chunk_size(self, powerlaw_graph):
+        stream = InMemoryEdgeStream(powerlaw_graph)
+        stream.default_chunk_size = 11
+        sizes = [c.shape[0] for c in stream.window(0, 100)]
+        assert max(sizes) <= 11
+
+    @pytest.mark.parametrize("bounds", [(-1, 5), (5, 3), (0, 10**9)])
+    def test_invalid_window_rejected(self, powerlaw_graph, bounds):
+        stream = InMemoryEdgeStream(powerlaw_graph)
+        with pytest.raises(StreamError):
+            stream.window(*bounds)
+
+    def test_file_window_charges_device(self, graph_file):
+        device = ssd_device()
+        stream = FileEdgeStream(graph_file, device=device)
+        list(stream.window(0, 50, chunk_size=10))
+        assert stream.stats.simulated_read_seconds > 0
