@@ -20,6 +20,8 @@ import sys
 
 import numpy as np
 
+from repro.core import ParallelTwoPhase
+from repro.core.runners import RUNNERS
 from repro.errors import ReproError
 from repro.experiments.common import ALL_PARTITIONERS, make_partitioner
 from repro.graph.datasets import DATASETS, load_dataset
@@ -41,16 +43,56 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+#: Parallel modes per CLI algorithm name (only 2PS variants shard).
+_PARALLEL_MODES = {"2PS-L": "linear", "2PS-HDRF": "hdrf"}
+
+
+def _make_cli_partitioner(args):
+    """Sequential partitioner by name, or its sharded parallel variant
+    when any of ``--runner``/``--n-workers``/``--sync-interval`` asks for
+    one (each flag alone activates the parallel path — none may be
+    silently ignored)."""
+    parallel_flags = (args.runner, args.n_workers, args.sync_interval)
+    if all(flag is None for flag in parallel_flags):
+        return make_partitioner(args.algorithm, backend=args.backend)
+    mode = _PARALLEL_MODES.get(args.algorithm)
+    if mode is None:
+        raise ReproError(
+            f"--runner/--n-workers/--sync-interval apply only to "
+            f"{sorted(_PARALLEL_MODES)}, not {args.algorithm!r}"
+        )
+    return ParallelTwoPhase(
+        n_workers=args.n_workers if args.n_workers is not None else 4,
+        sync_interval=(
+            args.sync_interval if args.sync_interval is not None else 65536
+        ),
+        mode=mode,
+        backend=args.backend,
+        runner=args.runner or "simulated",
+    )
+
+
 def _cmd_partition(args) -> int:
     device = _DEVICES[args.device]() if args.device else None
     stream = FileEdgeStream(args.input, n_vertices=args.n_vertices, device=device)
-    partitioner = make_partitioner(args.algorithm, backend=args.backend)
+    partitioner = _make_cli_partitioner(args)
     result = partitioner.partition(
         stream, args.k, alpha=args.alpha, chunk_size=args.chunk_size
     )
     print(f"partitioner       : {result.partitioner}")
     if args.backend:
         print(f"kernel backend    : {args.backend}")
+    if "runner" in result.extras:
+        kind = "measured" if result.extras["measured_wallclock"] else "modeled"
+        print(f"runner            : {result.extras['runner']}")
+        print(
+            f"workers / syncs   : {result.extras['n_workers']} / "
+            f"{result.extras['syncs']}"
+        )
+        print(
+            f"parallel phase-2  : {result.extras['parallel_wall_s']:.4f} s "
+            f"({kind})"
+        )
     print(f"k / alpha         : {result.k} / {result.alpha}")
     print(f"edges / vertices  : {result.n_edges} / {result.n_vertices}")
     print(f"replication factor: {result.replication_factor:.4f}")
@@ -159,6 +201,18 @@ def _cmd_list(args) -> int:
     return 0
 
 
+def _chunk_size_arg(value: str):
+    """``--chunk-size`` parser: a positive integer or the string 'auto'."""
+    if value == "auto":
+        return "auto"
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {value!r}"
+        ) from None
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro-partition argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -191,9 +245,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     part.add_argument(
         "--chunk-size",
+        type=_chunk_size_arg,
+        default=None,
+        help="edges per stream chunk for every pass, or 'auto' to derive "
+        "one from |V| and k (perf knob only)",
+    )
+    part.add_argument(
+        "--runner",
+        choices=sorted(RUNNERS),
+        default=None,
+        help="execution runner for the sharded parallel path (2PS-L / "
+        "2PS-HDRF only); 'process' runs real multiprocessing workers "
+        "over shared-memory state",
+    )
+    part.add_argument(
+        "--n-workers",
         type=int,
         default=None,
-        help="edges per stream chunk for every pass (perf knob only)",
+        help="parallel partitioner instances (implies the parallel path; "
+        "default 4 when --runner is given)",
+    )
+    part.add_argument(
+        "--sync-interval",
+        type=int,
+        default=None,
+        help="edges per worker between state synchronizations (implies "
+        "the parallel path; default 65536 when it is active)",
     )
     part.add_argument("--device", choices=sorted(_DEVICES), default=None)
     part.add_argument("--out", default=None, help="write int32 assignments")

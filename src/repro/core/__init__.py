@@ -18,7 +18,9 @@ Extensions from the paper's discussion (Section VI):
 - :mod:`~repro.core.incremental` — dynamic-graph updates without
   re-partitioning (Fan et al. direction);
 - :mod:`~repro.core.parallel` — CuSP-style sharded partitioning with
-  stale-state synchronization.
+  stale-state synchronization, executed by a pluggable runner
+  (:mod:`~repro.core.runners`: serial reference, single-process
+  simulation, or true multi-process over shared-memory state views).
 """
 
 from repro.core.clustering import ClusteringResult, StreamingClustering
@@ -26,6 +28,13 @@ from repro.core.scheduling import graham_schedule, makespan_lower_bound
 from repro.core.scoring import hdrf_scores, twopsl_score
 from repro.core.partitioner import TwoPhasePartitioner
 from repro.core.incremental import IncrementalPartitioner
+from repro.core.runners import (
+    ProcessRunner,
+    Runner,
+    SerialRunner,
+    SimulatedRunner,
+    make_runner,
+)
 from repro.core.parallel import ParallelTwoPhase
 
 __all__ = [
@@ -38,4 +47,9 @@ __all__ = [
     "TwoPhasePartitioner",
     "IncrementalPartitioner",
     "ParallelTwoPhase",
+    "Runner",
+    "SerialRunner",
+    "SimulatedRunner",
+    "ProcessRunner",
+    "make_runner",
 ]

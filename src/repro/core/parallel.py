@@ -5,41 +5,58 @@ to speed up the partitioning.  However, parallelization comes with a cost,
 as staleness in state synchronization of multiple partitioner instances
 can lead to lower partitioning quality."
 
-This module simulates exactly that trade-off.  The edge stream is split
-into ``n_workers`` contiguous shards.  Phase 1 (degrees, clustering,
-mapping) is shared — it is cheap and embarrassingly mergeable — while both
-Phase-2 streaming passes (pre-partitioning and remaining-edge scoring) run
-per worker against a *stale* copy of the global replication state that is
-re-synchronized only every ``sync_interval`` edges.
+:class:`ParallelTwoPhase` implements exactly that trade-off.  The edge
+stream is split into ``n_workers`` contiguous shards.  Phase 1 (degrees,
+clustering, mapping) is shared — it is cheap and embarrassingly mergeable —
+while both Phase-2 streaming passes (pre-partitioning and remaining-edge
+scoring) run per worker against a *stale* copy of the global replication
+state that is re-synchronized only every ``sync_interval`` edges.
 
-Every sync window executes through the kernel layer
-(:mod:`repro.kernels`): a worker pulls its next window of edges from the
-stream's shard-window iterator (:meth:`repro.streaming.stream.EdgeStream.
-window` — no ``materialize()``, so a :class:`~repro.streaming.stream.
-FileEdgeStream` stays out-of-core) and dispatches the same
-``prepartition_pass`` / ``remaining_pass_*`` kernels the sequential
-pipeline uses, against its stale :class:`~repro.partitioning.state.
-PartitionState` view.  Consequences:
+Execution is delegated to a pluggable **runner**
+(:mod:`repro.core.runners`), which decides *who* executes the
+deterministic sync-window schedule:
 
-- ``n_workers=1`` is **bit-exact** with the sequential
+- ``runner="serial"`` — no sharding: the sequential reference execution
+  (bit-exact with :class:`~repro.core.partitioner.TwoPhasePartitioner`
+  for any worker count; zero syncs, zero staleness).
+- ``runner="simulated"`` (default) — single-process round-robin over
+  per-worker stale state views with merge barriers.  Deterministic and
+  dependency-free; the parallel wall-clock in ``extras`` is *modeled* as
+  ``sequential_phase2 / n_workers + syncs * sync_latency``.
+- ``runner="process"`` — true ``multiprocessing`` workers against
+  shared-memory-backed :class:`~repro.partitioning.state.PartitionState`
+  views, with the stream reopened per worker from a picklable spec
+  (:class:`~repro.streaming.stream.FileEdgeStream` shards stay
+  out-of-core).  The parallel wall-clock is *measured*: the phase timer
+  wraps real concurrent execution.
+
+What stays bit-exact, and why
+-----------------------------
+All runners execute the same schedule (worker ``w`` streams shard
+``[bounds[w], bounds[w+1])`` in windows of at most ``sync_interval``
+edges; a barrier merges and refreshes every view after each sweep), and
+every sync window dispatches the same kernel-layer passes
+(:mod:`repro.kernels`) the sequential pipeline uses.  Because the kernel
+contract makes chunk and window boundaries semantics-free, the runner
+choice is a pure execution knob:
+
+- ``process`` is bit-identical to ``simulated`` under the same schedule —
+  per-edge assignments, replica bits, partition sizes and cost counters
+  (worker cost deltas are summed, and sums commute);
+- ``n_workers=1`` is bit-exact with the sequential
   :class:`~repro.core.partitioner.TwoPhasePartitioner` for *any*
-  ``sync_interval`` (a single worker's view is never stale, and window
-  boundaries are ordinary chunk boundaries, which the kernel contract
-  guarantees are semantics-free).  The differential suite in
-  ``tests/test_parallel_kernels.py`` pins assignments, replica bits,
-  sizes and cost counters.
-- Any registered kernel backend accelerates the parallel path for free,
-  and backends stay bit-exact with each other here too.
+  ``sync_interval`` (a single worker's view is never stale);
+- any registered kernel backend accelerates every runner for free, and
+  backends stay bit-exact with each other through the parallel path.
+
+The differential suite in ``tests/test_parallel_kernels.py`` pins all of
+this; ``benchmarks/run_bench.py`` gates the measured process-runner
+speedup into ``BENCH_parallel.json``.
 
 Note on balance: each worker enforces the cap against its *stale* size
 view, so within one sync window the global partition sizes can overshoot
 ``alpha * |E| / k`` slightly — the same effect a real CuSP deployment
 shows.  The measured alpha is reported in the result as usual.
-
-The simulation is single-process but round-robins workers in quanta so the
-interleaving (and therefore the staleness pattern) matches a real parallel
-run with barrier syncs; the modeled parallel wall-clock is
-``sequential_phase2_time / n_workers + syncs * sync_latency``.
 """
 
 from __future__ import annotations
@@ -47,71 +64,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.partitioner import run_phase1
+from repro.core.runners import Runner, ShardedJob, make_runner
 from repro.errors import ConfigurationError
-from repro.kernels import TwoPhaseContext, get_backend
+from repro.kernels import get_backend
 from repro.metrics.memory import measured_state_bytes
 from repro.metrics.runtime import CostCounter, PhaseTimer
 from repro.partitioning.base import EdgePartitioner, PartitionResult
 from repro.partitioning.state import PartitionState
-
-
-class _WindowStream:
-    """One sync window of a shard, consumable like a stream by kernels.
-
-    Holds at most ``sync_interval`` edges (the chunks already pulled from
-    the shard-window iterator), so worker windows — not the edge set —
-    bound the memory of the parallel path.
-    """
-
-    __slots__ = ("_chunks", "n_edges")
-
-    n_vertices = None
-
-    def __init__(self, chunks, n_edges: int) -> None:
-        self._chunks = chunks
-        self.n_edges = n_edges
-
-    def chunks(self, chunk_size=None):
-        return iter(self._chunks)
-
-
-class _ShardCursor:
-    """Pulls one worker's shard from the stream in sync-window quanta.
-
-    Wraps a single :meth:`EdgeStream.window` iterator (one sequential
-    read of the shard per pass) and re-chunks it at window boundaries;
-    a partial chunk is carried over to the next window.
-    """
-
-    __slots__ = ("_iter", "_carry", "position", "remaining")
-
-    def __init__(self, stream, start: int, stop: int) -> None:
-        self._iter = stream.window(start, stop)
-        self._carry = None
-        self.position = start
-        self.remaining = stop - start
-
-    def take(self, n_edges: int) -> _WindowStream:
-        """Next window of up to ``n_edges`` edges, in stream order."""
-        chunks = []
-        got = 0
-        while got < n_edges:
-            if self._carry is not None:
-                chunk, self._carry = self._carry, None
-            else:
-                chunk = next(self._iter, None)
-                if chunk is None:
-                    break
-            need = n_edges - got
-            if chunk.shape[0] > need:
-                self._carry = chunk[need:]
-                chunk = chunk[:need]
-            if chunk.shape[0]:
-                chunks.append(chunk)
-                got += chunk.shape[0]
-        self.position += got
-        self.remaining -= got
-        return _WindowStream(chunks, got)
 
 
 class ParallelTwoPhase(EdgePartitioner):
@@ -130,14 +89,24 @@ class ParallelTwoPhase(EdgePartitioner):
         ``"linear"`` (2PS-L scoring) or ``"hdrf"`` (2PS-HDRF scoring) for
         the remaining pass, exactly as in the sequential partitioner.
     sync_latency:
-        Modeled seconds per synchronization barrier (for the parallel
-        wall-clock estimate in ``extras``).
+        Modeled seconds per synchronization barrier (used by the
+        simulated runner's parallel wall-clock estimate in ``extras``).
     backend:
         Kernel backend name (:mod:`repro.kernels`); ``None`` selects the
         default.  Pure performance knob — backends are bit-exact.
     chunk_size:
         Default edges-per-chunk for every streaming pass of a run;
-        ``None`` keeps the stream's own default.
+        ``None`` keeps the stream's own default, ``"auto"`` derives one
+        from ``|V|`` and ``k`` (:func:`repro.streaming.stream.
+        auto_chunk_size`).
+    runner:
+        Execution runner: ``"serial"``, ``"simulated"`` (default),
+        ``"process"``, or a :class:`~repro.core.runners.Runner` instance.
+        A pure execution knob — results are bit-identical across runners
+        under the same schedule (see the module docstring).
+    start_method, task_timeout:
+        Process-runner knobs (``multiprocessing`` start method and the
+        per-window hang timeout); ignored by the other runners.
     """
 
     def __init__(
@@ -151,7 +120,10 @@ class ParallelTwoPhase(EdgePartitioner):
         sync_latency: float = 0.001,
         hash_seed: int = 0,
         backend: str | None = None,
-        chunk_size: int | None = None,
+        chunk_size: int | str | None = None,
+        runner: str | Runner = "simulated",
+        start_method: str | None = None,
+        task_timeout: float = 600.0,
     ) -> None:
         if n_workers < 1:
             raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
@@ -167,9 +139,13 @@ class ParallelTwoPhase(EdgePartitioner):
             raise ConfigurationError(
                 f"volume_cap_factor must be positive, got {volume_cap_factor}"
             )
-        if chunk_size is not None and chunk_size <= 0:
+        if (
+            chunk_size is not None
+            and chunk_size != "auto"
+            and (isinstance(chunk_size, str) or chunk_size <= 0)
+        ):
             raise ConfigurationError(
-                f"chunk_size must be positive, got {chunk_size}"
+                f"chunk_size must be positive or 'auto', got {chunk_size!r}"
             )
         get_backend(backend)  # validate the name eagerly
         self.n_workers = int(n_workers)
@@ -182,6 +158,9 @@ class ParallelTwoPhase(EdgePartitioner):
         self.hash_seed = int(hash_seed)
         self.backend = backend
         self.chunk_size = chunk_size
+        self.runner = make_runner(
+            runner, start_method=start_method, task_timeout=task_timeout
+        )
         self.name = (
             "2PS-L-parallel" if mode == "linear" else "2PS-HDRF-parallel"
         )
@@ -205,56 +184,46 @@ class ParallelTwoPhase(EdgePartitioner):
 
         state = PartitionState(n, k, m, alpha)
         assignments = np.full(m, -1, dtype=np.int32)
-        shard_bounds = np.linspace(0, m, self.n_workers + 1).astype(np.int64)
+        job = ShardedJob(
+            stream=stream,
+            n_workers=self.n_workers,
+            sync_interval=self.sync_interval,
+            shard_bounds=np.linspace(0, m, self.n_workers + 1).astype(
+                np.int64
+            ),
+            backend=self.backend,
+            k=k,
+            alpha=alpha,
+            v2c=clustering.v2c,
+            c2p=c2p,
+            volumes=clustering.volumes,
+            degrees=degrees,
+            hash_seed=self.hash_seed,
+            hdrf_lambda=self.hdrf_lambda,
+            state=state,
+            assignments=assignments,
+            cost=cost,
+        )
 
-        # Per-worker stale views.  A single worker's view is never stale,
-        # so it shares the global state outright (this is what makes
-        # n_workers=1 bit-exact with the sequential pipeline, with no
-        # merge work).
-        if self.n_workers == 1:
-            worker_states = [state]
-        else:
-            worker_states = []
-            for _ in range(self.n_workers):
-                ws = PartitionState(n, k, m, alpha)
-                worker_states.append(ws)
-
-        def make_ctx(worker_state, window_assignments):
-            return TwoPhaseContext(
-                k=k,
-                v2c=clustering.v2c,
-                c2p=c2p,
-                volumes=clustering.volumes,
-                degrees=degrees,
-                state=worker_state,
-                assignments=window_assignments,
-                hash_seed=self.hash_seed,
-                cost=cost,
-                hdrf_lambda=self.hdrf_lambda,
-            )
-
-        with timer.phase("prepartition"):
-            n_pre, syncs_pre = self._sharded_pass(
-                stream, shard_bounds, worker_states, state, assignments,
-                kernels.prepartition_pass, make_ctx,
-            )
-        with timer.phase("partitioning"):
-            remaining_pass = (
-                kernels.remaining_pass_linear
+        session = self.runner.open(job)
+        try:
+            with timer.phase("prepartition"):
+                n_pre, syncs_pre = session.run_pass("prepartition")
+            remaining = (
+                "remaining_linear"
                 if self.mode == "linear"
-                else kernels.remaining_pass_hdrf
+                else "remaining_hdrf"
             )
-            _, syncs_rem = self._sharded_pass(
-                stream, shard_bounds, worker_states, state, assignments,
-                remaining_pass, make_ctx,
-            )
+            with timer.phase("partitioning"):
+                _, syncs_rem = session.run_pass(remaining)
+            worker_bytes = session.extra_state_bytes()
+            session.finalize()
+        finally:
+            session.close()
         syncs = syncs_pre + syncs_rem
 
-        sequential_phase2 = timer.totals.get("prepartition", 0.0) + (
+        phase2_seconds = timer.totals.get("prepartition", 0.0) + (
             timer.totals.get("partitioning", 0.0)
-        )
-        worker_bytes = sum(
-            ws.nbytes() for ws in worker_states if ws is not state
         )
         return PartitionResult(
             partitioner=self.name,
@@ -275,8 +244,11 @@ class ParallelTwoPhase(EdgePartitioner):
                 "n_workers": self.n_workers,
                 "sync_interval": self.sync_interval,
                 "syncs": syncs,
-                "parallel_wall_s": sequential_phase2 / self.n_workers
-                + syncs * self.sync_latency,
+                "runner": self.runner.kind,
+                "parallel_wall_s": self.runner.parallel_wall_seconds(
+                    phase2_seconds, self.n_workers, syncs, self.sync_latency
+                ),
+                "measured_wallclock": self.runner.measures_wallclock,
                 "mode": self.mode,
                 "backend": kernels.name,
                 "n_clusters": clustering.n_nonempty_clusters,
@@ -284,67 +256,3 @@ class ParallelTwoPhase(EdgePartitioner):
                 "remaining_edges": m - n_pre,
             },
         )
-
-    # ------------------------------------------------------------------
-    def _sharded_pass(
-        self, stream, shard_bounds, worker_states, state, assignments,
-        pass_kernel, make_ctx,
-    ) -> tuple[int, int]:
-        """One Phase-2 pass, sharded over workers in sync-window quanta.
-
-        Returns ``(sum of kernel return values, barrier count)``.  Each
-        quantum dispatches ``pass_kernel`` on a :class:`_WindowStream` of
-        at most ``sync_interval`` edges against the worker's stale state
-        view, writing into the global assignment array's matching slice;
-        after every round-robin sweep the barrier merges worker deltas
-        into the global state and refreshes every stale view.
-        """
-        cursors = [
-            _ShardCursor(stream, int(shard_bounds[w]), int(shard_bounds[w + 1]))
-            for w in range(self.n_workers)
-        ]
-        total = 0
-        syncs = 0
-        active = True
-        while active:
-            active = False
-            for w, worker_state in enumerate(worker_states):
-                cursor = cursors[w]
-                if cursor.remaining <= 0:
-                    continue
-                pos = cursor.position
-                window = cursor.take(self.sync_interval)
-                if window.n_edges == 0:
-                    continue
-                active = True
-                ctx = make_ctx(
-                    worker_state, assignments[pos : pos + window.n_edges]
-                )
-                out = pass_kernel(window, ctx)
-                if out is not None:
-                    total += int(out)
-            if active:
-                syncs += 1
-                self._barrier(worker_states, state)
-        return total, syncs
-
-    def _barrier(self, worker_states, state) -> None:
-        """Merge worker deltas into the global state, refresh stale views.
-
-        Replica bits merge by OR; sizes merge by summing each worker's
-        delta against the last synchronized global sizes (every edge is
-        assigned by exactly one worker, so deltas are disjoint).
-        """
-        if self.n_workers == 1:
-            return  # the worker shares the global state: nothing to do
-        merged = np.logical_or.reduce(
-            [state.replicas] + [ws.replicas for ws in worker_states]
-        )
-        new_sizes = state.sizes + sum(
-            ws.sizes - state.sizes for ws in worker_states
-        )
-        state.replicas[:] = merged
-        state.sizes[:] = new_sizes
-        for ws in worker_states:
-            ws.replicas[:] = merged
-            ws.sizes[:] = new_sizes

@@ -125,7 +125,9 @@ class TwoPhasePartitioner(EdgePartitioner):
     chunk_size:
         Default edges-per-chunk for every streaming pass of a run
         (overridable per call via ``partition(..., chunk_size=...)``);
-        ``None`` keeps the stream's own default.
+        ``None`` keeps the stream's own default, ``"auto"`` derives one
+        from ``|V|`` and ``k`` (:func:`repro.streaming.stream.
+        auto_chunk_size`).
     """
 
     def __init__(
@@ -137,7 +139,7 @@ class TwoPhasePartitioner(EdgePartitioner):
         hash_seed: int = 0,
         keep_state: bool = False,
         backend: str | None = None,
-        chunk_size: int | None = None,
+        chunk_size: int | str | None = None,
     ) -> None:
         if mode not in ("linear", "hdrf"):
             raise ConfigurationError(
@@ -147,9 +149,13 @@ class TwoPhasePartitioner(EdgePartitioner):
             raise ConfigurationError(
                 f"volume_cap_factor must be positive, got {volume_cap_factor}"
             )
-        if chunk_size is not None and chunk_size <= 0:
+        if (
+            chunk_size is not None
+            and chunk_size != "auto"
+            and (isinstance(chunk_size, str) or chunk_size <= 0)
+        ):
             raise ConfigurationError(
-                f"chunk_size must be positive, got {chunk_size}"
+                f"chunk_size must be positive or 'auto', got {chunk_size!r}"
             )
         get_backend(backend)  # validate the name eagerly
         self.clustering_passes = int(clustering_passes)

@@ -1,0 +1,768 @@
+"""Execution runners: who runs the sync windows of a sharded Phase-2 pass.
+
+:class:`~repro.core.parallel.ParallelTwoPhase` owns the *semantics* of
+CuSP-style sharded partitioning — contiguous stream shards, per-worker
+stale state views, barrier synchronization every ``sync_interval`` edges —
+and delegates the *execution* of the resulting sync-window schedule to a
+runner from this module:
+
+- :class:`SerialRunner` — no sharding at all: each pass runs once over the
+  full stream against the global state, exactly like the sequential
+  :class:`~repro.core.partitioner.TwoPhasePartitioner`.  The degenerate
+  reference point (zero syncs, zero staleness).
+- :class:`SimulatedRunner` — the single-process round-robin simulation:
+  worker windows execute interleaved in one process, each against its own
+  stale heap-allocated :class:`~repro.partitioning.state.PartitionState`,
+  with an explicit merge barrier after every sweep.  Deterministic and
+  dependency-free; parallel wall-clock is *modeled*, not measured.
+- :class:`ProcessRunner` — true ``multiprocessing`` execution: one pool
+  process per shard worker, worker state views in shared-memory-backed
+  ``PartitionState`` segments, per-edge assignments in one shared ``int32``
+  array, and the stream reopened in every worker from a picklable
+  :class:`~repro.streaming.stream.StreamSpec` (file streams stay
+  out-of-core; in-memory streams ship their edges once through shared
+  memory).  Parallel wall-clock is *measured*.
+
+Equivalence contract
+--------------------
+All three runners execute the same deterministic schedule: worker ``w``
+processes shard ``[bounds[w], bounds[w+1])`` in windows of at most
+``sync_interval`` edges, and after every sweep the barrier ORs replica
+bits and sums disjoint size deltas into the global state, then refreshes
+every stale view.  Because the kernel contract makes chunk and window
+boundaries semantics-free (see :mod:`repro.kernels`), this pins down every
+output bit:
+
+- :class:`ProcessRunner` is **bit-identical** to :class:`SimulatedRunner`
+  under the same schedule — assignments, replica matrix, partition sizes
+  *and* cost counters (cost fields are sums of per-window counts, so
+  merge order cannot matter).
+- With ``n_workers=1`` both are bit-exact with the sequential pipeline
+  (a single worker's view is never stale), and :class:`SerialRunner` is
+  bit-exact with it for *any* worker count because it ignores sharding
+  entirely.
+
+``tests/test_parallel_kernels.py`` enforces all of this differentially.
+
+Shared-memory lifecycle
+-----------------------
+A process session owns every segment it creates (worker state views, the
+assignment array, and — for non-file streams — the edge array).  Segments
+are created in ``open()``, unlinked in ``close()``; ``close()`` is
+idempotent and runs on both success and error paths, so a crashed or
+timed-out worker cannot leak segments past the session (verified by the
+cleanup tests; :func:`live_shared_segments` exposes the owned set).
+Workers only ever *attach* and never unlink.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import astuple, dataclass, fields
+
+import numpy as np
+
+from repro.errors import ConfigurationError, PartitioningError
+from repro.kernels import TwoPhaseContext, get_backend
+from repro.metrics.runtime import CostCounter
+from repro.partitioning.state import PartitionState
+from repro.streaming.stream import make_stream_spec
+
+#: Pass names a runner can execute -> kernel-backend method names.
+PASS_METHODS = {
+    "prepartition": "prepartition_pass",
+    "remaining_linear": "remaining_pass_linear",
+    "remaining_hdrf": "remaining_pass_hdrf",
+}
+
+_COST_FIELDS = tuple(f.name for f in fields(CostCounter))
+
+
+def _merge_cost(cost: CostCounter, delta: tuple) -> None:
+    """Accumulate a worker's per-window cost tuple into ``cost``."""
+    for name, value in zip(_COST_FIELDS, delta):
+        setattr(cost, name, getattr(cost, name) + int(value))
+
+
+@dataclass
+class ShardedJob:
+    """Everything one parallel run shares across its two Phase-2 passes.
+
+    Built once by ``ParallelTwoPhase._run`` after the shared Phase 1;
+    handed to ``Runner.open``.  ``state``, ``assignments`` and ``cost``
+    are the run's global outputs and are mutated by the session.
+    """
+
+    stream: object
+    n_workers: int
+    sync_interval: int
+    shard_bounds: np.ndarray
+    backend: str | None
+    k: int
+    alpha: float
+    v2c: np.ndarray
+    c2p: np.ndarray
+    volumes: np.ndarray
+    degrees: np.ndarray
+    hash_seed: int
+    hdrf_lambda: float
+    state: PartitionState
+    assignments: np.ndarray
+    cost: CostCounter
+
+
+def _make_ctx(job: ShardedJob, state, assignments, cost=None) -> TwoPhaseContext:
+    return TwoPhaseContext(
+        k=job.k,
+        v2c=job.v2c,
+        c2p=job.c2p,
+        volumes=job.volumes,
+        degrees=job.degrees,
+        state=state,
+        assignments=assignments,
+        hash_seed=job.hash_seed,
+        cost=job.cost if cost is None else cost,
+        hdrf_lambda=job.hdrf_lambda,
+    )
+
+
+def merge_barrier(state: PartitionState, worker_states) -> None:
+    """One synchronization barrier: merge worker deltas, refresh views.
+
+    Replica bits merge by OR; sizes merge by summing each worker's delta
+    against the last synchronized global sizes (every edge is assigned by
+    exactly one worker, so deltas are disjoint).  Afterwards every worker
+    view equals the new global state.  Shared by the simulated and the
+    process runner so their barrier arithmetic cannot diverge.
+    """
+    if len(worker_states) == 1 and worker_states[0] is state:
+        return  # the worker shares the global state: nothing to do
+    merged = np.logical_or.reduce(
+        [state.replicas] + [ws.replicas for ws in worker_states]
+    )
+    new_sizes = state.sizes + sum(
+        ws.sizes - state.sizes for ws in worker_states
+    )
+    state.replicas[:] = merged
+    state.sizes[:] = new_sizes
+    for ws in worker_states:
+        ws.replicas[:] = merged
+        ws.sizes[:] = new_sizes
+
+
+def _sweep_schedule(position, stop, sync_interval, pass_name):
+    """Advance every active shard cursor one window; return the tasks."""
+    tasks = []
+    for w in range(len(position)):
+        if position[w] >= stop[w]:
+            continue
+        take = min(sync_interval, stop[w] - position[w])
+        tasks.append((w, pass_name, position[w], position[w] + take))
+        position[w] += take
+    return tasks
+
+
+# ----------------------------------------------------------------------
+# runner protocol
+# ----------------------------------------------------------------------
+class RunnerSession(ABC):
+    """One parallel run's execution state (pools, views, segments)."""
+
+    @abstractmethod
+    def run_pass(self, pass_name: str) -> tuple[int, int]:
+        """Execute one sharded pass; returns ``(kernel total, syncs)``."""
+
+    def finalize(self) -> None:
+        """Copy shared results back into the job arrays (success path)."""
+
+    def close(self) -> None:
+        """Release every resource; idempotent, safe on error paths."""
+
+    def extra_state_bytes(self) -> int:
+        """Bytes held by per-worker state views beyond the global state."""
+        return 0
+
+
+class Runner(ABC):
+    """Scheduling strategy for the Phase-2 passes of ``ParallelTwoPhase``."""
+
+    #: Registry name; subclasses override.
+    kind: str = "abstract"
+
+    #: True when wall-clock measured around ``run_pass`` is real parallel
+    #: time (processes actually ran concurrently), False when it is
+    #: single-process compute that a model must convert.
+    measures_wallclock: bool = False
+
+    @abstractmethod
+    def open(self, job: ShardedJob) -> RunnerSession:
+        """Start a session for one run (allocate views, pools, segments)."""
+
+    def parallel_wall_seconds(
+        self, phase2_seconds: float, n_workers: int, syncs: int,
+        sync_latency: float,
+    ) -> float:
+        """Parallel Phase-2 wall-clock estimate for the result extras."""
+        return phase2_seconds  # measured runners: the timer already is it
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} kind={self.kind!r}>"
+
+
+# ----------------------------------------------------------------------
+# serial
+# ----------------------------------------------------------------------
+class SerialRunner(Runner):
+    """Sequential reference execution: one window, the whole stream.
+
+    Ignores ``n_workers``/``sync_interval`` — each pass dispatches the
+    kernel once over the full stream against the global state, which is
+    exactly the sequential pipeline (bit-exact with
+    ``TwoPhasePartitioner`` by construction).  Reports zero syncs.
+    """
+
+    kind = "serial"
+
+    def open(self, job: ShardedJob) -> RunnerSession:
+        return _SerialSession(job)
+
+
+class _SerialSession(RunnerSession):
+    def __init__(self, job: ShardedJob) -> None:
+        self.job = job
+
+    def run_pass(self, pass_name: str) -> tuple[int, int]:
+        job = self.job
+        kernel = getattr(get_backend(job.backend), PASS_METHODS[pass_name])
+        out = kernel(job.stream, _make_ctx(job, job.state, job.assignments))
+        return (0 if out is None else int(out)), 0
+
+
+# ----------------------------------------------------------------------
+# simulated (single-process round-robin)
+# ----------------------------------------------------------------------
+class _WindowStream:
+    """One sync window of a shard, consumable like a stream by kernels.
+
+    Holds at most ``sync_interval`` edges (the chunks already pulled from
+    the shard-window iterator), so worker windows — not the edge set —
+    bound the memory of the simulated parallel path.
+    """
+
+    __slots__ = ("_chunks", "n_edges")
+
+    n_vertices = None
+
+    def __init__(self, chunks, n_edges: int) -> None:
+        self._chunks = chunks
+        self.n_edges = n_edges
+
+    def chunks(self, chunk_size=None):
+        return iter(self._chunks)
+
+
+class _ShardCursor:
+    """Pulls one worker's shard from the stream in sync-window quanta.
+
+    Wraps a single :meth:`EdgeStream.window` iterator (one sequential
+    read of the shard per pass) and re-chunks it at window boundaries;
+    a partial chunk is carried over to the next window.
+    """
+
+    __slots__ = ("_iter", "_carry", "position", "remaining")
+
+    def __init__(self, stream, start: int, stop: int) -> None:
+        self._iter = stream.window(start, stop)
+        self._carry = None
+        self.position = start
+        self.remaining = stop - start
+
+    def take(self, n_edges: int) -> _WindowStream:
+        """Next window of up to ``n_edges`` edges, in stream order."""
+        chunks = []
+        got = 0
+        while got < n_edges:
+            if self._carry is not None:
+                chunk, self._carry = self._carry, None
+            else:
+                chunk = next(self._iter, None)
+                if chunk is None:
+                    break
+            need = n_edges - got
+            if chunk.shape[0] > need:
+                self._carry = chunk[need:]
+                chunk = chunk[:need]
+            if chunk.shape[0]:
+                chunks.append(chunk)
+                got += chunk.shape[0]
+        self.position += got
+        self.remaining -= got
+        return _WindowStream(chunks, got)
+
+
+class SimulatedRunner(Runner):
+    """Single-process round-robin execution of the sharded schedule.
+
+    Workers take turns in quanta so the interleaving (and therefore the
+    staleness pattern) matches a real parallel run with barrier syncs;
+    parallel wall-clock is *modeled* as
+    ``sequential_phase2 / n_workers + syncs * sync_latency``.
+    """
+
+    kind = "simulated"
+
+    def open(self, job: ShardedJob) -> RunnerSession:
+        return _SimulatedSession(job)
+
+    def parallel_wall_seconds(
+        self, phase2_seconds, n_workers, syncs, sync_latency
+    ) -> float:
+        return phase2_seconds / n_workers + syncs * sync_latency
+
+
+class _SimulatedSession(RunnerSession):
+    def __init__(self, job: ShardedJob) -> None:
+        self.job = job
+        # A single worker's view is never stale, so it shares the global
+        # state outright (this is what makes n_workers=1 bit-exact with
+        # the sequential pipeline, with no merge work).
+        if job.n_workers == 1:
+            self.worker_states = [job.state]
+        else:
+            self.worker_states = [
+                PartitionState(
+                    job.state.n_vertices, job.k, job.state.n_edges, job.alpha
+                )
+                for _ in range(job.n_workers)
+            ]
+
+    def run_pass(self, pass_name: str) -> tuple[int, int]:
+        job = self.job
+        pass_kernel = getattr(
+            get_backend(job.backend), PASS_METHODS[pass_name]
+        )
+        cursors = [
+            _ShardCursor(
+                job.stream,
+                int(job.shard_bounds[w]),
+                int(job.shard_bounds[w + 1]),
+            )
+            for w in range(job.n_workers)
+        ]
+        total = 0
+        syncs = 0
+        active = True
+        while active:
+            active = False
+            for w, worker_state in enumerate(self.worker_states):
+                cursor = cursors[w]
+                if cursor.remaining <= 0:
+                    continue
+                pos = cursor.position
+                window = cursor.take(job.sync_interval)
+                if window.n_edges == 0:
+                    continue
+                active = True
+                ctx = _make_ctx(
+                    job,
+                    worker_state,
+                    job.assignments[pos : pos + window.n_edges],
+                )
+                out = pass_kernel(window, ctx)
+                if out is not None:
+                    total += int(out)
+            if active:
+                syncs += 1
+                merge_barrier(job.state, self.worker_states)
+        return total, syncs
+
+    def extra_state_bytes(self) -> int:
+        return sum(
+            ws.nbytes()
+            for ws in self.worker_states
+            if ws is not self.job.state
+        )
+
+
+# ----------------------------------------------------------------------
+# process (true multiprocessing over shared memory)
+# ----------------------------------------------------------------------
+#: Names of shared segments currently owned by live process sessions.
+#: Test/debug hook: must be empty whenever no session is open.
+_LIVE_SEGMENTS: set[str] = set()
+
+
+def live_shared_segments() -> frozenset[str]:
+    """Segment names owned by open process sessions (leak-check hook)."""
+    return frozenset(_LIVE_SEGMENTS)
+
+
+def default_start_method() -> str:
+    """``fork`` where available (cheap, inherits the backend registry),
+    else ``spawn``."""
+    import multiprocessing as mp
+
+    return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+@dataclass
+class _WorkerPayload:
+    """Once-per-process initialization shipped to every pool worker."""
+
+    spec: object
+    assignments_shm: str
+    state_shm_names: tuple[str, ...]
+    n_vertices: int
+    k: int
+    n_edges: int
+    alpha: float
+    backend: str | None
+    v2c: np.ndarray
+    c2p: np.ndarray
+    volumes: np.ndarray
+    degrees: np.ndarray
+    hash_seed: int
+    hdrf_lambda: float
+
+
+class _SubStream:
+    """A ``[start, stop)`` stream window, consumable by kernels.
+
+    Unlike :class:`_WindowStream` it is lazy: chunks come straight from
+    the underlying stream's window iterator, so a worker holds at most
+    one chunk of its current window in memory.
+    """
+
+    __slots__ = ("_stream", "_start", "_stop", "n_edges")
+
+    n_vertices = None
+
+    def __init__(self, stream, start: int, stop: int) -> None:
+        self._stream = stream
+        self._start = start
+        self._stop = stop
+        self.n_edges = stop - start
+
+    def chunks(self, chunk_size=None):
+        return self._stream.window(self._start, self._stop, chunk_size)
+
+
+_WORKER = None  # per-process context, set by _process_worker_init
+
+
+def _process_worker_init(payload: _WorkerPayload) -> None:
+    """Pool initializer: attach every shared segment, open the stream.
+
+    Never raises: an exception escaping a pool initializer makes the
+    worker exit and the pool respawn it in a tight crash loop, with the
+    parent none the wiser until a task timeout.  Instead the failure is
+    recorded and re-raised by the first task, so the parent gets the
+    true cause immediately through the normal result path.
+    """
+    global _WORKER
+    try:
+        from multiprocessing import shared_memory
+
+        stream = payload.spec.open()
+        assign_shm = shared_memory.SharedMemory(
+            name=payload.assignments_shm, create=False
+        )
+        assignments = np.ndarray(
+            payload.n_edges, dtype=np.int32, buffer=assign_shm.buf
+        )
+        views = [
+            PartitionState.attach(
+                name, payload.n_vertices, payload.k, payload.n_edges,
+                payload.alpha,
+            )
+            for name in payload.state_shm_names
+        ]
+        _WORKER = {
+            "payload": payload,
+            "stream": stream,
+            "assign_shm": assign_shm,
+            "assignments": assignments,
+            "views": views,
+            "kernels": get_backend(payload.backend),
+        }
+    except BaseException as exc:  # noqa: BLE001 - see docstring
+        _WORKER = {"init_error": f"{type(exc).__name__}: {exc}"}
+
+
+def _process_worker_task(task) -> tuple[int, tuple]:
+    """One sync window in a pool worker.
+
+    ``task`` is ``(worker_index, pass_name, start, stop)``.  Any pool
+    process may execute any shard worker's window (every process maps
+    every view); within a sweep the windows of distinct shard workers
+    touch disjoint views and disjoint assignment slices, so there are no
+    cross-process races by construction.  Returns the kernel total and
+    this window's cost-counter delta for the parent to merge.
+    """
+    worker_index, pass_name, start, stop = task
+    ctx_globals = _WORKER
+    if "init_error" in ctx_globals:
+        raise PartitioningError(
+            "process worker initialization failed: "
+            + ctx_globals["init_error"]
+        )
+    payload = ctx_globals["payload"]
+    cost = CostCounter()
+    ctx = TwoPhaseContext(
+        k=payload.k,
+        v2c=payload.v2c,
+        c2p=payload.c2p,
+        volumes=payload.volumes,
+        degrees=payload.degrees,
+        state=ctx_globals["views"][worker_index],
+        assignments=ctx_globals["assignments"][start:stop],
+        hash_seed=payload.hash_seed,
+        cost=cost,
+        hdrf_lambda=payload.hdrf_lambda,
+    )
+    window = _SubStream(ctx_globals["stream"], start, stop)
+    out = getattr(ctx_globals["kernels"], PASS_METHODS[pass_name])(
+        window, ctx
+    )
+    return (0 if out is None else int(out)), astuple(cost)
+
+
+class ProcessRunner(Runner):
+    """True multi-process execution over shared-memory state views.
+
+    Parameters
+    ----------
+    start_method:
+        ``multiprocessing`` start method (``None`` picks
+        :func:`default_start_method`).  ``fork`` inherits dynamically
+        registered kernel backends; ``spawn`` re-imports them.
+    task_timeout:
+        Seconds to wait for any single sync-window task.  A worker that
+        died abruptly (OOM-kill, segfault) leaves its task result pending
+        forever in a ``multiprocessing.Pool``; the timeout converts that
+        hang into a :class:`~repro.errors.PartitioningError` and the
+        session teardown terminates the pool and unlinks every segment.
+    """
+
+    kind = "process"
+    measures_wallclock = True
+
+    def __init__(
+        self,
+        start_method: str | None = None,
+        task_timeout: float = 600.0,
+    ) -> None:
+        if start_method is not None:
+            import multiprocessing as mp
+
+            if start_method not in mp.get_all_start_methods():
+                raise ConfigurationError(
+                    f"start_method {start_method!r} not available; "
+                    f"choose from {mp.get_all_start_methods()}"
+                )
+        if task_timeout <= 0:
+            raise ConfigurationError(
+                f"task_timeout must be positive, got {task_timeout}"
+            )
+        self.start_method = start_method
+        self.task_timeout = float(task_timeout)
+
+    def open(self, job: ShardedJob) -> RunnerSession:
+        return _ProcessSession(self, job)
+
+
+class _ProcessSession(RunnerSession):
+    def __init__(self, runner: ProcessRunner, job: ShardedJob) -> None:
+        self.job = job
+        self._timeout = runner.task_timeout
+        self._pool = None
+        self._stream_shm = None
+        self._assign_shm = None
+        self._assign_view = None
+        self.views: list[PartitionState] = []
+        self._closed = False
+        try:
+            self._setup(runner)
+        except BaseException:
+            self.close()
+            raise
+
+    def _setup(self, runner: ProcessRunner) -> None:
+        import multiprocessing as mp
+        from multiprocessing import shared_memory
+
+        job = self.job
+        spec, self._stream_shm = make_stream_spec(job.stream)
+        if self._stream_shm is not None:
+            _LIVE_SEGMENTS.add(self._stream_shm.name)
+        m = int(job.assignments.shape[0])
+        self._assign_shm = shared_memory.SharedMemory(
+            create=True, size=max(job.assignments.nbytes, 1)
+        )
+        _LIVE_SEGMENTS.add(self._assign_shm.name)
+        self._assign_view = np.ndarray(
+            m, dtype=np.int32, buffer=self._assign_shm.buf
+        )
+        self._assign_view[:] = job.assignments
+        for _ in range(job.n_workers):
+            view = PartitionState.from_shared(
+                job.state.n_vertices, job.k, job.state.n_edges, job.alpha
+            )
+            self.views.append(view)
+            _LIVE_SEGMENTS.add(view.shm_name)
+        payload = _WorkerPayload(
+            spec=spec,
+            assignments_shm=self._assign_shm.name,
+            state_shm_names=tuple(v.shm_name for v in self.views),
+            n_vertices=job.state.n_vertices,
+            k=job.k,
+            n_edges=job.state.n_edges,
+            alpha=job.alpha,
+            backend=job.backend,
+            v2c=job.v2c,
+            c2p=job.c2p,
+            volumes=job.volumes,
+            degrees=job.degrees,
+            hash_seed=job.hash_seed,
+            hdrf_lambda=job.hdrf_lambda,
+        )
+        ctx = mp.get_context(runner.start_method or default_start_method())
+        self._pool = ctx.Pool(
+            processes=job.n_workers,
+            initializer=_process_worker_init,
+            initargs=(payload,),
+        )
+
+    def run_pass(self, pass_name: str) -> tuple[int, int]:
+        import multiprocessing as mp
+
+        if pass_name not in PASS_METHODS:
+            raise ConfigurationError(f"unknown pass {pass_name!r}")
+        job = self.job
+        position = [int(job.shard_bounds[w]) for w in range(job.n_workers)]
+        stop = [int(job.shard_bounds[w + 1]) for w in range(job.n_workers)]
+        total = 0
+        syncs = 0
+        while True:
+            tasks = _sweep_schedule(
+                position, stop, job.sync_interval, pass_name
+            )
+            if not tasks:
+                break
+            pending = [
+                self._pool.apply_async(_process_worker_task, (task,))
+                for task in tasks
+            ]
+            for handle in pending:
+                try:
+                    out, cost_delta = handle.get(timeout=self._timeout)
+                except mp.TimeoutError as exc:
+                    raise PartitioningError(
+                        f"process runner: a {pass_name} window exceeded "
+                        f"the {self._timeout:.0f}s task timeout (worker "
+                        "died or deadlocked)"
+                    ) from exc
+                total += out
+                _merge_cost(job.cost, cost_delta)
+            syncs += 1
+            merge_barrier(job.state, self.views)
+        return total, syncs
+
+    def finalize(self) -> None:
+        # The barrier already synchronized the global state after the
+        # last sweep; only the assignments live solely in shared memory.
+        self.job.assignments[:] = self._assign_view
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            pool, self._pool = self._pool, None
+            self._shutdown_pool(pool)
+        self._assign_view = None
+        for shm in (self._assign_shm, self._stream_shm):
+            if shm is None:
+                continue
+            _LIVE_SEGMENTS.discard(shm.name)
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - cleanup race
+                pass
+        self._assign_shm = None
+        self._stream_shm = None
+        views, self.views = self.views, []
+        for view in views:
+            _LIVE_SEGMENTS.discard(view.shm_name)
+            view.close()
+            view.unlink()
+
+    @staticmethod
+    def _shutdown_pool(pool) -> None:
+        """Tear the pool down in bounded time, even mid-task.
+
+        ``Pool.terminate()`` can deadlock when a worker dies while its
+        queues are busy (long-standing CPython race, hit exactly when a
+        task hung or crashed — our error paths).  The graceful shutdown
+        therefore runs under a watchdog: if it does not finish promptly,
+        the workers are SIGKILLed and, as a last resort, the join is
+        abandoned to a daemon thread so ``close()`` always returns and
+        the shared segments below always get unlinked.
+        """
+        import threading
+
+        joiner = threading.Thread(
+            target=lambda: (pool.terminate(), pool.join()), daemon=True
+        )
+        joiner.start()
+        joiner.join(timeout=10.0)
+        if joiner.is_alive():  # pragma: no cover - needs the mp race
+            for proc in getattr(pool, "_pool", None) or []:
+                try:
+                    proc.kill()
+                except Exception:  # noqa: BLE001 - best-effort kill
+                    pass
+            joiner.join(timeout=5.0)
+
+    def extra_state_bytes(self) -> int:
+        return sum(view.nbytes() for view in self.views)
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+RUNNERS: dict[str, type[Runner]] = {
+    "serial": SerialRunner,
+    "simulated": SimulatedRunner,
+    "process": ProcessRunner,
+}
+
+
+def make_runner(
+    spec,
+    *,
+    start_method: str | None = None,
+    task_timeout: float = 600.0,
+) -> Runner:
+    """Resolve a runner name or pass an instance through.
+
+    ``start_method``/``task_timeout`` configure the process runner and are
+    ignored by the others (they have no execution knobs).
+
+    Raises
+    ------
+    ConfigurationError
+        For unknown names (message lists the registry).
+    """
+    if isinstance(spec, Runner):
+        return spec
+    if spec not in RUNNERS:
+        raise ConfigurationError(
+            f"unknown runner {spec!r}; available: {sorted(RUNNERS)}"
+        )
+    if RUNNERS[spec] is ProcessRunner:
+        return ProcessRunner(
+            start_method=start_method, task_timeout=task_timeout
+        )
+    return RUNNERS[spec]()

@@ -407,7 +407,11 @@ class NumpyBackend(PythonBackend):
         rank = np.empty(n, dtype=np.int64)
         rank[order] = np.arange(n) - group_starts
         safe = rank < (capacity - sizes)[tp]
-        j = int(np.flatnonzero(~safe)[0])
+        unsafe = np.flatnonzero(~safe)
+        # Every edge can be safe even though the caller saw a possible cap
+        # hit: a stale parallel view may record an over-cap partition that
+        # receives no edge in this block.  Then the whole block scatters.
+        j = int(unsafe[0]) if unsafe.size else n
         if j:
             pp = tp[:j]
             sizes += np.bincount(pp, minlength=k)

@@ -5,6 +5,30 @@ share (paper Table II): a vertex-to-partition replication bit matrix and the
 current edge count of every partition.  The *hard* balance cap
 ``alpha * |E| / k`` (Section III-B, Step 3: "We enforce a hard balancing
 cap") is owned by this class so every partitioner enforces it identically.
+
+Shared-memory lifecycle
+-----------------------
+The two mutable arrays (``replicas``, ``sizes``) are obtained through a
+pluggable allocator, so the same state can live on the heap (the default,
+plain ``np.zeros``) or inside one ``multiprocessing.shared_memory`` segment
+that several processes map at once.  The contract:
+
+- The *creator* calls :meth:`PartitionState.from_shared`, hands the segment
+  name (:attr:`shm_name`) to other processes, and — once every consumer is
+  done — calls :meth:`close` (drop this process's mapping) and exactly one
+  :meth:`unlink` (remove the segment from the system).  A segment that is
+  never unlinked leaks until reboot; the ``resource_tracker`` warns about
+  it at interpreter shutdown.
+- Every *attacher* calls :meth:`PartitionState.attach` with identical
+  dimensions and calls :meth:`close` when done (never :meth:`unlink`).
+- :meth:`close` invalidates ``replicas``/``sizes``; any outside reference
+  to those arrays must be dropped first (``close`` raises ``BufferError``
+  otherwise, by design — a mapped view outliving its segment is a bug).
+- Unlinking while attachers still hold mappings is safe on POSIX: the name
+  disappears but the memory survives until the last ``close``.
+
+Heap-backed states ignore ``close``/``unlink`` (both are no-ops), so
+generic code can run the full lifecycle unconditionally.
 """
 
 from __future__ import annotations
@@ -15,6 +39,29 @@ import math
 import numpy as np
 
 from repro.errors import BalanceError, PartitioningError
+
+
+class _BufferArena:
+    """Sequential, alignment-respecting array allocator over one buffer.
+
+    Hands out ndarray views over consecutive (aligned) slices of ``buf``.
+    Creator and attachers of a shared segment allocate in the same order
+    with the same shapes, so their views land on identical offsets.
+    """
+
+    __slots__ = ("_buf", "_offset")
+
+    def __init__(self, buf) -> None:
+        self._buf = buf
+        self._offset = 0
+
+    def __call__(self, shape, dtype) -> np.ndarray:
+        dt = np.dtype(dtype)
+        align = max(int(dt.alignment), 1)
+        offset = -(-self._offset // align) * align
+        arr = np.ndarray(shape, dtype=dt, buffer=self._buf, offset=offset)
+        self._offset = offset + arr.nbytes
+        return arr
 
 
 class LeastLoadedTracker:
@@ -72,6 +119,12 @@ class PartitionState:
         Imbalance factor; the cap is ``max(floor(alpha * m / k), ceil(m/k))``
         so a full assignment is always feasible.
 
+    allocator:
+        Optional ``callable(shape, dtype) -> ndarray`` producing the two
+        state arrays *zero-filled*.  ``None`` (the default) allocates on
+        the heap with ``np.zeros``.  :meth:`from_shared`/:meth:`attach`
+        pass a :class:`_BufferArena` over a shared-memory segment.
+
     Raises
     ------
     PartitioningError
@@ -80,7 +133,15 @@ class PartitionState:
         If ``alpha < 1`` (the constraint would be infeasible by definition).
     """
 
-    def __init__(self, n_vertices: int, k: int, n_edges: int, alpha: float = 1.05):
+    def __init__(
+        self,
+        n_vertices: int,
+        k: int,
+        n_edges: int,
+        alpha: float = 1.05,
+        *,
+        allocator=None,
+    ):
         if k < 2:
             raise PartitioningError(f"k must be >= 2, got {k}")
         if n_vertices < 0 or n_edges < 0:
@@ -94,8 +155,127 @@ class PartitionState:
         self.capacity = max(
             int(math.floor(alpha * n_edges / k)), int(math.ceil(n_edges / k))
         )
-        self.replicas = np.zeros((self.n_vertices, self.k), dtype=bool)
-        self.sizes = np.zeros(self.k, dtype=np.int64)
+        alloc = np.zeros if allocator is None else allocator
+        self.replicas = alloc((self.n_vertices, self.k), bool)
+        self.sizes = alloc(self.k, np.int64)
+        self._shm = None
+        self._owns_segment = False
+
+    # ------------------------------------------------------------------
+    # shared-memory lifecycle (see the module docstring for the contract)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def shared_nbytes(n_vertices: int, k: int) -> int:
+        """Segment size for a shared state of these dimensions."""
+        replicas = int(n_vertices) * int(k)
+        aligned = -(-replicas // 8) * 8  # int64 alignment for ``sizes``
+        return max(aligned + 8 * int(k), 1)
+
+    @classmethod
+    def from_shared(
+        cls,
+        n_vertices: int,
+        k: int,
+        n_edges: int,
+        alpha: float = 1.05,
+        *,
+        name: str | None = None,
+    ) -> "PartitionState":
+        """Create a state whose arrays live in a new shared-memory segment.
+
+        The caller owns the segment: it must :meth:`close` *and*
+        :meth:`unlink` it (see the module docstring).  ``name`` picks the
+        segment name explicitly; ``None`` lets the OS choose one.
+        """
+        from multiprocessing import shared_memory
+
+        size = cls.shared_nbytes(n_vertices, k)
+        shm = shared_memory.SharedMemory(name=name, create=True, size=size)
+        try:
+            np.frombuffer(shm.buf, dtype=np.uint8)[:] = 0
+            state = cls(
+                n_vertices, k, n_edges, alpha, allocator=_BufferArena(shm.buf)
+            )
+        except BaseException:
+            shm.close()
+            shm.unlink()
+            raise
+        state._shm = shm
+        state._owns_segment = True
+        return state
+
+    @classmethod
+    def attach(
+        cls,
+        name: str,
+        n_vertices: int,
+        k: int,
+        n_edges: int,
+        alpha: float = 1.05,
+    ) -> "PartitionState":
+        """Map an existing shared segment created by :meth:`from_shared`.
+
+        Dimensions must match the creator's; the attacher sees (and
+        mutates) the creator's live arrays.  Call :meth:`close` when done;
+        never :meth:`unlink` from an attacher.
+
+        Raises
+        ------
+        PartitioningError
+            If no segment ``name`` exists or it is too small for these
+            dimensions.
+        """
+        from multiprocessing import shared_memory
+
+        try:
+            shm = shared_memory.SharedMemory(name=name, create=False)
+        except FileNotFoundError as exc:
+            raise PartitioningError(
+                f"no shared partition-state segment {name!r}"
+            ) from exc
+        if shm.size < cls.shared_nbytes(n_vertices, k):
+            shm.close()
+            raise PartitioningError(
+                f"shared segment {name!r} holds {shm.size} bytes, need "
+                f"{cls.shared_nbytes(n_vertices, k)} for n={n_vertices}, k={k}"
+            )
+        state = cls(
+            n_vertices, k, n_edges, alpha, allocator=_BufferArena(shm.buf)
+        )
+        state._shm = shm
+        state._owns_segment = False
+        return state
+
+    @property
+    def shm_name(self) -> str | None:
+        """Shared segment name, or ``None`` for heap-backed state."""
+        return None if self._shm is None else self._shm.name
+
+    def close(self) -> None:
+        """Drop this process's mapping; ``replicas``/``sizes`` die with it.
+
+        No-op for heap-backed state.  Idempotent.  Outside references to
+        the state arrays must be released first (``BufferError`` results
+        otherwise).
+        """
+        if self._shm is None:
+            return
+        self.replicas = None
+        self.sizes = None
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Remove the shared segment from the system (creator only).
+
+        No-op for heap-backed state; tolerates a segment that is already
+        gone, so error-path cleanup can call it unconditionally.
+        """
+        if self._shm is None or not self._owns_segment:
+            return
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # already unlinked: cleanup paths race
+            pass
 
     # ------------------------------------------------------------------
     # assignment
@@ -125,8 +305,27 @@ class PartitionState:
         callers either pre-check capacity per chunk (2PS-L kernels) or do
         not enforce balance at all (stateless baselines, which report the
         measured alpha instead).
+
+        Raises
+        ------
+        PartitioningError
+            When ``us``/``vs``/``ps`` are not equal-length 1-d arrays.
         """
+        us = np.asarray(us)
+        vs = np.asarray(vs)
         ps = np.asarray(ps)
+        if (
+            us.ndim != 1
+            or vs.ndim != 1
+            or ps.ndim != 1
+            or not us.shape[0] == vs.shape[0] == ps.shape[0]
+        ):
+            raise PartitioningError(
+                "scatter_edges: us/vs/ps must be equal-length 1-d arrays, "
+                f"got shapes {us.shape}/{vs.shape}/{ps.shape}"
+            )
+        if us.shape[0] == 0:
+            return
         self.replicas[us, ps] = True
         self.replicas[vs, ps] = True
         self.sizes += np.bincount(ps, minlength=self.k)

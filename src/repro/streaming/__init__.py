@@ -19,7 +19,12 @@ from repro.streaming.stream import (
     DEFAULT_CHUNK_SIZE,
     EdgeStream,
     FileEdgeStream,
+    FileStreamSpec,
     InMemoryEdgeStream,
+    SharedArrayStreamSpec,
+    StreamSpec,
+    auto_chunk_size,
+    make_stream_spec,
 )
 from repro.streaming.writer import (
     PartitionWriter,
@@ -38,6 +43,11 @@ __all__ = [
     "InMemoryEdgeStream",
     "FileEdgeStream",
     "DEFAULT_CHUNK_SIZE",
+    "StreamSpec",
+    "FileStreamSpec",
+    "SharedArrayStreamSpec",
+    "make_stream_spec",
+    "auto_chunk_size",
     "shuffled_copy",
     "degree_sorted_order",
     "bfs_like_order",

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import os
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
 from typing import Iterator
 
 import numpy as np
@@ -32,6 +33,39 @@ from repro.streaming.iostats import IOStats
 #: Default edges per chunk; large enough to amortize numpy overhead, small
 #: enough that a chunk is negligible against the memory budget.
 DEFAULT_CHUNK_SIZE = 65_536
+
+#: Bounds and model constants of :func:`auto_chunk_size`.  The budget is
+#: the working set a chunk may occupy (sized for a shared L2/L3 slice);
+#: the per-edge constant covers the fixed gather arrays every vectorized
+#: pass materializes (endpoints, clusters, partitions, scores, masks).
+AUTO_CHUNK_MIN = 4_096
+AUTO_CHUNK_MAX = 262_144
+AUTO_CHUNK_CACHE_BUDGET = 8 * 1024 * 1024
+AUTO_CHUNK_EDGE_BYTES = 96
+
+
+def auto_chunk_size(n_vertices: int | None, k: int) -> int:
+    """Pick a streaming chunk size from ``|V|``, ``k`` and a cache budget.
+
+    The model: a chunk of ``c`` edges makes the vectorized kernels touch
+    roughly ``c * (AUTO_CHUNK_EDGE_BYTES + 8 * k)`` bytes (fixed gather
+    arrays plus the k-wide score blocks of the HDRF-style passes), so the
+    chunk is sized to keep that inside :data:`AUTO_CHUNK_CACHE_BUDGET` —
+    larger ``k`` means smaller chunks.  On small graphs the chunk is
+    additionally capped at ``4 * |V|``: past that, a chunk revisits the
+    same vertices so often that conflict-free sub-batching degrades while
+    vectorization gains are already saturated.  The result is always
+    clamped to ``[AUTO_CHUNK_MIN, AUTO_CHUNK_MAX]``.
+
+    ``n_vertices=None`` (stream without a vertex-count hint) skips the
+    ``|V|`` cap and sizes purely from the budget.
+    """
+    k = max(int(k), 1)
+    per_edge = AUTO_CHUNK_EDGE_BYTES + 8 * k
+    chunk = AUTO_CHUNK_CACHE_BUDGET // per_edge
+    if n_vertices:
+        chunk = min(chunk, 4 * int(n_vertices))
+    return int(min(max(chunk, AUTO_CHUNK_MIN), AUTO_CHUNK_MAX))
 
 
 class EdgeStream(ABC):
@@ -260,6 +294,105 @@ class FileEdgeStream(EdgeStream):
                     seconds = self._device.charge_read(self._path, len(data))
                 self.stats.record_chunk(chunk.shape[0], len(data), seconds)
                 yield chunk
+
+
+class StreamSpec(ABC):
+    """Picklable recipe for reopening an :class:`EdgeStream` elsewhere.
+
+    The process-runner workers cannot receive a live stream (file handles
+    and big arrays don't ship well over pickles), so the parent builds a
+    spec with :func:`make_stream_spec`, sends it to each worker once, and
+    every worker calls :meth:`open` to get its own stream over the same
+    edges — then reads only its shard windows out of it.
+    """
+
+    @abstractmethod
+    def open(self) -> EdgeStream:
+        """Open a fresh stream over the spec'd edges (one per process)."""
+
+
+@dataclass(frozen=True)
+class FileStreamSpec(StreamSpec):
+    """Reopen a :class:`FileEdgeStream` by path — stays out-of-core.
+
+    A simulated :class:`~repro.storage.devices.StorageDevice` attached to
+    the original stream is *not* carried over: device charging models the
+    parent's sequential I/O, which worker-side shard reads do not share.
+    """
+
+    path: str
+    n_vertices: int | None = None
+    chunk_size: int = DEFAULT_CHUNK_SIZE
+
+    def open(self) -> EdgeStream:
+        stream = FileEdgeStream(self.path, n_vertices=self.n_vertices)
+        stream.default_chunk_size = self.chunk_size
+        return stream
+
+
+@dataclass
+class SharedArrayStreamSpec(StreamSpec):
+    """Reopen an in-memory stream over a shared-memory edge array.
+
+    The edge array is shipped **once** through a shared segment created by
+    :func:`make_stream_spec`; every :meth:`open` maps it zero-copy, so
+    per-window pickling never happens.  The creator of the segment owns
+    its lifecycle (close + unlink); openers keep their mapping alive for
+    the lifetime of the returned stream.
+    """
+
+    shm_name: str
+    n_edges: int
+    n_vertices: int | None = None
+    chunk_size: int = DEFAULT_CHUNK_SIZE
+
+    def open(self) -> EdgeStream:
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(name=self.shm_name, create=False)
+        edges = np.ndarray((self.n_edges, 2), dtype=np.int64, buffer=shm.buf)
+        stream = InMemoryEdgeStream(edges, n_vertices=self.n_vertices)
+        stream.default_chunk_size = self.chunk_size
+        # The mapping must outlive the stream's edge view.
+        stream._shm = shm
+        return stream
+
+
+def make_stream_spec(stream: EdgeStream):
+    """Build a picklable spec for ``stream``; returns ``(spec, segment)``.
+
+    ``segment`` is a ``multiprocessing.shared_memory.SharedMemory`` the
+    caller must ``close()`` and ``unlink()`` when every opener is done, or
+    ``None`` when the spec needs no shared segment (file-backed streams).
+    A :class:`FileEdgeStream` maps to a :class:`FileStreamSpec`; any other
+    stream is snapshotted chunk-by-chunk into one shared edge array (an
+    :class:`InMemoryEdgeStream` already holds its edges, so this is the
+    one unavoidable copy that lets workers read them zero-copy).
+    """
+    if isinstance(stream, FileEdgeStream):
+        spec = FileStreamSpec(
+            stream.path, stream.n_vertices, stream.default_chunk_size
+        )
+        return spec, None
+    from multiprocessing import shared_memory
+
+    m = int(stream.n_edges)
+    shm = shared_memory.SharedMemory(create=True, size=max(m * 16, 1))
+    try:
+        view = np.ndarray((m, 2), dtype=np.int64, buffer=shm.buf)
+        pos = 0
+        for chunk in stream.chunks():
+            view[pos : pos + chunk.shape[0]] = chunk
+            pos += chunk.shape[0]
+        del view
+    except BaseException:
+        shm.close()
+        shm.unlink()
+        raise
+    spec = SharedArrayStreamSpec(
+        shm.name, m, stream.n_vertices, stream.default_chunk_size
+    )
+    return spec, shm
 
 
 def as_stream(

@@ -109,6 +109,97 @@ class TestPartition:
         assert code == 1
         assert "error" in capsys.readouterr().err
 
+    def test_auto_chunk_size(self, graph_file, capsys):
+        code = main(
+            [
+                "partition",
+                "--input",
+                str(graph_file),
+                "--k",
+                "4",
+                "--chunk-size",
+                "auto",
+            ]
+        )
+        assert code == 0
+        assert "replication factor" in capsys.readouterr().out
+
+    def test_simulated_runner_flag(self, graph_file, capsys):
+        code = main(
+            [
+                "partition",
+                "--input",
+                str(graph_file),
+                "--k",
+                "4",
+                "--runner",
+                "simulated",
+                "--n-workers",
+                "3",
+                "--sync-interval",
+                "64",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2PS-L-parallel" in out
+        assert "runner            : simulated" in out
+        assert "modeled" in out
+
+    def test_process_runner_flag(self, graph_file, capsys):
+        code = main(
+            [
+                "partition",
+                "--input",
+                str(graph_file),
+                "--k",
+                "4",
+                "--runner",
+                "process",
+                "--n-workers",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "runner            : process" in out
+        assert "measured" in out
+
+    def test_sync_interval_alone_activates_parallel_path(
+        self, graph_file, capsys
+    ):
+        """--sync-interval must never be silently ignored."""
+        code = main(
+            [
+                "partition",
+                "--input",
+                str(graph_file),
+                "--k",
+                "4",
+                "--sync-interval",
+                "128",
+            ]
+        )
+        assert code == 0
+        assert "2PS-L-parallel" in capsys.readouterr().out
+
+    def test_runner_requires_parallel_algorithm(self, graph_file, capsys):
+        code = main(
+            [
+                "partition",
+                "--input",
+                str(graph_file),
+                "--k",
+                "4",
+                "--algorithm",
+                "DBH",
+                "--runner",
+                "process",
+            ]
+        )
+        assert code == 1
+        assert "--runner" in capsys.readouterr().err
+
 
 class TestPartitionedOutput:
     def test_out_dir_and_process(self, graph_file, tmp_path, capsys):

@@ -1,6 +1,6 @@
 """Differential-equivalence suite for the kernel-routed parallel path.
 
-Three contracts are pinned here:
+Four contracts are pinned here:
 
 1. ``ParallelTwoPhase(n_workers=1)`` is **bit-exact** with the sequential
    ``TwoPhasePartitioner`` — identical per-edge assignments, replica
@@ -14,21 +14,37 @@ Three contracts are pinned here:
    (``InMemoryEdgeStream`` vs ``FileEdgeStream``) yields identical
    results for every kernel-routed partitioner — this is what catches
    chunk-boundary bugs in the shard-window iterator.
+4. The execution **runner matrix** (``TestRunnerMatrix``): the true
+   multi-process ``ProcessRunner`` is bit-identical with the
+   single-process ``SimulatedRunner`` under the same sync schedule, the
+   ``SerialRunner`` is bit-exact with the sequential pipeline, and a
+   crashed or hung worker never leaks a shared-memory segment (the
+   parent unlinks every segment it created on both success and error
+   paths, which also unregisters them from the shared
+   ``resource_tracker`` — so no "leaked shared_memory objects" warnings
+   can fire at interpreter shutdown).
 
 The parallel path must also honor the out-of-core promise: it never
 materializes the stream, and worker windows bound its memory.
 """
+
+import multiprocessing
 
 import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.core import ParallelTwoPhase, TwoPhasePartitioner
+from repro.core import ParallelTwoPhase, ProcessRunner, TwoPhasePartitioner
+from repro.core import runners as runners_module
+from repro.core.runners import live_shared_segments
+from repro.errors import ConfigurationError, PartitioningError
 from repro.graph import Graph
 from repro.graph.formats import write_binary_edge_list
-from repro.kernels import available_backends
+from repro.kernels import NumpyBackend, available_backends, register_backend
 from repro.streaming import FileEdgeStream, InMemoryEdgeStream
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
 
 VECTOR_BACKENDS = [n for n in available_backends() if n != "python"]
 
@@ -191,6 +207,225 @@ class TestStreamSourceParity:
             assert_bit_exact(a, b)
 
 
+class TestRunnerMatrix:
+    """ProcessRunner vs SimulatedRunner vs sequential, across the full
+    {stream source} x {backend} x {mode} matrix (ISSUE 3 satellite)."""
+
+    @pytest.fixture(scope="class")
+    def graph_file(self, tmp_path_factory, community_graph):
+        path = tmp_path_factory.mktemp("runners") / "g.bin"
+        write_binary_edge_list(community_graph, path)
+        return path
+
+    def _stream(self, source, graph_file, community_graph):
+        if source == "file":
+            return FileEdgeStream(
+                graph_file, n_vertices=community_graph.n_vertices
+            )
+        return InMemoryEdgeStream(community_graph)
+
+    @pytest.mark.parametrize("source", ["memory", "file"])
+    @pytest.mark.parametrize("backend", available_backends())
+    @pytest.mark.parametrize("mode", ["linear", "hdrf"])
+    def test_process_matches_simulated(
+        self, source, backend, mode, graph_file, community_graph
+    ):
+        def run(runner):
+            return ParallelTwoPhase(
+                n_workers=3,
+                sync_interval=17,
+                mode=mode,
+                backend=backend,
+                runner=runner,
+            ).partition(
+                self._stream(source, graph_file, community_graph),
+                4,
+                chunk_size=61,
+            )
+
+        simulated = run("simulated")
+        process = run("process")
+        assert_bit_exact(simulated, process)
+        assert simulated.extras["syncs"] == process.extras["syncs"]
+        assert process.extras["runner"] == "process"
+        assert process.extras["measured_wallclock"]
+        assert not live_shared_segments()
+
+    @pytest.mark.parametrize("source", ["memory", "file"])
+    @pytest.mark.parametrize("mode", ["linear", "hdrf"])
+    def test_single_process_worker_matches_sequential(
+        self, source, mode, graph_file, community_graph
+    ):
+        seq = TwoPhasePartitioner(mode=mode).partition(
+            self._stream(source, graph_file, community_graph), 4
+        )
+        par = ParallelTwoPhase(
+            n_workers=1, sync_interval=13, mode=mode, runner="process"
+        ).partition(self._stream(source, graph_file, community_graph), 4)
+        assert_bit_exact(seq, par)
+
+    @pytest.mark.parametrize("n_workers", [1, 4])
+    def test_serial_runner_is_sequential(self, n_workers, community_graph):
+        """SerialRunner ignores sharding entirely: bit-exact with the
+        sequential pipeline for any configured worker count."""
+        seq = TwoPhasePartitioner().partition(community_graph, 4)
+        ser = ParallelTwoPhase(
+            n_workers=n_workers, sync_interval=13, runner="serial"
+        ).partition(community_graph, 4)
+        assert_bit_exact(seq, ser)
+        assert ser.extras["syncs"] == 0
+
+    def test_overshot_stale_view_with_untouched_partition(self):
+        """Regression: a stale worker view whose *other* partition overshot
+        the cap used to crash the numpy pre-partition spill (it assumed at
+        least one edge of the block was cap-unsafe)."""
+        g = Graph(np.array([[1, 1], [1, 1], [1, 1], [1, 0], [0, 0]]), 2)
+        ref = ParallelTwoPhase(
+            n_workers=4, sync_interval=1, backend="python"
+        ).partition(g, 3)
+        out = ParallelTwoPhase(
+            n_workers=4, sync_interval=1, backend="numpy"
+        ).partition(g, 3)
+        assert_bit_exact(ref, out)
+
+    def test_unknown_runner_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown runner"):
+            ParallelTwoPhase(runner="threads")
+
+    def test_bad_process_options_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProcessRunner(start_method="no-such-method")
+        with pytest.raises(ConfigurationError):
+            ProcessRunner(task_timeout=0.0)
+
+
+class _ExplodingBackend(NumpyBackend):
+    """Raises inside the worker after Phase 1 — exercises crash cleanup."""
+
+    name = "exploding"
+
+    def prepartition_pass(self, stream, ctx):
+        raise RuntimeError("worker kernel exploded")
+
+
+class _SleepingBackend(NumpyBackend):
+    """Hangs inside the worker — exercises the task-timeout teardown."""
+
+    name = "sleeping"
+
+    def prepartition_pass(self, stream, ctx):
+        import time
+
+        time.sleep(60.0)
+        return 0
+
+
+@pytest.mark.skipif(not HAS_FORK, reason="needs the fork start method")
+class TestCrashedWorkerCleanup:
+    """No shared-memory segment may outlive a failed process session.
+
+    The parent owns every segment (worker state views, assignments, the
+    shipped edge array) and unlinks them in the session's idempotent
+    ``close()``, which also unregisters them from the resource tracker
+    shared with the pool workers — verified here by recording every
+    created segment name and proving it is unlinked after the crash.
+    """
+
+    @pytest.fixture
+    def recording_segments(self, monkeypatch):
+        class RecordingSet(set):
+            def __init__(self):
+                super().__init__()
+                self.ever = []
+
+            def add(self, name):
+                self.ever.append(name)
+                super().add(name)
+
+        recorder = RecordingSet()
+        monkeypatch.setattr(runners_module, "_LIVE_SEGMENTS", recorder)
+        return recorder
+
+    def _register(self, backend_cls):
+        import repro.kernels as kernels_pkg
+
+        register_backend(backend_cls.name, backend_cls)
+        yield
+        kernels_pkg._REGISTRY.pop(backend_cls.name, None)
+        kernels_pkg._INSTANCES.pop(backend_cls.name, None)
+
+    @pytest.fixture
+    def exploding_backend(self):
+        yield from self._register(_ExplodingBackend)
+
+    @pytest.fixture
+    def sleeping_backend(self):
+        yield from self._register(_SleepingBackend)
+
+    def test_worker_exception_propagates_and_unlinks(
+        self, community_graph, recording_segments, exploding_backend
+    ):
+        partitioner = ParallelTwoPhase(
+            n_workers=2,
+            sync_interval=32,
+            backend="exploding",
+            runner="process",
+            start_method="fork",
+        )
+        with pytest.raises(RuntimeError, match="exploded"):
+            partitioner.partition(community_graph, 4)
+        assert recording_segments.ever, "session created no segments?"
+        assert not recording_segments, "segments left registered"
+        from multiprocessing import shared_memory
+
+        for name in recording_segments.ever:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name, create=False)
+
+    def test_failed_worker_init_surfaces_cause_fast(
+        self, community_graph, recording_segments, monkeypatch
+    ):
+        """A failing pool initializer must not crash-loop workers until
+        the task timeout: the failure is recorded and re-raised by the
+        first task with the true cause."""
+        import repro.core.runners as r
+
+        def broken_init(payload):
+            r._WORKER = {"init_error": "FileNotFoundError: edges gone"}
+
+        monkeypatch.setattr(r, "_process_worker_init", broken_init)
+        partitioner = ParallelTwoPhase(
+            n_workers=2,
+            sync_interval=32,
+            runner="process",
+            start_method="fork",
+            task_timeout=30.0,
+        )
+        with pytest.raises(PartitioningError, match="initialization failed"):
+            partitioner.partition(community_graph, 4)
+        assert not recording_segments
+
+    def test_hung_worker_times_out_and_unlinks(
+        self, community_graph, recording_segments, sleeping_backend
+    ):
+        partitioner = ParallelTwoPhase(
+            n_workers=2,
+            sync_interval=32,
+            backend="sleeping",
+            runner="process",
+            start_method="fork",
+            task_timeout=0.5,
+        )
+        with pytest.raises(PartitioningError, match="timeout"):
+            partitioner.partition(community_graph, 4)
+        assert not recording_segments
+        from multiprocessing import shared_memory
+
+        for name in recording_segments.ever:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name, create=False)
+
+
 class TestOutOfCore:
     def test_parallel_never_materializes(
         self, tmp_path, community_graph, monkeypatch
@@ -209,6 +444,25 @@ class TestOutOfCore:
             stream, 8
         )
         assert result.assignments.min() >= 0
+
+    def test_process_runner_never_materializes(
+        self, tmp_path, community_graph, monkeypatch
+    ):
+        """File streams reopen from a picklable spec in every worker, so
+        the true multi-process path stays out-of-core too."""
+        path = tmp_path / "g.bin"
+        write_binary_edge_list(community_graph, path)
+        stream = FileEdgeStream(path, n_vertices=community_graph.n_vertices)
+
+        def boom(self):
+            raise AssertionError("process runner called materialize()")
+
+        monkeypatch.setattr(type(stream), "materialize", boom)
+        result = ParallelTwoPhase(
+            n_workers=2, sync_interval=32, runner="process"
+        ).partition(stream, 8)
+        assert result.assignments.min() >= 0
+        assert not live_shared_segments()
 
     def test_window_chunks_bound_memory(self, tmp_path, community_graph):
         """No window chunk may exceed the configured chunk size, so the

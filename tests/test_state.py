@@ -115,3 +115,121 @@ class TestMetrics:
         small = PartitionState(100, 4, 10)
         large = PartitionState(100, 64, 10)
         assert large.nbytes() > small.nbytes()
+
+
+class TestScatterEdges:
+    def test_records_bits_and_sizes(self):
+        state = PartitionState(6, 3, 12)
+        state.scatter_edges([0, 1], [2, 3], [1, 2])
+        assert state.sizes.tolist() == [0, 1, 1]
+        assert state.replicas[0, 1] and state.replicas[2, 1]
+        assert state.replicas[1, 2] and state.replicas[3, 2]
+
+    def test_empty_chunk_is_a_noop(self):
+        state = PartitionState(6, 3, 12)
+        state.scatter_edges(
+            np.empty(0, np.int64), np.empty(0, np.int64), np.empty(0, np.int64)
+        )
+        assert state.sizes.tolist() == [0, 0, 0]
+        assert not state.replicas.any()
+
+    @pytest.mark.parametrize(
+        "us, vs, ps",
+        [
+            ([0, 1], [2], [1, 2]),
+            ([0], [2, 3], [1]),
+            ([0, 1], [2, 3], [1]),
+            ([0, 1], [2, 3], 1),
+            (np.zeros((2, 2), np.int64), [2, 3], [1, 2]),
+        ],
+    )
+    def test_mismatched_inputs_raise_clearly(self, us, vs, ps):
+        state = PartitionState(6, 3, 12)
+        with pytest.raises(PartitioningError, match="scatter_edges"):
+            state.scatter_edges(us, vs, ps)
+        # and the state is untouched by the rejected call
+        assert state.sizes.tolist() == [0, 0, 0]
+        assert not state.replicas.any()
+
+
+class TestSharedMemoryState:
+    """from_shared / attach lifecycle (see the module docstring contract)."""
+
+    def test_heap_state_lifecycle_is_noop(self):
+        state = PartitionState(4, 2, 10)
+        assert state.shm_name is None
+        state.close()
+        state.unlink()  # both no-ops; arrays stay usable
+        state.assign(0, 1, 0)
+        assert state.sizes.tolist() == [1, 0]
+
+    def test_attacher_sees_creator_writes(self):
+        creator = PartitionState.from_shared(8, 4, 20, alpha=1.2)
+        try:
+            assert creator.shm_name is not None
+            attacher = PartitionState.attach(creator.shm_name, 8, 4, 20, 1.2)
+            creator.assign(0, 1, 2)
+            attacher.scatter_edges([3], [4], [1])
+            # both mutations visible through both mappings
+            assert creator.sizes.tolist() == [0, 1, 1, 0]
+            assert attacher.sizes.tolist() == [0, 1, 1, 0]
+            assert attacher.replicas[0, 2] and creator.replicas[3, 1]
+            assert creator.capacity == attacher.capacity
+            attacher.close()
+        finally:
+            creator.close()
+            creator.unlink()
+
+    def test_from_shared_starts_zeroed(self):
+        state = PartitionState.from_shared(16, 3, 30)
+        try:
+            assert not state.replicas.any()
+            assert state.sizes.tolist() == [0, 0, 0]
+        finally:
+            state.close()
+            state.unlink()
+
+    def test_attach_unknown_name_raises(self):
+        with pytest.raises(PartitioningError, match="no shared"):
+            PartitionState.attach("repro-no-such-segment", 4, 2, 10)
+
+    def test_attach_after_unlink_raises(self):
+        creator = PartitionState.from_shared(4, 2, 10)
+        name = creator.shm_name
+        creator.close()
+        creator.unlink()
+        with pytest.raises(PartitioningError):
+            PartitionState.attach(name, 4, 2, 10)
+
+    def test_attach_rejects_undersized_segment(self):
+        creator = PartitionState.from_shared(4, 2, 10)
+        try:
+            with pytest.raises(PartitioningError, match="holds"):
+                PartitionState.attach(creator.shm_name, 4096, 64, 10)
+        finally:
+            creator.close()
+            creator.unlink()
+
+    def test_close_and_unlink_are_idempotent(self):
+        state = PartitionState.from_shared(4, 2, 10)
+        state.close()
+        state.close()
+        state.unlink()
+        state.unlink()
+
+    def test_attacher_never_unlinks(self):
+        creator = PartitionState.from_shared(4, 2, 10)
+        try:
+            attacher = PartitionState.attach(creator.shm_name, 4, 2, 10)
+            attacher.close()
+            attacher.unlink()  # must be a no-op for non-owners
+            again = PartitionState.attach(creator.shm_name, 4, 2, 10)
+            again.close()
+        finally:
+            creator.close()
+            creator.unlink()
+
+    def test_shared_nbytes_aligns_sizes(self):
+        # replicas bytes rounded up to int64 alignment, then k sizes
+        assert PartitionState.shared_nbytes(3, 3) == 16 + 24
+        assert PartitionState.shared_nbytes(0, 2) == max(0 + 16, 1)

@@ -9,7 +9,14 @@ from repro.graph.degrees import compute_degrees, compute_degrees_from_stream
 from repro.graph.formats import write_binary_edge_list
 from repro.storage import ssd_device
 from repro.streaming import FileEdgeStream, InMemoryEdgeStream
-from repro.streaming.stream import as_stream
+from repro.streaming.stream import (
+    AUTO_CHUNK_MAX,
+    AUTO_CHUNK_MIN,
+    EdgeStream,
+    as_stream,
+    auto_chunk_size,
+    make_stream_spec,
+)
 
 
 class TestInMemoryStream:
@@ -247,3 +254,124 @@ class TestShardWindows:
         stream = FileEdgeStream(graph_file, device=device)
         list(stream.window(0, 50, chunk_size=10))
         assert stream.stats.simulated_read_seconds > 0
+
+
+class TestStreamSpecs:
+    """Picklable stream specs: reopen the same edges in another process."""
+
+    @pytest.fixture
+    def graph_file(self, tmp_path, powerlaw_graph):
+        path = tmp_path / "spec.bin"
+        write_binary_edge_list(powerlaw_graph, path)
+        return path
+
+    def test_file_spec_round_trip(self, graph_file, powerlaw_graph):
+        import pickle
+
+        stream = FileEdgeStream(graph_file, n_vertices=powerlaw_graph.n_vertices)
+        stream.default_chunk_size = 33
+        spec, segment = make_stream_spec(stream)
+        assert segment is None  # file-backed: nothing to own
+        reopened = pickle.loads(pickle.dumps(spec)).open()
+        assert isinstance(reopened, FileEdgeStream)
+        assert reopened.default_chunk_size == 33
+        assert reopened.n_vertices == powerlaw_graph.n_vertices
+        assert np.array_equal(
+            np.concatenate(list(reopened.chunks())), powerlaw_graph.edges
+        )
+
+    def test_in_memory_spec_ships_array_via_shared_memory(self, powerlaw_graph):
+        import pickle
+
+        stream = InMemoryEdgeStream(powerlaw_graph)
+        spec, segment = make_stream_spec(stream)
+        try:
+            assert segment is not None
+            reopened = pickle.loads(pickle.dumps(spec)).open()
+            assert np.array_equal(
+                np.concatenate(list(reopened.chunks())), powerlaw_graph.edges
+            )
+            # windows work against the shared mapping too
+            window = np.concatenate(list(reopened.window(5, 105)))
+            assert np.array_equal(window, powerlaw_graph.edges[5:105])
+            del reopened  # drop the attachment before the owner unlinks
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_generic_stream_is_snapshotted(self, powerlaw_graph):
+        class OpaqueStream(EdgeStream):
+            """No random access: only the chunks() protocol."""
+
+            @property
+            def n_edges(self):
+                return powerlaw_graph.n_edges
+
+            @property
+            def n_vertices(self):
+                return powerlaw_graph.n_vertices
+
+            def chunks(self, chunk_size=None):
+                yield from InMemoryEdgeStream(powerlaw_graph).chunks(chunk_size)
+
+        spec, segment = make_stream_spec(OpaqueStream())
+        try:
+            reopened = spec.open()
+            assert np.array_equal(
+                np.concatenate(list(reopened.chunks())), powerlaw_graph.edges
+            )
+            del reopened
+        finally:
+            segment.close()
+            segment.unlink()
+
+
+class TestAutoChunkSize:
+    """Bounds of the |V|/k/cache-budget heuristic (ISSUE 3 satellite)."""
+
+    @pytest.mark.parametrize("n", [None, 10, 1000, 10**6, 10**9])
+    @pytest.mark.parametrize("k", [2, 8, 32, 256, 4096])
+    def test_always_within_bounds(self, n, k):
+        chunk = auto_chunk_size(n, k)
+        assert AUTO_CHUNK_MIN <= chunk <= AUTO_CHUNK_MAX
+
+    def test_monotone_non_increasing_in_k(self):
+        chunks = [auto_chunk_size(10**6, k) for k in (2, 4, 16, 64, 256, 1024)]
+        assert chunks == sorted(chunks, reverse=True)
+
+    def test_small_vertex_sets_shrink_the_chunk(self):
+        assert auto_chunk_size(10, 8) == AUTO_CHUNK_MIN
+        assert auto_chunk_size(10**6, 8) > auto_chunk_size(2000, 8)
+
+    def test_budget_model_at_moderate_k(self):
+        # budget // (fixed + 8k), uncapped by |V| for a large graph
+        from repro.streaming.stream import (
+            AUTO_CHUNK_CACHE_BUDGET,
+            AUTO_CHUNK_EDGE_BYTES,
+        )
+
+        expected = AUTO_CHUNK_CACHE_BUDGET // (AUTO_CHUNK_EDGE_BYTES + 8 * 32)
+        assert auto_chunk_size(10**9, 32) == expected
+
+    def test_none_vertices_skips_the_cap(self):
+        assert auto_chunk_size(None, 8) == auto_chunk_size(10**9, 8)
+
+    def test_partition_accepts_auto(self, powerlaw_graph):
+        from repro.core import TwoPhasePartitioner
+
+        auto = TwoPhasePartitioner().partition(powerlaw_graph, 4, chunk_size="auto")
+        explicit = TwoPhasePartitioner().partition(
+            powerlaw_graph, 4,
+            chunk_size=auto_chunk_size(powerlaw_graph.n_vertices, 4),
+        )
+        assert np.array_equal(auto.assignments, explicit.assignments)
+        assert auto.cost == explicit.cost
+
+    def test_partition_rejects_other_strings(self, powerlaw_graph):
+        from repro.core import TwoPhasePartitioner
+        from repro.errors import PartitioningError
+
+        with pytest.raises(PartitioningError, match="auto"):
+            TwoPhasePartitioner().partition(
+                powerlaw_graph, 4, chunk_size="huge"
+            )
