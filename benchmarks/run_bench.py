@@ -37,7 +37,16 @@ Exit status is non-zero unless every gate passes:
   speedup gate is enforced only when the machine exposes at least
   ``n_workers`` usable CPUs — a 4-way wall-clock speedup cannot exist on
   fewer cores, so constrained hosts record the measurement with the gate
-  marked ``skipped`` (the correctness gates above always apply).
+  marked ``skipped`` (the correctness gates above always apply);
+- phase-1 wall-clock gate (``phase1_wallclock`` section): *measured*
+  Phase-1 (degree + clustering) speedup of the sharded Phase 1
+  (``parallel_phase1=True``) through the process runner >= 1.5x at
+  ``--n-workers``, with the same CPU-count skip rule, plus the
+  bit-exactness gates (``n_workers=1`` == sequential, process ==
+  simulated under the same schedule);
+- barrier-bytes gate (always enforced): the dirty-row delta barriers
+  must broadcast strictly fewer replica-matrix cells than the full
+  re-broadcast they replaced (``barrier_bytes`` section).
 
 ``--smoke`` runs the same gates at a reduced scale (65k edges) with
 proportionally relaxed speedup thresholds, so CI can check the kernel
@@ -77,6 +86,12 @@ SMOKE_GATES = {
 #: compute is too small to amortize pool dispatch.
 PARALLEL_GATE = 1.8
 PARALLEL_SMOKE_GATE = 0.2
+
+#: Measured Phase-1 (degree + clustering) speedup of the sharded Phase 1
+#: through the process runner (ISSUE 4 acceptance gate; enforced only on
+#: hosts with >= --n-workers usable CPUs, like the Phase-2 gate).
+PHASE1_GATE = 1.5
+PHASE1_SMOKE_GATE = 0.15
 
 SMOKE_SCALE = 12
 
@@ -139,66 +154,142 @@ def phase2_seconds(result) -> float:
     )
 
 
-def run_parallel_wallclock(
-    stream, graph, args, sequential_result, smoke: bool, out: str
-) -> bool:
-    """Measured process-runner wall-clock section -> BENCH_parallel.json.
+def phase1_seconds(result) -> float:
+    """Wall seconds of the Phase-1 streaming passes (degree + clustering)."""
+    return result.timer.totals.get("degree", 0.0) + (
+        result.timer.totals.get("clustering", 0.0)
+    )
 
-    Returns True when every applicable gate passes.  Correctness gates
-    (process == simulated under the same schedule, n_workers=1 == the
-    sequential pipeline, zero leaked shared-memory segments) are always
-    enforced; the speedup gate is enforced only on hosts with at least
-    ``n_workers`` usable CPUs.
+
+def measure_speedup_gate(
+    label, seconds_fn, threshold, make_parallel, stream, args,
+    sequential_result, repeats, cpus,
+):
+    """Shared gate machinery of the measured wall-clock sections.
+
+    Runs the correctness pins (``ProcessRunner(n_workers=1)`` bit-exact
+    with the sequential pipeline, ``ProcessRunner`` bit-identical with
+    ``SimulatedRunner`` at the same schedule, zero leaked segments — all
+    always enforced), keeps the best of ``repeats`` process runs by
+    ``seconds_fn``, and applies the speedup threshold under the CPU-count
+    skip rule.  Returns ``(best_result, gate_dict, seq_s, par_s)``.
     """
-    cpus = usable_cpus()
-    repeats = 1 if smoke else args.repeats
-    threshold = PARALLEL_SMOKE_GATE if smoke else PARALLEL_GATE
-    seq_phase2 = phase2_seconds(sequential_result)
-
-    def parallel(n_workers, runner):
-        return ParallelTwoPhase(
-            n_workers=n_workers,
-            sync_interval=args.sync_interval,
-            backend=DEFAULT_BACKEND,
-            runner=runner,
-        )
-
-    # Correctness: bit-identical with the simulated runner at the same
-    # sync schedule, and with the sequential pipeline at one worker.
-    simulated = parallel(args.n_workers, "simulated").partition(
+    simulated = make_parallel(args.n_workers, "simulated").partition(
         stream, args.k, alpha=args.alpha
     )
-    single = parallel(1, "process").partition(stream, args.k, alpha=args.alpha)
+    single = make_parallel(1, "process").partition(
+        stream, args.k, alpha=args.alpha
+    )
     assert_bit_exact(
         sequential_result,
         single,
-        "ProcessRunner(n_workers=1) vs sequential 2PS-L",
+        f"{label}: ProcessRunner(n_workers=1) vs sequential 2PS-L",
     )
-
     best = None
     for _ in range(repeats):
-        result = parallel(args.n_workers, "process").partition(
+        result = make_parallel(args.n_workers, "process").partition(
             stream, args.k, alpha=args.alpha
         )
         assert_bit_exact(
             simulated,
             result,
-            f"ProcessRunner vs SimulatedRunner at {args.n_workers} workers",
+            f"{label}: ProcessRunner vs SimulatedRunner at "
+            f"{args.n_workers} workers",
         )
-        if best is None or phase2_seconds(result) < phase2_seconds(best):
+        if best is None or seconds_fn(result) < seconds_fn(best):
             best = result
     leaked = sorted(live_shared_segments())
     if leaked:
         raise SystemExit(f"leaked shared-memory segments: {leaked}")
+    seq_s = seconds_fn(sequential_result)
+    par_s = seconds_fn(best)
+    speedup = seq_s / par_s if par_s > 0 else 0.0
+    enforced = cpus >= args.n_workers
+    passed = speedup >= threshold if enforced else None
+    gate = {
+        "threshold": threshold,
+        "speedup": round(speedup, 3),
+        "enforced": enforced,
+        "pass": passed,
+        "skipped_reason": (
+            None
+            if enforced
+            else f"{cpus} usable CPU(s) < n_workers={args.n_workers}: "
+            "a wall-clock speedup gate is unmeasurable on this host"
+        ),
+    }
+    state = "pass" if passed else ("SKIPPED" if passed is None else "FAIL")
+    print(
+        f"  {label}: {seq_s:.3f}s sequential -> {par_s:.3f}s at "
+        f"{args.n_workers} workers ({speedup:.2f}x, gate {threshold}x: "
+        f"{state}, {cpus} cpus)"
+    )
+    return best, gate, seq_s, par_s
+
+
+def run_parallel_wallclock(
+    stream, graph, args, sequential_result, smoke: bool, out: str
+) -> bool:
+    """Measured process-runner wall-clock sections -> BENCH_parallel.json.
+
+    Returns True when every applicable gate passes.  Correctness gates
+    (see :func:`measure_speedup_gate`) and the barrier-bytes gate are
+    always enforced; the speedup gates are enforced only on hosts with
+    at least ``n_workers`` usable CPUs.
+    """
+    cpus = usable_cpus()
+    repeats = 1 if smoke else args.repeats
+
+    def parallel_factory(parallel_phase1):
+        def make(n_workers, runner):
+            return ParallelTwoPhase(
+                n_workers=n_workers,
+                sync_interval=args.sync_interval,
+                backend=DEFAULT_BACKEND,
+                runner=runner,
+                parallel_phase1=parallel_phase1,
+            )
+        return make
+
+    best, phase2_gate, seq_phase2, par_phase2 = measure_speedup_gate(
+        "parallel wall-clock (phase 2)",
+        phase2_seconds,
+        PARALLEL_SMOKE_GATE if smoke else PARALLEL_GATE,
+        parallel_factory(False),
+        stream, args, sequential_result, repeats, cpus,
+    )
     print(
         "  process runner is bit-exact with the simulated runner "
         "(and with sequential 2PS-L at 1 worker); no segment leaks"
     )
 
-    par_phase2 = phase2_seconds(best)
-    speedup = seq_phase2 / par_phase2 if par_phase2 > 0 else 0.0
-    enforced = cpus >= args.n_workers
-    passed = speedup >= threshold if enforced else None
+    # Barrier-bytes gate (always enforced): the dirty-row delta barriers
+    # must broadcast strictly less than a full replica-matrix
+    # re-broadcast.  Recorded in the payload either way so a failing run
+    # still leaves an authoritative BENCH file.
+    barrier_bytes = best.extras["barrier_bytes"]
+    barrier_bytes_full = best.extras["barrier_bytes_full"]
+    barrier_ok = 0 < barrier_bytes < barrier_bytes_full
+    print(
+        f"  delta barriers: {barrier_bytes:,} replica cells merged vs "
+        f"{barrier_bytes_full:,} full re-broadcast "
+        + (
+            f"({barrier_bytes_full / barrier_bytes:.1f}x reduction)"
+            if barrier_ok
+            else "(gate FAILED)"
+        )
+    )
+
+    # Phase-1 wall-clock section: the sharded degree + clustering passes
+    # through the process runner, against the sequential Phase-1 time.
+    best_phase1, phase1_gate, seq_phase1, par_phase1 = measure_speedup_gate(
+        "phase-1 wall-clock",
+        phase1_seconds,
+        PHASE1_SMOKE_GATE if smoke else PHASE1_GATE,
+        parallel_factory(True),
+        stream, args, sequential_result, repeats, cpus,
+    )
+
     payload = {
         "benchmark": "measured parallel Phase-2 wall-clock (process runner)",
         "graph": {
@@ -217,21 +308,35 @@ def run_parallel_wallclock(
         "sequential_phase2_seconds": round(seq_phase2, 4),
         "parallel_phase2_seconds": round(par_phase2, 4),
         "parallel_total_seconds": round(best.wall_seconds, 4),
-        "measured_phase2_speedup": round(speedup, 3),
+        "measured_phase2_speedup": phase2_gate["speedup"],
         "syncs": best.extras["syncs"],
         "replication_factor": round(best.replication_factor, 4),
         "measured_alpha": round(best.measured_alpha, 4),
-        "gate": {
-            "threshold": threshold,
-            "speedup": round(speedup, 3),
-            "enforced": enforced,
-            "pass": passed,
-            "skipped_reason": (
-                None
-                if enforced
-                else f"{cpus} usable CPU(s) < n_workers={args.n_workers}: "
-                "a wall-clock speedup gate is unmeasurable on this host"
+        "gate": phase2_gate,
+        "barrier_bytes": {
+            "delta": barrier_bytes,
+            "full_rebroadcast": barrier_bytes_full,
+            "reduction_factor": (
+                round(barrier_bytes_full / barrier_bytes, 2)
+                if barrier_bytes
+                else None
             ),
+            "gate": {"delta_below_full": barrier_ok, "pass": barrier_ok},
+        },
+        "phase1_wallclock": {
+            "benchmark": "measured parallel Phase-1 wall-clock "
+            "(degree + clustering, process runner)",
+            "sequential_phase1_seconds": round(seq_phase1, 4),
+            "parallel_phase1_seconds": round(par_phase1, 4),
+            "measured_phase1_speedup": phase1_gate["speedup"],
+            "phase1_syncs": best_phase1.extras["phase1_syncs"],
+            "n_clusters": best_phase1.extras["n_clusters"],
+            "replication_factor": round(
+                best_phase1.replication_factor, 4
+            ),
+            "gate": phase1_gate,
+            "process_matches_simulated": True,
+            "single_worker_matches_sequential": True,
         },
         "process_matches_simulated": True,
         "single_worker_matches_sequential": True,
@@ -240,14 +345,12 @@ def run_parallel_wallclock(
     with open(out, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=False)
         fh.write("\n")
-    state = "pass" if passed else ("SKIPPED" if passed is None else "FAIL")
-    print(
-        f"  parallel wall-clock: phase2 {seq_phase2:.3f}s sequential -> "
-        f"{par_phase2:.3f}s at {args.n_workers} workers "
-        f"({speedup:.2f}x, gate {threshold}x: {state}, {cpus} cpus)"
-    )
     print(f"  wrote {out}")
-    return passed is not False
+    return (
+        phase2_gate["pass"] is not False
+        and phase1_gate["pass"] is not False
+        and barrier_ok
+    )
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -49,17 +49,17 @@ _PARALLEL_MODES = {"2PS-L": "linear", "2PS-HDRF": "hdrf"}
 
 def _make_cli_partitioner(args):
     """Sequential partitioner by name, or its sharded parallel variant
-    when any of ``--runner``/``--n-workers``/``--sync-interval`` asks for
-    one (each flag alone activates the parallel path — none may be
-    silently ignored)."""
+    when any of ``--runner``/``--n-workers``/``--sync-interval``/
+    ``--parallel-phase1`` asks for one (each flag alone activates the
+    parallel path — none may be silently ignored)."""
     parallel_flags = (args.runner, args.n_workers, args.sync_interval)
-    if all(flag is None for flag in parallel_flags):
+    if all(flag is None for flag in parallel_flags) and not args.parallel_phase1:
         return make_partitioner(args.algorithm, backend=args.backend)
     mode = _PARALLEL_MODES.get(args.algorithm)
     if mode is None:
         raise ReproError(
-            f"--runner/--n-workers/--sync-interval apply only to "
-            f"{sorted(_PARALLEL_MODES)}, not {args.algorithm!r}"
+            f"--runner/--n-workers/--sync-interval/--parallel-phase1 apply "
+            f"only to {sorted(_PARALLEL_MODES)}, not {args.algorithm!r}"
         )
     return ParallelTwoPhase(
         n_workers=args.n_workers if args.n_workers is not None else 4,
@@ -69,6 +69,7 @@ def _make_cli_partitioner(args):
         mode=mode,
         backend=args.backend,
         runner=args.runner or "simulated",
+        parallel_phase1=args.parallel_phase1,
     )
 
 
@@ -93,6 +94,12 @@ def _cmd_partition(args) -> int:
             f"parallel phase-2  : {result.extras['parallel_wall_s']:.4f} s "
             f"({kind})"
         )
+        if result.extras.get("parallel_phase1"):
+            # The serial runner runs Phase 1 sequentially (0 syncs), so
+            # the count itself tells the truth about the sharding.
+            print(
+                f"phase-1 syncs     : {result.extras['phase1_syncs']}"
+            )
     print(f"k / alpha         : {result.k} / {result.alpha}")
     print(f"edges / vertices  : {result.n_edges} / {result.n_vertices}")
     print(f"replication factor: {result.replication_factor:.4f}")
@@ -271,6 +278,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="edges per worker between state synchronizations (implies "
         "the parallel path; default 65536 when it is active)",
+    )
+    part.add_argument(
+        "--parallel-phase1",
+        action="store_true",
+        help="shard the Phase-1 degree and clustering passes through the "
+        "runner too (implies the parallel path; bit-exact with the "
+        "sequential Phase 1 at --n-workers 1)",
     )
     part.add_argument("--device", choices=sorted(_DEVICES), default=None)
     part.add_argument("--out", default=None, help="write int32 assignments")

@@ -6,11 +6,22 @@ as staleness in state synchronization of multiple partitioner instances
 can lead to lower partitioning quality."
 
 :class:`ParallelTwoPhase` implements exactly that trade-off.  The edge
-stream is split into ``n_workers`` contiguous shards.  Phase 1 (degrees,
-clustering, mapping) is shared — it is cheap and embarrassingly mergeable —
-while both Phase-2 streaming passes (pre-partitioning and remaining-edge
-scoring) run per worker against a *stale* copy of the global replication
-state that is re-synchronized only every ``sync_interval`` edges.
+stream is split into ``n_workers`` contiguous shards.  Both Phase-2
+streaming passes (pre-partitioning and remaining-edge scoring) run per
+worker against a *stale* copy of the global replication state that is
+re-synchronized only every ``sync_interval`` edges.
+
+Phase 1 can run either shared (the default: degrees, clustering and
+mapping execute sequentially, exactly as in the paper's pipeline) or —
+with ``parallel_phase1=True`` — sharded through the same runner session:
+workers stream disjoint shard windows computing partial degree vectors
+and clustering state, merged at every barrier by the associative Phase-1
+merge ops of the kernel layer (``merge_phase1_degrees`` /
+``merge_phase1_clustering``; see :mod:`repro.kernels` for the exact fold
+semantics).  Like Phase-2 staleness, parallel clustering is a *quality*
+knob at ``n_workers > 1`` (workers cluster against a stale snapshot
+between barriers) but a pure execution knob at ``n_workers = 1``, where
+it stays bit-exact with the sequential pipeline.
 
 Execution is delegated to a pluggable **runner**
 (:mod:`repro.core.runners`), which decides *who* executes the
@@ -63,8 +74,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.clustering import ClusteringResult, default_volume_cap
 from repro.core.partitioner import run_phase1
 from repro.core.runners import Runner, ShardedJob, make_runner
+from repro.core.scheduling import graham_schedule
 from repro.errors import ConfigurationError
 from repro.kernels import get_backend
 from repro.metrics.memory import measured_state_bytes
@@ -104,6 +117,13 @@ class ParallelTwoPhase(EdgePartitioner):
         ``"process"``, or a :class:`~repro.core.runners.Runner` instance.
         A pure execution knob — results are bit-identical across runners
         under the same schedule (see the module docstring).
+    parallel_phase1:
+        When True, the degree and clustering passes are sharded through
+        the runner session too (partial degree vectors summed; clustering
+        windows folded at barriers via the kernel-layer Phase-1 merge
+        ops).  Bit-exact with the sequential Phase 1 at ``n_workers=1``;
+        a staleness/quality knob beyond that, exactly like Phase 2.  The
+        serial runner runs Phase 1 sequentially regardless.
     start_method, task_timeout:
         Process-runner knobs (``multiprocessing`` start method and the
         per-window hang timeout); ignored by the other runners.
@@ -122,6 +142,7 @@ class ParallelTwoPhase(EdgePartitioner):
         backend: str | None = None,
         chunk_size: int | str | None = None,
         runner: str | Runner = "simulated",
+        parallel_phase1: bool = False,
         start_method: str | None = None,
         task_timeout: float = 600.0,
     ) -> None:
@@ -161,6 +182,7 @@ class ParallelTwoPhase(EdgePartitioner):
         self.runner = make_runner(
             runner, start_method=start_method, task_timeout=task_timeout
         )
+        self.parallel_phase1 = bool(parallel_phase1)
         self.name = (
             "2PS-L-parallel" if mode == "linear" else "2PS-HDRF-parallel"
         )
@@ -172,18 +194,6 @@ class ParallelTwoPhase(EdgePartitioner):
         cost = CostCounter()
         m = stream.n_edges
 
-        n, degrees, clustering, c2p, loads = run_phase1(
-            stream,
-            k,
-            backend=self.backend,
-            clustering_passes=self.clustering_passes,
-            volume_cap_factor=self.volume_cap_factor,
-            timer=timer,
-            cost=cost,
-        )
-
-        state = PartitionState(n, k, m, alpha)
-        assignments = np.full(m, -1, dtype=np.int32)
         job = ShardedJob(
             stream=stream,
             n_workers=self.n_workers,
@@ -194,19 +204,41 @@ class ParallelTwoPhase(EdgePartitioner):
             backend=self.backend,
             k=k,
             alpha=alpha,
-            v2c=clustering.v2c,
-            c2p=c2p,
-            volumes=clustering.volumes,
-            degrees=degrees,
             hash_seed=self.hash_seed,
             hdrf_lambda=self.hdrf_lambda,
-            state=state,
-            assignments=assignments,
             cost=cost,
         )
 
         session = self.runner.open(job)
         try:
+            if self.parallel_phase1:
+                n, degrees, clustering, c2p, loads, phase1_syncs = (
+                    self._run_parallel_phase1(
+                        session, stream, k, m, timer, cost
+                    )
+                )
+            else:
+                n, degrees, clustering, c2p, loads = run_phase1(
+                    stream,
+                    k,
+                    backend=self.backend,
+                    clustering_passes=self.clustering_passes,
+                    volume_cap_factor=self.volume_cap_factor,
+                    timer=timer,
+                    cost=cost,
+                )
+                phase1_syncs = 0
+
+            state = PartitionState(n, k, m, alpha)
+            assignments = np.full(m, -1, dtype=np.int32)
+            job.v2c = clustering.v2c
+            job.c2p = c2p
+            job.volumes = clustering.volumes
+            job.degrees = degrees
+            job.state = state
+            job.assignments = assignments
+            session.bind_phase2()
+
             with timer.phase("prepartition"):
                 n_pre, syncs_pre = session.run_pass("prepartition")
             remaining = (
@@ -217,6 +249,8 @@ class ParallelTwoPhase(EdgePartitioner):
             with timer.phase("partitioning"):
                 _, syncs_rem = session.run_pass(remaining)
             worker_bytes = session.extra_state_bytes()
+            barrier_rows = session.barrier_rows
+            barrier_full_rows = session.barrier_full_rows
             session.finalize()
         finally:
             session.close()
@@ -254,5 +288,40 @@ class ParallelTwoPhase(EdgePartitioner):
                 "n_clusters": clustering.n_nonempty_clusters,
                 "prepartitioned_edges": n_pre,
                 "remaining_edges": m - n_pre,
+                "parallel_phase1": self.parallel_phase1,
+                "phase1_syncs": phase1_syncs,
+                # Replica rows the Phase-2 delta barriers actually merged
+                # versus what full re-broadcast would have touched (bytes
+                # = rows * k replica-matrix cells).
+                "barrier_bytes": barrier_rows * k,
+                "barrier_bytes_full": barrier_full_rows * k,
             },
         )
+
+    def _run_parallel_phase1(self, session, stream, k, m, timer, cost):
+        """Phase 1 through the runner session (see the class docstring)."""
+        with timer.phase("degree"):
+            degrees = session.run_degree_pass(stream.n_vertices)
+            cost.edges_streamed += m
+        n = max(
+            self._resolve_n_vertices(stream, degrees), len(degrees)
+        )
+        if len(degrees) < n:
+            grown = np.zeros(n, dtype=np.int64)
+            grown[: len(degrees)] = degrees
+            degrees = grown
+        with timer.phase("clustering"):
+            cap = default_volume_cap(m, k, self.volume_cap_factor)
+            v2c, volumes, phase1_syncs = session.run_clustering(
+                degrees, cap, self.clustering_passes
+            )
+            clustering = ClusteringResult(
+                v2c=v2c,
+                volumes=volumes,
+                degrees=degrees,
+                volume_cap=cap,
+                passes=self.clustering_passes,
+            )
+        with timer.phase("mapping"):
+            c2p, loads = graham_schedule(clustering.volumes, k, cost=cost)
+        return n, degrees, clustering, c2p, loads, phase1_syncs

@@ -1,4 +1,4 @@
-"""Execution runners: who runs the sync windows of a sharded Phase-2 pass.
+"""Execution runners: who runs the sync windows of a sharded run.
 
 :class:`~repro.core.parallel.ParallelTwoPhase` owns the *semantics* of
 CuSP-style sharded partitioning — contiguous stream shards, per-worker
@@ -12,47 +12,69 @@ runner from this module:
   reference point (zero syncs, zero staleness).
 - :class:`SimulatedRunner` — the single-process round-robin simulation:
   worker windows execute interleaved in one process, each against its own
-  stale heap-allocated :class:`~repro.partitioning.state.PartitionState`,
-  with an explicit merge barrier after every sweep.  Deterministic and
-  dependency-free; parallel wall-clock is *modeled*, not measured.
+  stale heap-allocated state, with an explicit merge barrier after every
+  sweep.  Deterministic and dependency-free; parallel wall-clock is
+  *modeled*, not measured.
 - :class:`ProcessRunner` — true ``multiprocessing`` execution: one pool
-  process per shard worker, worker state views in shared-memory-backed
-  ``PartitionState`` segments, per-edge assignments in one shared ``int32``
-  array, and the stream reopened in every worker from a picklable
+  process per shard worker, worker state in shared-memory segments, and
+  the stream reopened in every worker from a picklable
   :class:`~repro.streaming.stream.StreamSpec` (file streams stay
   out-of-core; in-memory streams ship their edges once through shared
   memory).  Parallel wall-clock is *measured*.
+
+A session covers **both phases** of a run.  Phase 1 executes through
+:meth:`RunnerSession.run_degree_pass` (per-shard partial degree vectors,
+merged by the associative-and-commutative integer sum) and
+:meth:`RunnerSession.run_clustering` (per-worker sync windows over a stale
+clustering snapshot, folded at each barrier by the ordered
+``merge_phase1_clustering`` kernel op — see :mod:`repro.kernels` for the
+merge contract).  Phase 2 then binds its state with
+:meth:`RunnerSession.bind_phase2` and executes through
+:meth:`RunnerSession.run_pass` exactly as before.
 
 Equivalence contract
 --------------------
 All three runners execute the same deterministic schedule: worker ``w``
 processes shard ``[bounds[w], bounds[w+1])`` in windows of at most
-``sync_interval`` edges, and after every sweep the barrier ORs replica
-bits and sums disjoint size deltas into the global state, then refreshes
-every stale view.  Because the kernel contract makes chunk and window
-boundaries semantics-free (see :mod:`repro.kernels`), this pins down every
-output bit:
+``sync_interval`` edges, and after every sweep a barrier merges worker
+deltas into the global state and refreshes every stale view.  Because the
+kernel contract makes chunk and window boundaries semantics-free (see
+:mod:`repro.kernels`), this pins down every output bit:
 
 - :class:`ProcessRunner` is **bit-identical** to :class:`SimulatedRunner`
-  under the same schedule — assignments, replica matrix, partition sizes
-  *and* cost counters (cost fields are sums of per-window counts, so
-  merge order cannot matter).
+  under the same schedule — Phase-1 degrees and clustering, per-edge
+  assignments, replica matrix, partition sizes *and* cost counters (cost
+  fields are sums of per-window counts, so merge order cannot matter).
 - With ``n_workers=1`` both are bit-exact with the sequential pipeline
   (a single worker's view is never stale), and :class:`SerialRunner` is
   bit-exact with it for *any* worker count because it ignores sharding
   entirely.
 
-``tests/test_parallel_kernels.py`` enforces all of this differentially.
+``tests/test_parallel_kernels.py`` and the randomized differential
+harness (``tests/differential.py``) enforce all of this.
+
+Barrier cost
+------------
+Phase-2 barriers use **dirty-row delta bitmaps**
+(:func:`repro.partitioning.state.merge_replica_deltas`): each worker view
+marks the endpoint rows of the windows it streams, and the barrier ORs
+and re-broadcasts only the union of dirty rows instead of the full
+``|V| x k`` replica matrix.  Sessions account the merged versus the
+hypothetical full row counts (``barrier_rows`` / ``barrier_full_rows``)
+so the saving is measurable end to end (``BENCH_parallel.json``).
 
 Shared-memory lifecycle
 -----------------------
 A process session owns every segment it creates (worker state views, the
-assignment array, and — for non-file streams — the edge array).  Segments
-are created in ``open()``, unlinked in ``close()``; ``close()`` is
-idempotent and runs on both success and error paths, so a crashed or
-timed-out worker cannot leak segments past the session (verified by the
-cleanup tests; :func:`live_shared_segments` exposes the owned set).
-Workers only ever *attach* and never unlink.
+Phase-1 clustering scratch, the read-only Phase-1 arrays, the assignment
+array, and — for non-file streams — the edge array).  Session *open* ships
+only a picklable stream spec and scalars to the pool, so it is O(1) in
+``|V|``; the Phase-1 arrays travel through one shared segment that workers
+attach lazily on first use.  Segments are unlinked in ``close()``;
+``close()`` is idempotent and runs on both success and error paths, so a
+crashed or timed-out worker cannot leak segments past the session
+(verified by the cleanup tests; :func:`live_shared_segments` exposes the
+owned set).  Workers only ever *attach* and never unlink.
 """
 
 from __future__ import annotations
@@ -65,7 +87,11 @@ import numpy as np
 from repro.errors import ConfigurationError, PartitioningError
 from repro.kernels import TwoPhaseContext, get_backend
 from repro.metrics.runtime import CostCounter
-from repro.partitioning.state import PartitionState
+from repro.partitioning.state import (
+    PartitionState,
+    _BufferArena,
+    merge_replica_deltas,
+)
 from repro.streaming.stream import make_stream_spec
 
 #: Pass names a runner can execute -> kernel-backend method names.
@@ -84,13 +110,36 @@ def _merge_cost(cost: CostCounter, delta: tuple) -> None:
         setattr(cost, name, getattr(cost, name) + int(value))
 
 
+def _phase1_error(worker: int, step: str, exc: BaseException) -> PartitioningError:
+    """The one typed error every runner raises for a Phase-1 worker death."""
+    return PartitioningError(
+        f"phase-1 worker {worker} died during the {step} pass: "
+        f"{type(exc).__name__}: {exc}"
+    )
+
+
+def cluster_id_capacity(n_edges: int, n_vertices: int, n_workers: int) -> int:
+    """Upper bound on cluster ids the parallel Phase 1 can ever allocate.
+
+    Each (worker, vertex) pair opens at most one fresh cluster — once a
+    vertex is assigned anywhere, the barrier refresh assigns it in every
+    view and assignments never revert to -1 — and every fresh cluster also
+    consumes one first-encounter of an edge endpoint in some worker's
+    shard, so the total is bounded by both ``n_workers * |V|`` and
+    ``2 * |E|``.
+    """
+    return min(2 * int(n_edges), int(n_workers) * int(n_vertices)) + 1
+
+
 @dataclass
 class ShardedJob:
-    """Everything one parallel run shares across its two Phase-2 passes.
+    """Everything one parallel run shares across its passes.
 
-    Built once by ``ParallelTwoPhase._run`` after the shared Phase 1;
-    handed to ``Runner.open``.  ``state``, ``assignments`` and ``cost``
-    are the run's global outputs and are mutated by the session.
+    Built by ``ParallelTwoPhase._run`` before Phase 1 and handed to
+    ``Runner.open``; the Phase-1 product fields (``v2c`` .. ``degrees``)
+    and the Phase-2 outputs (``state``, ``assignments``) are filled in
+    before :meth:`RunnerSession.bind_phase2`.  ``cost`` accumulates over
+    the whole run.
     """
 
     stream: object
@@ -100,15 +149,15 @@ class ShardedJob:
     backend: str | None
     k: int
     alpha: float
-    v2c: np.ndarray
-    c2p: np.ndarray
-    volumes: np.ndarray
-    degrees: np.ndarray
     hash_seed: int
     hdrf_lambda: float
-    state: PartitionState
-    assignments: np.ndarray
     cost: CostCounter
+    v2c: np.ndarray | None = None
+    c2p: np.ndarray | None = None
+    volumes: np.ndarray | None = None
+    degrees: np.ndarray | None = None
+    state: PartitionState | None = None
+    assignments: np.ndarray | None = None
 
 
 def _make_ctx(job: ShardedJob, state, assignments, cost=None) -> TwoPhaseContext:
@@ -126,17 +175,22 @@ def _make_ctx(job: ShardedJob, state, assignments, cost=None) -> TwoPhaseContext
     )
 
 
-def merge_barrier(state: PartitionState, worker_states) -> None:
-    """One synchronization barrier: merge worker deltas, refresh views.
+def merge_barrier(state: PartitionState, worker_states) -> int:
+    """One Phase-2 synchronization barrier; returns the rows refreshed.
 
     Replica bits merge by OR; sizes merge by summing each worker's delta
     against the last synchronized global sizes (every edge is assigned by
     exactly one worker, so deltas are disjoint).  Afterwards every worker
-    view equals the new global state.  Shared by the simulated and the
+    view equals the new global state.  When every view tracks dirty rows
+    the merge touches only the dirty union
+    (:func:`~repro.partitioning.state.merge_replica_deltas`); otherwise it
+    falls back to the full re-broadcast.  Shared by the simulated and the
     process runner so their barrier arithmetic cannot diverge.
     """
     if len(worker_states) == 1 and worker_states[0] is state:
-        return  # the worker shares the global state: nothing to do
+        return 0  # the worker shares the global state: nothing to do
+    if all(ws.dirty is not None for ws in worker_states):
+        return merge_replica_deltas(state, worker_states)
     merged = np.logical_or.reduce(
         [state.replicas] + [ws.replicas for ws in worker_states]
     )
@@ -148,6 +202,7 @@ def merge_barrier(state: PartitionState, worker_states) -> None:
     for ws in worker_states:
         ws.replicas[:] = merged
         ws.sizes[:] = new_sizes
+    return int(state.n_vertices)
 
 
 def _sweep_schedule(position, stop, sync_interval, pass_name):
@@ -168,9 +223,32 @@ def _sweep_schedule(position, stop, sync_interval, pass_name):
 class RunnerSession(ABC):
     """One parallel run's execution state (pools, views, segments)."""
 
+    #: Rows merged by Phase-2 delta barriers / rows a full re-broadcast
+    #: would have merged (equal when the full path ran).
+    barrier_rows: int = 0
+    barrier_full_rows: int = 0
+
+    def run_degree_pass(self, n_hint: int | None = None) -> np.ndarray:
+        """Parallel degree pass: per-shard partials, merged by summation."""
+        raise PartitioningError(
+            f"{type(self).__name__} does not execute Phase 1"
+        )
+
+    def run_clustering(
+        self, degrees: np.ndarray, cap: float, n_passes: int
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        """Sharded Phase-1 clustering; returns ``(v2c, volumes, syncs)``."""
+        raise PartitioningError(
+            f"{type(self).__name__} does not execute Phase 1"
+        )
+
+    def bind_phase2(self) -> None:
+        """Allocate Phase-2 execution state once the job carries the
+        Phase-1 arrays, the global state and the assignment array."""
+
     @abstractmethod
     def run_pass(self, pass_name: str) -> tuple[int, int]:
-        """Execute one sharded pass; returns ``(kernel total, syncs)``."""
+        """Execute one sharded Phase-2 pass; returns ``(total, syncs)``."""
 
     def finalize(self) -> None:
         """Copy shared results back into the job arrays (success path)."""
@@ -184,7 +262,7 @@ class RunnerSession(ABC):
 
 
 class Runner(ABC):
-    """Scheduling strategy for the Phase-2 passes of ``ParallelTwoPhase``."""
+    """Scheduling strategy for the passes of ``ParallelTwoPhase``."""
 
     #: Registry name; subclasses override.
     kind: str = "abstract"
@@ -215,10 +293,10 @@ class Runner(ABC):
 class SerialRunner(Runner):
     """Sequential reference execution: one window, the whole stream.
 
-    Ignores ``n_workers``/``sync_interval`` — each pass dispatches the
-    kernel once over the full stream against the global state, which is
-    exactly the sequential pipeline (bit-exact with
-    ``TwoPhasePartitioner`` by construction).  Reports zero syncs.
+    Ignores ``n_workers``/``sync_interval`` — each pass (Phase 1 and
+    Phase 2 alike) dispatches the kernel once over the full stream against
+    the global state, which is exactly the sequential pipeline (bit-exact
+    with ``TwoPhasePartitioner`` by construction).  Reports zero syncs.
     """
 
     kind = "serial"
@@ -230,6 +308,19 @@ class SerialRunner(Runner):
 class _SerialSession(RunnerSession):
     def __init__(self, job: ShardedJob) -> None:
         self.job = job
+
+    def run_degree_pass(self, n_hint: int | None = None) -> np.ndarray:
+        kernels = get_backend(self.job.backend)
+        return kernels.degree_pass(self.job.stream, n_hint)
+
+    def run_clustering(self, degrees, cap, n_passes):
+        job = self.job
+        kernels = get_backend(job.backend)
+        st = kernels.clustering_init(np.asarray(degrees, dtype=np.int64))
+        for _ in range(int(n_passes)):
+            kernels.clustering_true_pass(job.stream, st, cap, job.cost)
+        v2c, volumes, _ = kernels.clustering_export(st)
+        return v2c, volumes, 0
 
     def run_pass(self, pass_name: str) -> tuple[int, int]:
         job = self.job
@@ -323,6 +414,104 @@ class SimulatedRunner(Runner):
 class _SimulatedSession(RunnerSession):
     def __init__(self, job: ShardedJob) -> None:
         self.job = job
+        self.worker_states: list[PartitionState] = []
+
+    # ------------------------------------------------------------------
+    # Phase 1
+    # ------------------------------------------------------------------
+    def run_degree_pass(self, n_hint: int | None = None) -> np.ndarray:
+        job = self.job
+        kernels = get_backend(job.backend)
+        partials = []
+        for w in range(job.n_workers):
+            start = int(job.shard_bounds[w])
+            stop = int(job.shard_bounds[w + 1])
+            if start == stop:
+                continue
+            try:
+                partials.append(
+                    kernels.degree_pass(_SubStream(job.stream, start, stop))
+                )
+            except PartitioningError:
+                raise
+            except Exception as exc:
+                raise _phase1_error(w, "degree", exc) from exc
+        return kernels.merge_phase1_degrees(partials, n_hint)
+
+    def run_clustering(self, degrees, cap, n_passes):
+        job = self.job
+        kernels = get_backend(job.backend)
+        degrees = np.asarray(degrees, dtype=np.int64)
+        m = int(job.shard_bounds[-1])
+        syncs = 0
+        if job.n_workers == 1:
+            # A single worker's clustering view is never stale: keep one
+            # live state across windows (bit-exact with the sequential
+            # pass, window boundaries being ordinary chunk boundaries).
+            st = kernels.clustering_init(degrees)
+            for _ in range(int(n_passes)):
+                cursor = _ShardCursor(job.stream, 0, m)
+                while cursor.remaining > 0:
+                    window = cursor.take(job.sync_interval)
+                    if window.n_edges == 0:
+                        break
+                    try:
+                        kernels.clustering_true_pass(
+                            window, st, cap, job.cost
+                        )
+                    except PartitioningError:
+                        raise
+                    except Exception as exc:
+                        raise _phase1_error(0, "clustering", exc) from exc
+                    syncs += 1
+            v2c, volumes, _ = kernels.clustering_export(st)
+            return v2c, volumes, syncs
+        v2c_g = np.full(degrees.shape[0], -1, dtype=np.int64)
+        vol_g = np.zeros(0, dtype=np.int64)
+        for _ in range(int(n_passes)):
+            cursors = [
+                _ShardCursor(
+                    job.stream,
+                    int(job.shard_bounds[w]),
+                    int(job.shard_bounds[w + 1]),
+                )
+                for w in range(job.n_workers)
+            ]
+            active = True
+            while active:
+                active = False
+                exports = []
+                for w in range(job.n_workers):
+                    cursor = cursors[w]
+                    if cursor.remaining <= 0:
+                        continue
+                    window = cursor.take(job.sync_interval)
+                    if window.n_edges == 0:
+                        continue
+                    active = True
+                    st = kernels.clustering_load(v2c_g, vol_g, degrees)
+                    try:
+                        kernels.clustering_true_pass(
+                            window, st, cap, job.cost
+                        )
+                    except PartitioningError:
+                        raise
+                    except Exception as exc:
+                        raise _phase1_error(w, "clustering", exc) from exc
+                    e_v2c, e_vol, _ = kernels.clustering_export(st)
+                    exports.append((e_v2c, e_vol))
+                if active:
+                    syncs += 1
+                    v2c_g, vol_g = kernels.merge_phase1_clustering(
+                        v2c_g, vol_g, exports, degrees
+                    )
+        return v2c_g, vol_g, syncs
+
+    # ------------------------------------------------------------------
+    # Phase 2
+    # ------------------------------------------------------------------
+    def bind_phase2(self) -> None:
+        job = self.job
         # A single worker's view is never stale, so it shares the global
         # state outright (this is what makes n_workers=1 bit-exact with
         # the sequential pipeline, with no merge work).
@@ -331,7 +520,8 @@ class _SimulatedSession(RunnerSession):
         else:
             self.worker_states = [
                 PartitionState(
-                    job.state.n_vertices, job.k, job.state.n_edges, job.alpha
+                    job.state.n_vertices, job.k, job.state.n_edges,
+                    job.alpha, track_dirty=True,
                 )
                 for _ in range(job.n_workers)
             ]
@@ -363,6 +553,8 @@ class _SimulatedSession(RunnerSession):
                 if window.n_edges == 0:
                     continue
                 active = True
+                if worker_state.dirty is not None:
+                    window = _DirtyMarkingStream(window, worker_state)
                 ctx = _make_ctx(
                     job,
                     worker_state,
@@ -373,7 +565,10 @@ class _SimulatedSession(RunnerSession):
                     total += int(out)
             if active:
                 syncs += 1
-                merge_barrier(job.state, self.worker_states)
+                rows = merge_barrier(job.state, self.worker_states)
+                if self.worker_states[0] is not job.state:
+                    self.barrier_rows += rows
+                    self.barrier_full_rows += job.state.n_vertices
         return total, syncs
 
     def extra_state_bytes(self) -> int:
@@ -407,20 +602,18 @@ def default_start_method() -> str:
 
 @dataclass
 class _WorkerPayload:
-    """Once-per-process initialization shipped to every pool worker."""
+    """Once-per-process initialization shipped to every pool worker.
+
+    Deliberately tiny — a stream spec plus scalars — so opening a session
+    is O(1) in ``|V|``; the Phase-1 arrays and every state view are
+    attached lazily from shared segments named in the task tuples.
+    """
 
     spec: object
-    assignments_shm: str
-    state_shm_names: tuple[str, ...]
-    n_vertices: int
-    k: int
     n_edges: int
+    k: int
     alpha: float
     backend: str | None
-    v2c: np.ndarray
-    c2p: np.ndarray
-    volumes: np.ndarray
-    degrees: np.ndarray
     hash_seed: int
     hdrf_lambda: float
 
@@ -447,11 +640,36 @@ class _SubStream:
         return self._stream.window(self._start, self._stop, chunk_size)
 
 
+class _DirtyMarkingStream:
+    """Stream wrapper that marks every chunk's endpoint rows as dirty.
+
+    Wrapping the sync-window stream (instead of instrumenting every
+    replica write inside the kernels) is exact because each Phase-2 pass
+    only ever writes the replica rows of its window-edge endpoints — a
+    superset mark is always safe for the delta barrier.
+    """
+
+    __slots__ = ("_inner", "_state", "n_edges")
+
+    n_vertices = None
+
+    def __init__(self, inner, state: PartitionState) -> None:
+        self._inner = inner
+        self._state = state
+        self.n_edges = inner.n_edges
+
+    def chunks(self, chunk_size=None):
+        for chunk in self._inner.chunks(chunk_size):
+            if chunk.size:
+                self._state.mark_dirty(chunk.ravel())
+            yield chunk
+
+
 _WORKER = None  # per-process context, set by _process_worker_init
 
 
 def _process_worker_init(payload: _WorkerPayload) -> None:
-    """Pool initializer: attach every shared segment, open the stream.
+    """Pool initializer: open the stream, resolve the kernel backend.
 
     Never raises: an exception escaping a pool initializer makes the
     worker exit and the pool respawn it in a tight crash loop, with the
@@ -461,66 +679,150 @@ def _process_worker_init(payload: _WorkerPayload) -> None:
     """
     global _WORKER
     try:
-        from multiprocessing import shared_memory
-
         stream = payload.spec.open()
-        assign_shm = shared_memory.SharedMemory(
-            name=payload.assignments_shm, create=False
-        )
-        assignments = np.ndarray(
-            payload.n_edges, dtype=np.int32, buffer=assign_shm.buf
-        )
-        views = [
-            PartitionState.attach(
-                name, payload.n_vertices, payload.k, payload.n_edges,
-                payload.alpha,
-            )
-            for name in payload.state_shm_names
-        ]
         _WORKER = {
             "payload": payload,
             "stream": stream,
-            "assign_shm": assign_shm,
-            "assignments": assignments,
-            "views": views,
             "kernels": get_backend(payload.backend),
         }
     except BaseException as exc:  # noqa: BLE001 - see docstring
         _WORKER = {"init_error": f"{type(exc).__name__}: {exc}"}
 
 
-def _process_worker_task(task) -> tuple[int, tuple]:
-    """One sync window in a pool worker.
+def _attach_cluster(ref) -> dict:
+    """Map the Phase-1 clustering scratch segment (memoized per ref)."""
+    cached = _WORKER.get("cluster")
+    if cached is not None and cached["ref"] == ref:
+        return cached
+    from multiprocessing import shared_memory
 
-    ``task`` is ``(worker_index, pass_name, start, stop)``.  Any pool
-    process may execute any shard worker's window (every process maps
-    every view); within a sweep the windows of distinct shard workers
-    touch disjoint views and disjoint assignment slices, so there are no
-    cross-process races by construction.  Returns the kernel total and
-    this window's cost-counter delta for the parent to merge.
+    name, n, cap_ids, n_workers = ref
+    shm = shared_memory.SharedMemory(name=name, create=False)
+    arena = _BufferArena(shm.buf)
+    degrees = arena(n, np.int64)
+    slots = []
+    for _ in range(n_workers):
+        header = arena(1, np.int64)
+        v2c = arena(n, np.int64)
+        vol = arena(cap_ids, np.int64)
+        slots.append((header, v2c, vol))
+    cached = {"ref": ref, "shm": shm, "degrees": degrees, "slots": slots}
+    _WORKER["cluster"] = cached
+    return cached
+
+
+def _attach_phase2(ref) -> dict:
+    """Map the Phase-2 segments (assignments, views, Phase-1 arrays)."""
+    cached = _WORKER.get("phase2")
+    if cached is not None and cached["ref"] == ref:
+        return cached
+    from multiprocessing import shared_memory
+
+    payload = _WORKER["payload"]
+    assign_name, state_names, phase1_name, n, n_clusters = ref
+    assign_shm = shared_memory.SharedMemory(name=assign_name, create=False)
+    assignments = np.ndarray(
+        payload.n_edges, dtype=np.int32, buffer=assign_shm.buf
+    )
+    views = [
+        PartitionState.attach(
+            name, n, payload.k, payload.n_edges, payload.alpha,
+            track_dirty=True,
+        )
+        for name in state_names
+    ]
+    p1_shm = shared_memory.SharedMemory(name=phase1_name, create=False)
+    arena = _BufferArena(p1_shm.buf)
+    cached = {
+        "ref": ref,
+        "assign_shm": assign_shm,
+        "assignments": assignments,
+        "views": views,
+        "p1_shm": p1_shm,
+        "v2c": arena(n, np.int64),
+        "c2p": arena(n_clusters, np.int64),
+        "volumes": arena(n_clusters, np.int64),
+        "degrees": arena(n, np.int64),
+    }
+    _WORKER["phase2"] = cached
+    return cached
+
+
+def _process_worker_task(task):
+    """One task in a pool worker, dispatched on the task kind.
+
+    Any pool process may execute any shard worker's window (every process
+    can map every segment); within a sweep the windows of distinct shard
+    workers touch disjoint views and disjoint assignment slices, so there
+    are no cross-process races by construction.
     """
-    worker_index, pass_name, start, stop = task
     ctx_globals = _WORKER
     if "init_error" in ctx_globals:
         raise PartitioningError(
             "process worker initialization failed: "
             + ctx_globals["init_error"]
         )
-    payload = ctx_globals["payload"]
+    kind = task[0]
+    if kind == "degree":
+        _, start, stop = task
+        return ctx_globals["kernels"].degree_pass(
+            _SubStream(ctx_globals["stream"], start, stop)
+        )
+    if kind == "cluster":
+        return _worker_cluster_window(task)
+    return _worker_phase2_window(task)
+
+
+def _worker_cluster_window(task):
+    """One Phase-1 clustering sync window against the shared scratch."""
+    _, worker_index, start, stop, ref, cap = task
+    ctx_globals = _WORKER
+    cluster = _attach_cluster(ref)
+    header, v2c_view, vol_view = cluster["slots"][worker_index]
+    kernels = ctx_globals["kernels"]
+    n_ids = int(header[0])
+    st = kernels.clustering_load(
+        v2c_view, vol_view[:n_ids], cluster["degrees"]
+    )
     cost = CostCounter()
+    window = _SubStream(ctx_globals["stream"], start, stop)
+    kernels.clustering_true_pass(window, st, cap, cost)
+    v2c_out, vol_out, _ = kernels.clustering_export(st)
+    if vol_out.shape[0] > vol_view.shape[0]:  # pragma: no cover - bound proof
+        raise PartitioningError(
+            f"phase-1 cluster-id capacity exceeded: {vol_out.shape[0]} ids "
+            f"for a scratch of {vol_view.shape[0]}"
+        )
+    v2c_view[:] = v2c_out
+    vol_view[: vol_out.shape[0]] = vol_out
+    header[0] = vol_out.shape[0]
+    return astuple(cost)
+
+
+def _worker_phase2_window(task):
+    """One Phase-2 sync window; returns the kernel total and this
+    window's cost-counter delta for the parent to merge."""
+    worker_index, pass_name, start, stop, ref = task
+    ctx_globals = _WORKER
+    payload = ctx_globals["payload"]
+    phase2 = _attach_phase2(ref)
+    cost = CostCounter()
+    view = phase2["views"][worker_index]
     ctx = TwoPhaseContext(
         k=payload.k,
-        v2c=payload.v2c,
-        c2p=payload.c2p,
-        volumes=payload.volumes,
-        degrees=payload.degrees,
-        state=ctx_globals["views"][worker_index],
-        assignments=ctx_globals["assignments"][start:stop],
+        v2c=phase2["v2c"],
+        c2p=phase2["c2p"],
+        volumes=phase2["volumes"],
+        degrees=phase2["degrees"],
+        state=view,
+        assignments=phase2["assignments"][start:stop],
         hash_seed=payload.hash_seed,
         cost=cost,
         hdrf_lambda=payload.hdrf_lambda,
     )
-    window = _SubStream(ctx_globals["stream"], start, stop)
+    window = _DirtyMarkingStream(
+        _SubStream(ctx_globals["stream"], start, stop), view
+    )
     out = getattr(ctx_globals["kernels"], PASS_METHODS[pass_name])(
         window, ctx
     )
@@ -579,6 +881,9 @@ class _ProcessSession(RunnerSession):
         self._stream_shm = None
         self._assign_shm = None
         self._assign_view = None
+        self._cluster_shm = None
+        self._phase1_shm = None
+        self._phase2_ref = None
         self.views: list[PartitionState] = []
         self._closed = False
         try:
@@ -589,40 +894,27 @@ class _ProcessSession(RunnerSession):
 
     def _setup(self, runner: ProcessRunner) -> None:
         import multiprocessing as mp
-        from multiprocessing import shared_memory
+        from multiprocessing import resource_tracker
+
+        # Start the parent's resource tracker BEFORE the pool exists, so
+        # every worker inherits it and all segment registrations land in
+        # one tracker that the parent's unlink can clear.  Session open no
+        # longer creates a segment up front (workers attach lazily), so
+        # without this a forked worker would lazily spawn its *own*
+        # tracker, whose attach registrations nobody unregisters —
+        # spurious "leaked shared_memory objects" warnings at shutdown.
+        resource_tracker.ensure_running()
 
         job = self.job
         spec, self._stream_shm = make_stream_spec(job.stream)
         if self._stream_shm is not None:
             _LIVE_SEGMENTS.add(self._stream_shm.name)
-        m = int(job.assignments.shape[0])
-        self._assign_shm = shared_memory.SharedMemory(
-            create=True, size=max(job.assignments.nbytes, 1)
-        )
-        _LIVE_SEGMENTS.add(self._assign_shm.name)
-        self._assign_view = np.ndarray(
-            m, dtype=np.int32, buffer=self._assign_shm.buf
-        )
-        self._assign_view[:] = job.assignments
-        for _ in range(job.n_workers):
-            view = PartitionState.from_shared(
-                job.state.n_vertices, job.k, job.state.n_edges, job.alpha
-            )
-            self.views.append(view)
-            _LIVE_SEGMENTS.add(view.shm_name)
         payload = _WorkerPayload(
             spec=spec,
-            assignments_shm=self._assign_shm.name,
-            state_shm_names=tuple(v.shm_name for v in self.views),
-            n_vertices=job.state.n_vertices,
+            n_edges=int(job.shard_bounds[-1]),
             k=job.k,
-            n_edges=job.state.n_edges,
             alpha=job.alpha,
             backend=job.backend,
-            v2c=job.v2c,
-            c2p=job.c2p,
-            volumes=job.volumes,
-            degrees=job.degrees,
             hash_seed=job.hash_seed,
             hdrf_lambda=job.hdrf_lambda,
         )
@@ -633,9 +925,185 @@ class _ProcessSession(RunnerSession):
             initargs=(payload,),
         )
 
-    def run_pass(self, pass_name: str) -> tuple[int, int]:
+    def _create_segment(self, nbytes: int):
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(create=True, size=max(nbytes, 1))
+        _LIVE_SEGMENTS.add(shm.name)
+        np.frombuffer(shm.buf, dtype=np.uint8)[:] = 0
+        return shm
+
+    def _collect(self, handles, step: str):
+        """Gather async results in task order, converting failures into
+        the typed Phase-1/Phase-2 errors."""
         import multiprocessing as mp
 
+        results = []
+        for w, handle in handles:
+            try:
+                results.append(handle.get(timeout=self._timeout))
+            except mp.TimeoutError as exc:
+                raise PartitioningError(
+                    f"process runner: a {step} window exceeded the "
+                    f"{self._timeout:.0f}s task timeout (worker died or "
+                    "deadlocked)"
+                ) from exc
+            except PartitioningError:
+                raise
+            except Exception as exc:
+                if step in ("degree", "clustering"):
+                    raise _phase1_error(w, step, exc) from exc
+                raise
+        return results
+
+    # ------------------------------------------------------------------
+    # Phase 1
+    # ------------------------------------------------------------------
+    def run_degree_pass(self, n_hint: int | None = None) -> np.ndarray:
+        job = self.job
+        handles = []
+        for w in range(job.n_workers):
+            start = int(job.shard_bounds[w])
+            stop = int(job.shard_bounds[w + 1])
+            if start == stop:
+                continue
+            handles.append(
+                (w, self._pool.apply_async(
+                    _process_worker_task, (("degree", start, stop),)
+                ))
+            )
+        partials = self._collect(handles, "degree")
+        return get_backend(job.backend).merge_phase1_degrees(
+            partials, n_hint
+        )
+
+    def run_clustering(self, degrees, cap, n_passes):
+        degrees = np.asarray(degrees, dtype=np.int64)
+        n = int(degrees.shape[0])
+        m = int(self.job.shard_bounds[-1])
+        cap_ids = cluster_id_capacity(m, n, self.job.n_workers)
+        nbytes = 8 * (n + self.job.n_workers * (1 + n + cap_ids))
+        self._cluster_shm = self._create_segment(nbytes)
+        result = self._run_clustering_windows(
+            degrees, cap, int(n_passes), n, cap_ids
+        )
+        # Phase 2 never reads the scratch: release it now instead of at
+        # close().  Every parent-side view died with the helper frame
+        # above (so the mapping can drop), and pool workers keep their
+        # memoized mapping until the pool dies — unlinking under live
+        # mappings is safe on POSIX.
+        scratch, self._cluster_shm = self._cluster_shm, None
+        self._release_segment(scratch)
+        return result
+
+    def _run_clustering_windows(self, degrees, cap, n_passes, n, cap_ids):
+        """Sweep/barrier loop over the scratch segment; every view over
+        the segment is local to this frame (see ``run_clustering``)."""
+        job = self.job
+        kernels = get_backend(job.backend)
+        arena = _BufferArena(self._cluster_shm.buf)
+        deg_view = arena(n, np.int64)
+        deg_view[:] = degrees
+        slots = []
+        for _ in range(job.n_workers):
+            header = arena(1, np.int64)
+            v2c_view = arena(n, np.int64)
+            vol_view = arena(cap_ids, np.int64)
+            v2c_view[:] = -1
+            slots.append((header, v2c_view, vol_view))
+        ref = (self._cluster_shm.name, n, cap_ids, job.n_workers)
+        single = job.n_workers == 1
+        v2c_g = np.full(n, -1, dtype=np.int64)
+        vol_g = np.zeros(0, dtype=np.int64)
+        syncs = 0
+        for _ in range(n_passes):
+            position = [int(job.shard_bounds[w]) for w in range(job.n_workers)]
+            stop = [int(job.shard_bounds[w + 1]) for w in range(job.n_workers)]
+            while True:
+                tasks = _sweep_schedule(
+                    position, stop, job.sync_interval, "cluster"
+                )
+                if not tasks:
+                    break
+                handles = [
+                    (w, self._pool.apply_async(
+                        _process_worker_task,
+                        (("cluster", w, t_start, t_stop, ref, cap),),
+                    ))
+                    for w, _, t_start, t_stop in tasks
+                ]
+                for delta in self._collect(handles, "clustering"):
+                    _merge_cost(job.cost, delta)
+                syncs += 1
+                if single:
+                    continue  # the lone worker's slot stays live
+                exports = [
+                    (slots[w][1], slots[w][2][: int(slots[w][0][0])])
+                    for w, _, _, _ in tasks
+                ]
+                v2c_g, vol_g = kernels.merge_phase1_clustering(
+                    v2c_g, vol_g, exports, degrees
+                )
+                for header, v2c_view, vol_view in slots:
+                    v2c_view[:] = v2c_g
+                    vol_view[: vol_g.shape[0]] = vol_g
+                    header[0] = vol_g.shape[0]
+        if single:
+            header, v2c_view, vol_view = slots[0]
+            v2c_g = np.array(v2c_view, dtype=np.int64, copy=True)
+            vol_g = np.array(
+                vol_view[: int(header[0])], dtype=np.int64, copy=True
+            )
+        return v2c_g, vol_g, syncs
+
+    @staticmethod
+    def _release_segment(shm) -> None:
+        """Unlink one owned segment (idempotent against cleanup races)."""
+        _LIVE_SEGMENTS.discard(shm.name)
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - cleanup race
+            pass
+
+    # ------------------------------------------------------------------
+    # Phase 2
+    # ------------------------------------------------------------------
+    def bind_phase2(self) -> None:
+        job = self.job
+        m = int(job.assignments.shape[0])
+        self._assign_shm = self._create_segment(job.assignments.nbytes)
+        self._assign_view = np.ndarray(
+            m, dtype=np.int32, buffer=self._assign_shm.buf
+        )
+        self._assign_view[:] = job.assignments
+        for _ in range(job.n_workers):
+            view = PartitionState.from_shared(
+                job.state.n_vertices, job.k, job.state.n_edges, job.alpha,
+                track_dirty=True,
+            )
+            self.views.append(view)
+            _LIVE_SEGMENTS.add(view.shm_name)
+        # The read-only Phase-1 arrays travel through ONE shared segment
+        # (the SharedArrayStreamSpec pattern): workers attach it lazily,
+        # so nothing O(|V|) is ever pickled per worker or per task.
+        n = int(job.state.n_vertices)
+        n_clusters = int(job.c2p.shape[0])
+        self._phase1_shm = self._create_segment(8 * (2 * n + 2 * n_clusters))
+        arena = _BufferArena(self._phase1_shm.buf)
+        arena(n, np.int64)[:] = job.v2c
+        arena(n_clusters, np.int64)[:] = job.c2p
+        arena(n_clusters, np.int64)[:] = job.volumes
+        arena(n, np.int64)[:] = job.degrees
+        self._phase2_ref = (
+            self._assign_shm.name,
+            tuple(view.shm_name for view in self.views),
+            self._phase1_shm.name,
+            n,
+            n_clusters,
+        )
+
+    def run_pass(self, pass_name: str) -> tuple[int, int]:
         if pass_name not in PASS_METHODS:
             raise ConfigurationError(f"unknown pass {pass_name!r}")
         job = self.job
@@ -649,23 +1117,19 @@ class _ProcessSession(RunnerSession):
             )
             if not tasks:
                 break
-            pending = [
-                self._pool.apply_async(_process_worker_task, (task,))
+            handles = [
+                (task[0], self._pool.apply_async(
+                    _process_worker_task, (task + (self._phase2_ref,),)
+                ))
                 for task in tasks
             ]
-            for handle in pending:
-                try:
-                    out, cost_delta = handle.get(timeout=self._timeout)
-                except mp.TimeoutError as exc:
-                    raise PartitioningError(
-                        f"process runner: a {pass_name} window exceeded "
-                        f"the {self._timeout:.0f}s task timeout (worker "
-                        "died or deadlocked)"
-                    ) from exc
+            for out, cost_delta in self._collect(handles, pass_name):
                 total += out
                 _merge_cost(job.cost, cost_delta)
             syncs += 1
-            merge_barrier(job.state, self.views)
+            rows = merge_barrier(job.state, self.views)
+            self.barrier_rows += rows
+            self.barrier_full_rows += job.state.n_vertices
         return total, syncs
 
     def finalize(self) -> None:
@@ -681,17 +1145,18 @@ class _ProcessSession(RunnerSession):
             pool, self._pool = self._pool, None
             self._shutdown_pool(pool)
         self._assign_view = None
-        for shm in (self._assign_shm, self._stream_shm):
-            if shm is None:
-                continue
-            _LIVE_SEGMENTS.discard(shm.name)
-            shm.close()
-            try:
-                shm.unlink()
-            except FileNotFoundError:  # pragma: no cover - cleanup race
-                pass
+        for shm in (
+            self._assign_shm,
+            self._stream_shm,
+            self._cluster_shm,
+            self._phase1_shm,
+        ):
+            if shm is not None:
+                self._release_segment(shm)
         self._assign_shm = None
         self._stream_shm = None
+        self._cluster_shm = None
+        self._phase1_shm = None
         views, self.views = self.views, []
         for view in views:
             _LIVE_SEGMENTS.discard(view.shm_name)

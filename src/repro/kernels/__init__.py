@@ -55,6 +55,44 @@ remaining capacity ``capacity - max(sizes)`` is smaller than the block's
 candidate count), because cap overflow makes decisions order-dependent
 through the masking / hash / least-loaded fallback chains.
 
+Phase-1 merge ops (parallel barriers)
+-------------------------------------
+The sharded Phase 1 (``ParallelTwoPhase(parallel_phase1=True)``) runs the
+degree and clustering passes per shard window and folds worker results at
+barriers through two backend ops.  A new backend must reproduce both
+**bit for bit** (they decide cluster ids, and cluster ids feed every
+downstream pass):
+
+- ``merge_phase1_degrees(partials, n_hint)`` — element-wise integer sum
+  of per-shard partial degree vectors, grown to ``n_hint``.  The merge is
+  **associative and commutative** (int64 addition), so any merge tree or
+  worker order is exact; runners exploit this by collecting partials in
+  whatever completion order is convenient.
+- ``merge_phase1_clustering(v2c, volumes, worker_states, degrees)`` — an
+  **ordered left fold** of worker deltas against the pre-barrier snapshot
+  ``(v2c, volumes)``.  Worker ``w``'s export was produced from the
+  snapshot, so its fresh cluster ids occupy ``[len(volumes),
+  len(volumes_w))``; the fold remaps them to one global sequence in
+  worker order, resolves per-vertex conflicts first-worker-wins, and
+  recomputes merged volumes exactly as the sum of member true degrees
+  (the Algorithm-1 invariant, so over-cap overshoot from stale windows is
+  carried through without drift).  The fold is **associative over the
+  ordered worker sequence** — deltas are mutually independent, so any
+  grouping that preserves worker order gives the same result — but **not
+  commutative**: reordering workers changes both the conflict winners and
+  the fresh-id remap.  Every runner therefore merges in ascending worker
+  index; a backend (or runner) that merges in any other order breaks the
+  ``ProcessRunner == SimulatedRunner`` contract.
+- ``clustering_load(v2c, volumes, degrees)`` — the inverse of
+  ``clustering_export``: an independent backend-native state from
+  exported arrays, used to hand each worker the stale snapshot before a
+  window.  ``load(export(st))`` must round-trip exactly.
+
+``tests/test_kernels.py`` (``TestPhase1MergeOps``) pins the twins against
+each other on randomized barrier scenarios; the randomized differential
+harness (``tests/differential.py``) pins the full pipeline across
+runners, backends and seeds.
+
 Writing a backend
 -----------------
 1. Subclass :class:`~repro.kernels.base.KernelBackend` (or an existing

@@ -52,6 +52,14 @@ class Int64Buffer:
         """Live array view of the filled prefix (invalidated by appends)."""
         return self._buf[: self._n]
 
+    @classmethod
+    def from_array(cls, values: np.ndarray) -> "Int64Buffer":
+        """Buffer pre-filled with ``values`` (copied)."""
+        buf = cls(max(int(values.shape[0]), 1))
+        buf._buf[: values.shape[0]] = values
+        buf._n = int(values.shape[0])
+        return buf
+
 
 @dataclass
 class ClusteringState:
@@ -158,6 +166,71 @@ class KernelBackend(ABC):
         self, st: ClusteringState
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Snapshot ``(v2c, volumes, degrees)`` as int64 arrays."""
+
+    @abstractmethod
+    def clustering_load(
+        self, v2c: np.ndarray, volumes: np.ndarray, degrees: np.ndarray
+    ) -> ClusteringState:
+        """Backend-native state from exported arrays (inverse of export).
+
+        ``v2c``/``volumes`` in the returned state are independent copies
+        (mutating them must not touch the input arrays); ``degrees`` MAY
+        alias the input, because the true-degree passes the parallel path
+        dispatches never write it (loading happens once per sync window,
+        so an O(|V|) degree copy per window would dominate small
+        windows).  Loaded state is therefore only valid for true-degree
+        passes — ``clustering_partial_pass`` mutates degrees and must
+        never run on it.  This is how the parallel Phase-1 path hands
+        each worker a stale snapshot of the merged global clustering
+        before a sync window.
+        """
+
+    # ------------------------------------------------------------------
+    # Phase-1 barrier merges (parallel path; see package docs for the
+    # associativity / commutativity contract a backend must satisfy)
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def merge_phase1_degrees(
+        self, partials, n_hint: int | None = None
+    ) -> np.ndarray:
+        """Merge per-shard partial degree vectors into one int64 array.
+
+        The merge is an element-wise integer sum over vectors of possibly
+        different lengths (each partial stops at its shard's max vertex
+        id), grown to at least ``n_hint``.  Integer addition is associative
+        *and* commutative, so any merge order is bit-exact.
+        """
+
+    @abstractmethod
+    def merge_phase1_clustering(
+        self,
+        v2c: np.ndarray,
+        volumes: np.ndarray,
+        worker_states,
+        degrees: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One clustering barrier: fold worker deltas into the global state.
+
+        ``worker_states`` is the **ordered** (ascending worker index) list
+        of ``(v2c_w, volumes_w)`` exports, each produced by running one
+        sync window from the shared snapshot ``(v2c, volumes)``; a worker's
+        fresh cluster ids occupy ``[len(volumes), len(volumes_w))``.  The
+        merge (same result required of every backend, bit for bit):
+
+        - fresh ids are remapped to a single global sequence in worker
+          order (worker ``w``'s ``j``-th fresh cluster becomes
+          ``len(volumes) + sum of earlier workers' fresh counts + j``);
+        - per vertex, the **first** worker in order whose assignment
+          differs from the snapshot wins; later claims are dropped and
+          unchanged vertices keep the snapshot assignment;
+        - merged volumes are recomputed exactly as the sum of member true
+          degrees (the Algorithm-1 invariant), so emptied and conflicted
+          fresh clusters end at volume 0.
+
+        Returns the merged ``(v2c, volumes)``.  See the package docstring
+        for why this fold is associative over the ordered worker sequence
+        but not commutative.
+        """
 
     # ------------------------------------------------------------------
     # Phase 2: 2PS-L partitioning passes

@@ -133,6 +133,54 @@ class NumpyBackend(PythonBackend):
             )
         return st.v2c, st.vol.view().copy(), st.deg
 
+    def clustering_load(self, v2c, volumes, degrees) -> ClusteringState:
+        # deg may alias the input (no copy): true-degree passes never
+        # write it, and loads happen once per sync window — see the
+        # base-class contract.
+        return ClusteringState(
+            v2c=np.array(v2c, dtype=np.int64, copy=True),
+            vol=Int64Buffer.from_array(np.asarray(volumes, dtype=np.int64)),
+            deg=np.asarray(degrees, dtype=np.int64),
+        )
+
+    # ------------------------------------------------------------------
+    # Phase-1 barrier merges (vectorized twins of the reference)
+    # ------------------------------------------------------------------
+    def merge_phase1_degrees(self, partials, n_hint=None) -> np.ndarray:
+        length = int(n_hint) if n_hint else 0
+        for partial in partials:
+            length = max(length, int(len(partial)))
+        out = np.zeros(length, dtype=np.int64)
+        for partial in partials:
+            out[: len(partial)] += np.asarray(partial, dtype=np.int64)
+        return out
+
+    def merge_phase1_clustering(self, v2c, volumes, worker_states, degrees):
+        base = int(len(volumes))
+        snapshot = np.asarray(v2c, dtype=np.int64)
+        merged = snapshot.copy()
+        claimed = np.zeros(merged.shape[0], dtype=bool)
+        offset = base
+        for v2c_w, vol_w in worker_states:
+            v2c_w = np.asarray(v2c_w, dtype=np.int64)
+            changed = (v2c_w != snapshot) & ~claimed
+            if changed.any():
+                vals = v2c_w[changed]
+                if offset != base:
+                    vals = np.where(vals >= base, vals + (offset - base), vals)
+                merged[changed] = vals
+                claimed |= changed
+            offset += int(len(vol_w)) - base
+        assigned = merged >= 0
+        # Integer-exact despite the float weights: true degrees and their
+        # partial sums stay far below 2**53.
+        vol = np.bincount(
+            merged[assigned],
+            weights=np.asarray(degrees, dtype=np.int64)[assigned],
+            minlength=offset,
+        ).astype(np.int64)
+        return merged, vol
+
     @staticmethod
     def _promote_clustering_state(st: ClusteringState) -> None:
         """List mode -> array mode (start of a vectorized pass)."""

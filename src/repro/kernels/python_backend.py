@@ -61,6 +61,52 @@ class PythonBackend(KernelBackend):
             np.asarray(st.deg, dtype=np.int64),
         )
 
+    def clustering_load(self, v2c, volumes, degrees) -> ClusteringState:
+        return ClusteringState(
+            v2c=np.asarray(v2c, dtype=np.int64).tolist(),
+            vol=np.asarray(volumes, dtype=np.int64).tolist(),
+            deg=np.asarray(degrees, dtype=np.int64).tolist(),
+        )
+
+    # ------------------------------------------------------------------
+    # Phase-1 barrier merges (reference twins; see base-class docs)
+    # ------------------------------------------------------------------
+    def merge_phase1_degrees(self, partials, n_hint=None) -> np.ndarray:
+        length = int(n_hint) if n_hint else 0
+        for partial in partials:
+            length = max(length, len(partial))
+        out = [0] * length
+        for partial in partials:
+            for i, d in enumerate(
+                partial.tolist() if hasattr(partial, "tolist") else partial
+            ):
+                out[i] += d
+        return np.asarray(out, dtype=np.int64)
+
+    def merge_phase1_clustering(self, v2c, volumes, worker_states, degrees):
+        base = len(volumes)
+        snapshot = np.asarray(v2c, dtype=np.int64).tolist()
+        merged = list(snapshot)
+        claimed = [False] * len(merged)
+        offset = base
+        for v2c_w, vol_w in worker_states:
+            shift = offset - base
+            wl = np.asarray(v2c_w, dtype=np.int64).tolist()
+            for i, c in enumerate(wl):
+                if c != snapshot[i] and not claimed[i]:
+                    merged[i] = c + shift if c >= base else c
+                    claimed[i] = True
+            offset += len(vol_w) - base
+        vol = [0] * offset
+        degl = np.asarray(degrees, dtype=np.int64).tolist()
+        for i, c in enumerate(merged):
+            if c >= 0:
+                vol[c] += degl[i]
+        return (
+            np.asarray(merged, dtype=np.int64),
+            np.asarray(vol, dtype=np.int64),
+        )
+
     @staticmethod
     def true_degree_edges(v2c, vol, deg, pairs, cap) -> int:
         """Reference Algorithm-1 body over ``(u, v)`` pairs on list state;

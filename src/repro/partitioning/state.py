@@ -29,6 +29,21 @@ that several processes map at once.  The contract:
 
 Heap-backed states ignore ``close``/``unlink`` (both are no-ops), so
 generic code can run the full lifecycle unconditionally.
+
+Dirty-row delta barriers
+------------------------
+A state created with ``track_dirty=True`` additionally carries a per-vertex
+*dirty bitmap* (one bool per replica-matrix row).  The sharded parallel
+partitioner gives each worker view such a bitmap and marks the endpoint
+rows of every sync window it streams (a superset of the rows the kernels
+can possibly write, since every replica write targets a window-edge
+endpoint).  The synchronization barrier then merges **only the union of
+dirty rows** through :func:`merge_replica_deltas` instead of re-broadcasting
+the full ``|V| x k`` matrix: rows that are dirty nowhere are bit-identical
+across the global state and every view (they were refreshed at the previous
+barrier and unwritten since), so skipping them cannot change the merge.
+This makes barrier cost proportional to the touched vertex set of a sync
+window, not to ``|V|``.
 """
 
 from __future__ import annotations
@@ -120,10 +135,14 @@ class PartitionState:
         so a full assignment is always feasible.
 
     allocator:
-        Optional ``callable(shape, dtype) -> ndarray`` producing the two
+        Optional ``callable(shape, dtype) -> ndarray`` producing the
         state arrays *zero-filled*.  ``None`` (the default) allocates on
         the heap with ``np.zeros``.  :meth:`from_shared`/:meth:`attach`
         pass a :class:`_BufferArena` over a shared-memory segment.
+    track_dirty:
+        When True, allocate the per-row dirty bitmap used by the delta
+        barriers (see the module docstring); creators and attachers of a
+        shared segment must agree on it (it changes the segment layout).
 
     Raises
     ------
@@ -141,6 +160,7 @@ class PartitionState:
         alpha: float = 1.05,
         *,
         allocator=None,
+        track_dirty: bool = False,
     ):
         if k < 2:
             raise PartitioningError(f"k must be >= 2, got {k}")
@@ -158,6 +178,8 @@ class PartitionState:
         alloc = np.zeros if allocator is None else allocator
         self.replicas = alloc((self.n_vertices, self.k), bool)
         self.sizes = alloc(self.k, np.int64)
+        #: Dirty-row bitmap for delta barriers (``None`` when untracked).
+        self.dirty = alloc(self.n_vertices, bool) if track_dirty else None
         self._shm = None
         self._owns_segment = False
 
@@ -165,11 +187,14 @@ class PartitionState:
     # shared-memory lifecycle (see the module docstring for the contract)
     # ------------------------------------------------------------------
     @staticmethod
-    def shared_nbytes(n_vertices: int, k: int) -> int:
+    def shared_nbytes(n_vertices: int, k: int, track_dirty: bool = False) -> int:
         """Segment size for a shared state of these dimensions."""
         replicas = int(n_vertices) * int(k)
         aligned = -(-replicas // 8) * 8  # int64 alignment for ``sizes``
-        return max(aligned + 8 * int(k), 1)
+        total = aligned + 8 * int(k)
+        if track_dirty:
+            total += int(n_vertices)
+        return max(total, 1)
 
     @classmethod
     def from_shared(
@@ -180,6 +205,7 @@ class PartitionState:
         alpha: float = 1.05,
         *,
         name: str | None = None,
+        track_dirty: bool = False,
     ) -> "PartitionState":
         """Create a state whose arrays live in a new shared-memory segment.
 
@@ -189,12 +215,13 @@ class PartitionState:
         """
         from multiprocessing import shared_memory
 
-        size = cls.shared_nbytes(n_vertices, k)
+        size = cls.shared_nbytes(n_vertices, k, track_dirty)
         shm = shared_memory.SharedMemory(name=name, create=True, size=size)
         try:
             np.frombuffer(shm.buf, dtype=np.uint8)[:] = 0
             state = cls(
-                n_vertices, k, n_edges, alpha, allocator=_BufferArena(shm.buf)
+                n_vertices, k, n_edges, alpha,
+                allocator=_BufferArena(shm.buf), track_dirty=track_dirty,
             )
         except BaseException:
             shm.close()
@@ -212,12 +239,14 @@ class PartitionState:
         k: int,
         n_edges: int,
         alpha: float = 1.05,
+        *,
+        track_dirty: bool = False,
     ) -> "PartitionState":
         """Map an existing shared segment created by :meth:`from_shared`.
 
-        Dimensions must match the creator's; the attacher sees (and
-        mutates) the creator's live arrays.  Call :meth:`close` when done;
-        never :meth:`unlink` from an attacher.
+        Dimensions (including ``track_dirty``) must match the creator's;
+        the attacher sees (and mutates) the creator's live arrays.  Call
+        :meth:`close` when done; never :meth:`unlink` from an attacher.
 
         Raises
         ------
@@ -233,14 +262,16 @@ class PartitionState:
             raise PartitioningError(
                 f"no shared partition-state segment {name!r}"
             ) from exc
-        if shm.size < cls.shared_nbytes(n_vertices, k):
+        if shm.size < cls.shared_nbytes(n_vertices, k, track_dirty):
             shm.close()
             raise PartitioningError(
                 f"shared segment {name!r} holds {shm.size} bytes, need "
-                f"{cls.shared_nbytes(n_vertices, k)} for n={n_vertices}, k={k}"
+                f"{cls.shared_nbytes(n_vertices, k, track_dirty)} "
+                f"for n={n_vertices}, k={k}"
             )
         state = cls(
-            n_vertices, k, n_edges, alpha, allocator=_BufferArena(shm.buf)
+            n_vertices, k, n_edges, alpha,
+            allocator=_BufferArena(shm.buf), track_dirty=track_dirty,
         )
         state._shm = shm
         state._owns_segment = False
@@ -262,6 +293,7 @@ class PartitionState:
             return
         self.replicas = None
         self.sizes = None
+        self.dirty = None
         self._shm.close()
 
     def unlink(self) -> None:
@@ -330,6 +362,16 @@ class PartitionState:
         self.replicas[vs, ps] = True
         self.sizes += np.bincount(ps, minlength=self.k)
 
+    def mark_dirty(self, vertices) -> None:
+        """Mark replica-matrix rows as touched since the last barrier.
+
+        No-op when the state does not track dirt.  ``vertices`` may repeat
+        (chunk endpoint arrays are passed raw); marking a superset of the
+        actually-written rows is always safe — see the module docstring.
+        """
+        if self.dirty is not None:
+            self.dirty[vertices] = True
+
     def is_full(self, p: int) -> bool:
         """Whether partition ``p`` reached the hard cap."""
         return bool(self.sizes[p] >= self.capacity)
@@ -383,10 +425,56 @@ class PartitionState:
 
     def nbytes(self) -> int:
         """Memory footprint of the partitioning state (Table II model)."""
-        return int(self.replicas.nbytes + self.sizes.nbytes)
+        total = int(self.replicas.nbytes + self.sizes.nbytes)
+        if self.dirty is not None:
+            total += int(self.dirty.nbytes)
+        return total
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"PartitionState(n={self.n_vertices}, k={self.k}, "
             f"cap={self.capacity}, assigned={int(self.sizes.sum())})"
         )
+
+
+def merge_replica_deltas(state: PartitionState, worker_states) -> int:
+    """Delta-bitmap barrier: merge worker views into ``state`` and refresh.
+
+    Every worker view must track dirt (``track_dirty=True``) and must have
+    been refreshed to ``state`` at the previous barrier; rows written since
+    are marked in its dirty bitmap (:meth:`PartitionState.mark_dirty`, fed
+    by the sync-window streams).  The barrier then:
+
+    - ORs replica bits over the **union of dirty rows only** — clean rows
+      are bit-identical everywhere, so skipping them is exact;
+    - sums each worker's size delta against the last synchronized sizes
+      (edges are assigned by exactly one worker, so deltas are disjoint;
+      stale views may legitimately carry sizes *beyond* the hard cap — the
+      overshoot is merged as-is, exactly like the full re-broadcast);
+    - writes the merged rows and sizes back into the global state and
+      every view, and clears every dirty bitmap.
+
+    Returns the number of rows refreshed, so callers can account barrier
+    bytes (``rows * k`` versus ``n_vertices * k`` for a full re-broadcast).
+    The equivalence with the full merge is pinned by the property tests in
+    ``tests/test_state.py`` and end-to-end by the differential harness.
+    """
+    dirty = worker_states[0].dirty.copy()
+    for ws in worker_states[1:]:
+        np.logical_or(dirty, ws.dirty, out=dirty)
+    rows = np.flatnonzero(dirty)
+    new_sizes = state.sizes + sum(
+        ws.sizes - state.sizes for ws in worker_states
+    )
+    if rows.size:
+        merged = state.replicas[rows]
+        for ws in worker_states:
+            np.logical_or(merged, ws.replicas[rows], out=merged)
+        state.replicas[rows] = merged
+    state.sizes[:] = new_sizes
+    for ws in worker_states:
+        if rows.size:
+            ws.replicas[rows] = merged
+        ws.sizes[:] = new_sizes
+        ws.dirty[:] = False
+    return int(rows.size)

@@ -1,0 +1,236 @@
+"""Seeded randomized differential harness for the parallel surface.
+
+One seed deterministically derives a complete partitioning scenario — a
+random graph (R-MAT, hub-heavy R-MAT, or Chung-Lu power-law), ``k``,
+``alpha``, chunk size, sync interval, worker count, scoring mode,
+clustering passes and whether Phase 1 is sharded — and the harness runs it
+through the full runner/backend matrix, asserting the equivalence
+contract of :mod:`repro.core.runners` on the **full final state**:
+
+- per-edge assignments, the replica matrix, partition sizes and the
+  machine-neutral cost counters are byte-identical between
+  ``SimulatedRunner`` and ``ProcessRunner`` under the same schedule, for
+  every kernel backend;
+- kernel backends are byte-identical to each other within every runner;
+- ``SerialRunner`` is byte-identical to the sequential
+  ``TwoPhasePartitioner`` (for any configured worker count);
+- with ``n_workers=1`` the sharded schedule itself is byte-identical to
+  the sequential pipeline (both phases — degrees, clustering, mapping,
+  pre-partitioning, scoring);
+- no shared-memory segment survives any process-runner session.
+
+Every failure message carries the generating seed, so any red run is
+reproducible with::
+
+    PYTHONPATH=src python tests/differential.py --seed <seed>
+
+``tests/test_differential.py`` drives a fixed seed matrix through this
+module in CI; bump ``EXTRA_RANDOM_SEEDS`` locally for a longer soak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import ParallelTwoPhase, TwoPhasePartitioner
+from repro.core.runners import live_shared_segments
+from repro.graph.generators import chung_lu_graph, rmat_graph
+from repro.kernels import available_backends
+
+#: The full runner matrix the harness sweeps.
+RUNNERS = ("serial", "simulated", "process")
+
+#: Extras that must agree wherever the state agrees (schedule-derived).
+_CHECKED_EXTRAS = (
+    "prepartitioned_edges",
+    "n_clusters",
+    "syncs",
+    "phase1_syncs",
+)
+
+
+@dataclass(frozen=True)
+class DifferentialCase:
+    """One fully-specified scenario, derived deterministically from a seed."""
+
+    seed: int
+    generator: str
+    graph_args: tuple
+    k: int
+    alpha: float
+    chunk_size: int
+    sync_interval: int
+    n_workers: int
+    mode: str
+    clustering_passes: int
+    parallel_phase1: bool
+
+    def build_graph(self):
+        if self.generator == "chung-lu":
+            n, m, gamma, gseed = self.graph_args
+            return chung_lu_graph(n, m, gamma=gamma, seed=gseed)
+        scale, edge_factor, a, b, c, gseed = self.graph_args
+        return rmat_graph(scale, edge_factor=edge_factor, a=a, b=b, c=c,
+                          seed=gseed)
+
+
+def make_case(seed: int) -> DifferentialCase:
+    """Derive a scenario from ``seed`` (pure function of the seed)."""
+    rng = np.random.default_rng(seed)
+    generator = ("rmat", "hub-heavy", "chung-lu")[int(rng.integers(3))]
+    gseed = int(rng.integers(2**31 - 1))
+    if generator == "rmat":
+        graph_args = (int(rng.integers(5, 8)), int(rng.integers(2, 7)),
+                      0.57, 0.19, 0.19, gseed)
+    elif generator == "hub-heavy":
+        # Skewed quadrant mass: a few hubs collect most endpoints, which
+        # maximizes conflict pressure on the stateful kernels.
+        graph_args = (int(rng.integers(5, 7)), int(rng.integers(3, 8)),
+                      0.7, 0.12, 0.12, gseed)
+    else:
+        n = int(rng.integers(30, 120))
+        graph_args = (n, int(rng.integers(n, 4 * n)),
+                      float(rng.uniform(1.9, 2.6)), gseed)
+    return DifferentialCase(
+        seed=seed,
+        generator=generator,
+        graph_args=graph_args,
+        k=int(rng.integers(2, 10)),
+        alpha=(1.0, 1.05, 1.5)[int(rng.integers(3))],
+        chunk_size=(1, 7, 61, 256, 5000)[int(rng.integers(5))],
+        sync_interval=(7, 63, 509, 10**9)[int(rng.integers(4))],
+        n_workers=int(rng.integers(1, 5)),
+        mode=("linear", "hdrf")[int(rng.integers(2))],
+        clustering_passes=int(rng.integers(1, 3)),
+        # Bias toward the sharded Phase 1 — the surface under test.
+        parallel_phase1=bool(rng.integers(4) > 0),
+    )
+
+
+def run_case(case: DifferentialCase, runner: str, backend: str):
+    """One parallel run of the scenario (graph rebuilt deterministically)."""
+    return ParallelTwoPhase(
+        n_workers=case.n_workers,
+        sync_interval=case.sync_interval,
+        clustering_passes=case.clustering_passes,
+        mode=case.mode,
+        backend=backend,
+        runner=runner,
+        parallel_phase1=case.parallel_phase1,
+    ).partition(
+        case.build_graph(), case.k, alpha=case.alpha,
+        chunk_size=case.chunk_size,
+    )
+
+
+def sequential_reference(case: DifferentialCase, backend: str):
+    """The sequential pipeline on the same scenario."""
+    return TwoPhasePartitioner(
+        clustering_passes=case.clustering_passes,
+        mode=case.mode,
+        backend=backend,
+    ).partition(
+        case.build_graph(), case.k, alpha=case.alpha,
+        chunk_size=case.chunk_size,
+    )
+
+
+def assert_full_state_equal(reference, other, label: str) -> None:
+    """Byte-level equality of two runs' complete final state."""
+    np.testing.assert_array_equal(
+        reference.assignments, other.assignments, err_msg=label
+    )
+    np.testing.assert_array_equal(
+        reference.state.replicas, other.state.replicas, err_msg=label
+    )
+    np.testing.assert_array_equal(
+        reference.state.sizes, other.state.sizes, err_msg=label
+    )
+    assert reference.cost == other.cost, (
+        f"{label}: cost counters diverged: {reference.cost} != {other.cost}"
+    )
+    for key in _CHECKED_EXTRAS:
+        if key in reference.extras and key in other.extras:
+            assert reference.extras[key] == other.extras[key], (
+                f"{label}: extras[{key!r}] diverged: "
+                f"{reference.extras[key]} != {other.extras[key]}"
+            )
+
+
+def check_seed(
+    seed: int,
+    runners=RUNNERS,
+    backends=None,
+    include_process: bool = True,
+) -> DifferentialCase:
+    """Run the full differential matrix for one seed.
+
+    Raises ``AssertionError`` carrying the reproducing seed on any
+    divergence; returns the generated case on success.
+    """
+    case = make_case(seed)
+    if backends is None:
+        backends = available_backends()
+    active_runners = tuple(
+        r for r in runners if include_process or r != "process"
+    )
+    try:
+        results = {
+            (runner, backend): run_case(case, runner, backend)
+            for runner in active_runners
+            for backend in backends
+        }
+        # Contract 1+2: simulated == process, backends agree, per runner.
+        sharded = [key for key in results if key[0] != "serial"]
+        if sharded:
+            ref_key = sharded[0]
+            for key in sharded[1:]:
+                assert_full_state_equal(
+                    results[ref_key], results[key],
+                    f"{ref_key} vs {key}",
+                )
+        # Contract 3: serial == the sequential pipeline, every backend.
+        seq = sequential_reference(case, backends[0])
+        for backend in backends:
+            key = ("serial", backend)
+            if key in results:
+                assert_full_state_equal(
+                    seq, results[key], f"sequential vs {key}"
+                )
+        # Contract 4: a single worker is never stale.
+        if case.n_workers == 1 and sharded:
+            assert_full_state_equal(
+                seq, results[sharded[0]],
+                f"sequential vs {sharded[0]} at n_workers=1",
+            )
+        # Contract 5: nothing leaked.
+        leaked = sorted(live_shared_segments())
+        assert not leaked, f"leaked shared-memory segments: {leaked}"
+    except AssertionError as exc:
+        raise AssertionError(
+            f"differential seed {seed} failed ({case!r}); reproduce with: "
+            f"PYTHONPATH=src python tests/differential.py --seed {seed}"
+            f"\n{exc}"
+        ) from exc
+    return case
+
+
+def main(argv=None) -> int:  # pragma: no cover - manual reproduction tool
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, required=True)
+    parser.add_argument(
+        "--no-process", action="store_true",
+        help="skip the multiprocessing runner (faster triage)",
+    )
+    args = parser.parse_args(argv)
+    case = check_seed(args.seed, include_process=not args.no_process)
+    print(f"seed {args.seed} OK: {case}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -183,6 +183,46 @@ class TestPartition:
         assert code == 0
         assert "2PS-L-parallel" in capsys.readouterr().out
 
+    def test_parallel_phase1_flag(self, graph_file, capsys):
+        """--parallel-phase1 alone activates the parallel path and runs
+        the sharded Phase 1 (the phase-1 sync line proves it)."""
+        code = main(
+            [
+                "partition",
+                "--input",
+                str(graph_file),
+                "--k",
+                "4",
+                "--parallel-phase1",
+                "--n-workers",
+                "2",
+                "--sync-interval",
+                "64",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2PS-L-parallel" in out
+        assert "phase-1 syncs" in out
+
+    def test_parallel_phase1_requires_parallel_algorithm(
+        self, graph_file, capsys
+    ):
+        code = main(
+            [
+                "partition",
+                "--input",
+                str(graph_file),
+                "--k",
+                "4",
+                "--algorithm",
+                "DBH",
+                "--parallel-phase1",
+            ]
+        )
+        assert code == 1
+        assert "--parallel-phase1" in capsys.readouterr().err
+
     def test_runner_requires_parallel_algorithm(self, graph_file, capsys):
         code = main(
             [

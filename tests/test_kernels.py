@@ -368,3 +368,138 @@ class TestStateBatchApis:
         )
         buf[0] = -7
         assert buf.view()[0] == -7
+
+
+class TestPhase1MergeOps:
+    """The Phase-1 barrier merge twins (ISSUE 4): bit-exact across
+    backends, and the merged clustering keeps the Algorithm-1 volume
+    invariant by construction."""
+
+    @staticmethod
+    def _barrier_scenario(graph, k, n_workers):
+        """A realistic barrier: snapshot = clustering of the stream's
+        first half (reference backend), worker exports = one disjoint
+        window each over the second half, clustered from the snapshot."""
+        from repro.core.clustering import default_volume_cap
+
+        py = get_backend("python")
+        m = graph.n_edges
+        degrees = py.degree_pass(InMemoryEdgeStream(graph), graph.n_vertices)
+        cap = default_volume_cap(m, k, 0.5)
+        st0 = py.clustering_init(degrees)
+        half = m // 2
+        py.clustering_true_pass(
+            InMemoryEdgeStream(graph.edges[:half], graph.n_vertices),
+            st0, cap, None,
+        )
+        v2c_g, vol_g, _ = py.clustering_export(st0)
+        bounds = np.linspace(half, m, n_workers + 1).astype(int)
+        exports = []
+        for w in range(n_workers):
+            window = graph.edges[bounds[w] : bounds[w + 1]]
+            stw = py.clustering_load(v2c_g, vol_g, degrees)
+            py.clustering_true_pass(
+                InMemoryEdgeStream(window, graph.n_vertices), stw, cap, None
+            )
+            e_v2c, e_vol, _ = py.clustering_export(stw)
+            exports.append((e_v2c, e_vol))
+        return v2c_g, vol_g, exports, degrees
+
+    @SLOW
+    @given(
+        graph=graphs(),
+        k=st.integers(min_value=2, max_value=8),
+        n_workers=st.integers(min_value=1, max_value=5),
+    )
+    def test_clustering_merge_twins_agree(self, graph, k, n_workers):
+        v2c_g, vol_g, exports, degrees = self._barrier_scenario(
+            graph, k, n_workers
+        )
+        merged = {}
+        for backend in available_backends():
+            merged[backend] = get_backend(backend).merge_phase1_clustering(
+                v2c_g, vol_g, exports, degrees
+            )
+        ref_v2c, ref_vol = merged["python"]
+        for backend, (v2c, vol) in merged.items():
+            np.testing.assert_array_equal(ref_v2c, v2c, err_msg=backend)
+            np.testing.assert_array_equal(ref_vol, vol, err_msg=backend)
+        # Volume invariant: merged volumes == sum of member true degrees.
+        recomputed = np.zeros_like(ref_vol)
+        mask = ref_v2c >= 0
+        np.add.at(recomputed, ref_v2c[mask], degrees[mask])
+        np.testing.assert_array_equal(recomputed, ref_vol)
+        # Fresh-id remap stays in range and unchanged vertices keep
+        # their snapshot assignment unless some worker moved them.
+        assert ref_v2c.max(initial=-1) < ref_vol.shape[0]
+        unchanged = np.ones(len(ref_v2c), dtype=bool)
+        for e_v2c, _ in exports:
+            unchanged &= e_v2c == v2c_g
+        np.testing.assert_array_equal(ref_v2c[unchanged], v2c_g[unchanged])
+
+    def test_clustering_merge_first_worker_wins(self):
+        py = get_backend("python")
+        npb = get_backend("numpy")
+        v2c_g = np.array([0, 1, -1], dtype=np.int64)
+        vol_g = np.array([4, 2], dtype=np.int64)
+        degrees = np.array([4, 2, 3], dtype=np.int64)
+        # Worker 0 moves vertex 0 to cluster 1 and claims vertex 2 into a
+        # fresh cluster 2; worker 1 disagrees on both (vertex 0 -> its own
+        # fresh cluster, vertex 2 -> cluster 0): worker 0 must win both.
+        exports = [
+            (np.array([1, 1, 2], dtype=np.int64),
+             np.array([0, 6, 3], dtype=np.int64)),
+            (np.array([2, 1, 0], dtype=np.int64),
+             np.array([7, 2, 4], dtype=np.int64)),
+        ]
+        for backend in (py, npb):
+            v2c, vol = backend.merge_phase1_clustering(
+                v2c_g, vol_g, exports, degrees
+            )
+            # worker 1's fresh id (2) remaps past worker 0's fresh count
+            # to 3; nobody kept a vertex there, so its volume is 0.
+            assert v2c.tolist() == [1, 1, 2]
+            assert vol.tolist() == [0, 6, 3, 0]
+
+    @SLOW
+    @given(
+        n_hint=st.integers(min_value=0, max_value=40),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        n_partials=st.integers(min_value=0, max_value=5),
+    )
+    def test_degree_merge_twins_agree(self, n_hint, seed, n_partials):
+        rng = np.random.default_rng(seed)
+        partials = [
+            rng.integers(0, 50, size=rng.integers(0, 30)).astype(np.int64)
+            for _ in range(n_partials)
+        ]
+        results = [
+            get_backend(backend).merge_phase1_degrees(partials, n_hint)
+            for backend in available_backends()
+        ]
+        for out in results[1:]:
+            np.testing.assert_array_equal(results[0], out)
+        assert results[0].shape[0] >= n_hint
+        assert results[0].dtype == np.int64
+
+    @pytest.mark.parametrize("backend", available_backends())
+    def test_clustering_load_round_trips(self, backend, community_graph):
+        """load(export(state)) must reproduce export(state) exactly and
+        must copy: mutating the loaded state leaves the source intact."""
+        from repro.core.clustering import default_volume_cap
+
+        kernels = get_backend(backend)
+        stream = InMemoryEdgeStream(community_graph)
+        degrees = kernels.degree_pass(stream, community_graph.n_vertices)
+        cap = default_volume_cap(community_graph.n_edges, 4, 0.5)
+        st = kernels.clustering_init(degrees)
+        kernels.clustering_true_pass(stream, st, cap, None)
+        v2c, vol, deg = kernels.clustering_export(st)
+        loaded = kernels.clustering_load(v2c, vol, deg)
+        v2c2, vol2, deg2 = kernels.clustering_export(loaded)
+        np.testing.assert_array_equal(v2c, v2c2)
+        np.testing.assert_array_equal(vol, vol2)
+        np.testing.assert_array_equal(deg, deg2)
+        loaded2 = kernels.clustering_load(v2c, vol, deg)
+        loaded2.v2c[0] = 10**6
+        assert v2c[0] != 10**6

@@ -84,15 +84,20 @@ class TestSingleWorkerIsSequential:
         alpha=st.sampled_from([1.0, 1.05, 1.5]),
         chunk_size=st.sampled_from([1, 7, 64, 500]),
         sync_interval=st.sampled_from([1, 13, 10**9]),
+        parallel_phase1=st.booleans(),
     )
     def test_2psl_bit_exact(
-        self, backend, graph, k, alpha, chunk_size, sync_interval
+        self, backend, graph, k, alpha, chunk_size, sync_interval,
+        parallel_phase1,
     ):
         seq = TwoPhasePartitioner(backend=backend).partition(
             graph, k, alpha=alpha, chunk_size=chunk_size
         )
         par = ParallelTwoPhase(
-            n_workers=1, sync_interval=sync_interval, backend=backend
+            n_workers=1,
+            sync_interval=sync_interval,
+            backend=backend,
+            parallel_phase1=parallel_phase1,
         ).partition(graph, k, alpha=alpha, chunk_size=chunk_size)
         assert_bit_exact(seq, par)
         assert seq.extras["prepartitioned_edges"] == (
@@ -134,23 +139,29 @@ class TestParallelBackendEquivalence:
         n_workers=st.integers(min_value=2, max_value=5),
         sync_interval=st.sampled_from([1, 17, 256]),
         mode=st.sampled_from(["linear", "hdrf"]),
+        parallel_phase1=st.booleans(),
     )
     def test_backends_agree_through_stale_merges(
-        self, backend, graph, k, n_workers, sync_interval, mode
+        self, backend, graph, k, n_workers, sync_interval, mode,
+        parallel_phase1,
     ):
         ref = ParallelTwoPhase(
             n_workers=n_workers,
             sync_interval=sync_interval,
             mode=mode,
             backend="python",
+            parallel_phase1=parallel_phase1,
         ).partition(graph, k)
         out = ParallelTwoPhase(
             n_workers=n_workers,
             sync_interval=sync_interval,
             mode=mode,
             backend=backend,
+            parallel_phase1=parallel_phase1,
         ).partition(graph, k)
         assert_bit_exact(ref, out)
+        assert ref.extras["phase1_syncs"] == out.extras["phase1_syncs"]
+        assert ref.extras["n_clusters"] == out.extras["n_clusters"]
 
 
 class TestStreamSourceParity:
@@ -227,8 +238,10 @@ class TestRunnerMatrix:
     @pytest.mark.parametrize("source", ["memory", "file"])
     @pytest.mark.parametrize("backend", available_backends())
     @pytest.mark.parametrize("mode", ["linear", "hdrf"])
+    @pytest.mark.parametrize("parallel_phase1", [False, True])
     def test_process_matches_simulated(
-        self, source, backend, mode, graph_file, community_graph
+        self, source, backend, mode, parallel_phase1, graph_file,
+        community_graph,
     ):
         def run(runner):
             return ParallelTwoPhase(
@@ -237,6 +250,7 @@ class TestRunnerMatrix:
                 mode=mode,
                 backend=backend,
                 runner=runner,
+                parallel_phase1=parallel_phase1,
             ).partition(
                 self._stream(source, graph_file, community_graph),
                 4,
@@ -247,22 +261,46 @@ class TestRunnerMatrix:
         process = run("process")
         assert_bit_exact(simulated, process)
         assert simulated.extras["syncs"] == process.extras["syncs"]
+        assert (
+            simulated.extras["phase1_syncs"]
+            == process.extras["phase1_syncs"]
+        )
         assert process.extras["runner"] == "process"
         assert process.extras["measured_wallclock"]
+        if parallel_phase1:
+            assert process.extras["phase1_syncs"] > 0
         assert not live_shared_segments()
 
     @pytest.mark.parametrize("source", ["memory", "file"])
     @pytest.mark.parametrize("mode", ["linear", "hdrf"])
+    @pytest.mark.parametrize("parallel_phase1", [False, True])
     def test_single_process_worker_matches_sequential(
-        self, source, mode, graph_file, community_graph
+        self, source, mode, parallel_phase1, graph_file, community_graph
     ):
         seq = TwoPhasePartitioner(mode=mode).partition(
             self._stream(source, graph_file, community_graph), 4
         )
         par = ParallelTwoPhase(
-            n_workers=1, sync_interval=13, mode=mode, runner="process"
+            n_workers=1,
+            sync_interval=13,
+            mode=mode,
+            runner="process",
+            parallel_phase1=parallel_phase1,
         ).partition(self._stream(source, graph_file, community_graph), 4)
         assert_bit_exact(seq, par)
+
+    def test_delta_barriers_shrink_broadcast_volume(self, community_graph):
+        """The dirty-row barriers must merge strictly fewer replica rows
+        than a full re-broadcast on a graph larger than one window."""
+        result = ParallelTwoPhase(n_workers=4, sync_interval=32).partition(
+            community_graph, 8
+        )
+        assert result.extras["barrier_bytes_full"] > 0
+        assert (
+            0
+            < result.extras["barrier_bytes"]
+            < result.extras["barrier_bytes_full"]
+        )
 
     @pytest.mark.parametrize("n_workers", [1, 4])
     def test_serial_runner_is_sequential(self, n_workers, community_graph):
@@ -306,6 +344,26 @@ class _ExplodingBackend(NumpyBackend):
 
     def prepartition_pass(self, stream, ctx):
         raise RuntimeError("worker kernel exploded")
+
+
+class _ExplodingClusteringBackend(NumpyBackend):
+    """Raises inside the worker *during* Phase 1 (mid-clustering)."""
+
+    name = "exploding-phase1"
+
+    def clustering_true_pass(self, stream, st, cap, cost):
+        raise RuntimeError("clustering kernel exploded")
+
+
+class _SleepingClusteringBackend(NumpyBackend):
+    """Hangs inside the worker during Phase 1 — timeout teardown."""
+
+    name = "sleeping-phase1"
+
+    def clustering_true_pass(self, stream, st, cap, cost):
+        import time
+
+        time.sleep(60.0)
 
 
 class _SleepingBackend(NumpyBackend):
@@ -404,6 +462,64 @@ class TestCrashedWorkerCleanup:
         with pytest.raises(PartitioningError, match="initialization failed"):
             partitioner.partition(community_graph, 4)
         assert not recording_segments
+
+    @pytest.fixture
+    def exploding_clustering_backend(self):
+        yield from self._register(_ExplodingClusteringBackend)
+
+    @pytest.fixture
+    def sleeping_clustering_backend(self):
+        yield from self._register(_SleepingClusteringBackend)
+
+    @pytest.mark.parametrize("runner", ["simulated", "process"])
+    def test_worker_death_mid_phase1_raises_typed_error(
+        self, runner, community_graph, recording_segments,
+        exploding_clustering_backend,
+    ):
+        """ISSUE 4 satellite: a worker dying mid-Phase-1 surfaces as the
+        same typed PartitioningError from the simulated and the process
+        runner — never a bare pool/kernel exception — and the process
+        session unlinks every shared segment it created."""
+        partitioner = ParallelTwoPhase(
+            n_workers=2,
+            sync_interval=32,
+            backend="exploding-phase1",
+            runner=runner,
+            start_method="fork",
+            parallel_phase1=True,
+        )
+        with pytest.raises(PartitioningError, match="phase-1 worker"):
+            partitioner.partition(community_graph, 4)
+        if runner == "process":
+            assert recording_segments.ever, "session created no segments?"
+            assert not recording_segments, "segments left registered"
+            from multiprocessing import shared_memory
+
+            for name in recording_segments.ever:
+                with pytest.raises(FileNotFoundError):
+                    shared_memory.SharedMemory(name=name, create=False)
+
+    def test_hung_worker_mid_phase1_times_out_and_unlinks(
+        self, community_graph, recording_segments,
+        sleeping_clustering_backend,
+    ):
+        partitioner = ParallelTwoPhase(
+            n_workers=2,
+            sync_interval=32,
+            backend="sleeping-phase1",
+            runner="process",
+            start_method="fork",
+            task_timeout=0.5,
+            parallel_phase1=True,
+        )
+        with pytest.raises(PartitioningError, match="timeout"):
+            partitioner.partition(community_graph, 4)
+        assert not recording_segments
+        from multiprocessing import shared_memory
+
+        for name in recording_segments.ever:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name, create=False)
 
     def test_hung_worker_times_out_and_unlinks(
         self, community_graph, recording_segments, sleeping_backend

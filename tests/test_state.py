@@ -233,3 +233,130 @@ class TestSharedMemoryState:
         # replicas bytes rounded up to int64 alignment, then k sizes
         assert PartitionState.shared_nbytes(3, 3) == 16 + 24
         assert PartitionState.shared_nbytes(0, 2) == max(0 + 16, 1)
+
+
+class TestReplicaDeltaBarriers:
+    """Property tests for the dirty-row delta barrier (ISSUE 4 satellite):
+    applying accumulated deltas must reconstruct exactly the state a full
+    replica-matrix re-broadcast would produce, barrier after barrier."""
+
+    @staticmethod
+    def _make_views(global_state, n_workers):
+        views = []
+        for _ in range(n_workers):
+            view = PartitionState(
+                global_state.n_vertices,
+                global_state.k,
+                global_state.n_edges,
+                global_state.alpha,
+                track_dirty=True,
+            )
+            view.replicas[:] = global_state.replicas
+            view.sizes[:] = global_state.sizes
+            views.append(view)
+        return views
+
+    @staticmethod
+    def _full_merge(global_state, views):
+        """The pre-delta reference barrier: full re-broadcast."""
+        merged = np.logical_or.reduce(
+            [global_state.replicas] + [v.replicas for v in views]
+        )
+        new_sizes = global_state.sizes + sum(
+            v.sizes - global_state.sizes for v in views
+        )
+        return merged, new_sizes
+
+    def _random_round(self, rng, views, extra_dirty=False):
+        """One sync window per view: disjoint random edges, dirty marks."""
+        n = views[0].n_vertices
+        k = views[0].k
+        for view in views:
+            m = int(rng.integers(0, 12))
+            if m:
+                us = rng.integers(0, n, size=m)
+                vs = rng.integers(0, n, size=m)
+                ps = rng.integers(0, k, size=m)
+                view.scatter_edges(us, vs, ps)
+                view.mark_dirty(us)
+                view.mark_dirty(vs)
+            if extra_dirty:
+                # A superset mark (rows touched but not written) must
+                # never change the outcome.
+                view.mark_dirty(rng.integers(0, n, size=3))
+
+    @pytest.mark.parametrize("seed", [0, 1, 7, 42, 99])
+    @pytest.mark.parametrize("n_workers", [1, 2, 4])
+    def test_accumulated_deltas_reconstruct_full_matrix(
+        self, seed, n_workers
+    ):
+        from repro.partitioning.state import merge_replica_deltas
+
+        rng = np.random.default_rng(seed)
+        n, k, m = 40, 5, 400
+        state = PartitionState(n, k, m)
+        views = self._make_views(state, n_workers)
+        for round_no in range(4):
+            self._random_round(rng, views, extra_dirty=round_no % 2 == 1)
+            expect_replicas, expect_sizes = self._full_merge(state, views)
+            rows = merge_replica_deltas(state, views)
+            np.testing.assert_array_equal(state.replicas, expect_replicas)
+            np.testing.assert_array_equal(state.sizes, expect_sizes)
+            assert rows <= n
+            for view in views:
+                np.testing.assert_array_equal(
+                    view.replicas, state.replicas
+                )
+                np.testing.assert_array_equal(view.sizes, state.sizes)
+                assert not view.dirty.any(), "barrier must clear dirt"
+
+    def test_overshoot_sizes_merge_exactly(self):
+        """The stale-view overshoot PR 3 fixed: a worker's size view may
+        legitimately exceed the hard cap; the delta barrier must carry
+        the overshoot through unchanged, like the full merge."""
+        from repro.partitioning.state import merge_replica_deltas
+
+        state = PartitionState(6, 2, 8, alpha=1.0)  # capacity 4
+        views = self._make_views(state, 2)
+        # Worker 0 overshoots partition 0 well past the cap; worker 1
+        # writes nothing (its delta is empty).
+        us = np.array([0, 1, 2, 3, 4, 5])
+        views[0].scatter_edges(us, us, np.zeros(6, dtype=np.int64))
+        views[0].mark_dirty(us)
+        expect_replicas, expect_sizes = self._full_merge(state, views)
+        merge_replica_deltas(state, views)
+        np.testing.assert_array_equal(state.replicas, expect_replicas)
+        np.testing.assert_array_equal(state.sizes, expect_sizes)
+        assert state.sizes[0] == 6 > state.capacity
+
+    def test_clean_barrier_touches_no_rows(self):
+        from repro.partitioning.state import merge_replica_deltas
+
+        state = PartitionState(10, 3, 30)
+        views = self._make_views(state, 3)
+        assert merge_replica_deltas(state, views) == 0
+
+    def test_dirty_bitmap_lifecycle(self):
+        state = PartitionState(8, 2, 10, track_dirty=True)
+        assert state.dirty is not None and not state.dirty.any()
+        state.mark_dirty(np.array([1, 3, 3]))
+        assert state.dirty[[1, 3]].all() and state.dirty.sum() == 2
+        untracked = PartitionState(8, 2, 10)
+        assert untracked.dirty is None
+        untracked.mark_dirty(np.array([1]))  # no-op by contract
+
+    def test_shared_segment_round_trips_dirty_bitmap(self):
+        creator = PartitionState.from_shared(6, 2, 10, track_dirty=True)
+        try:
+            attacher = PartitionState.attach(
+                creator.shm_name, 6, 2, 10, track_dirty=True
+            )
+            attacher.mark_dirty(np.array([2, 4]))
+            assert creator.dirty[[2, 4]].all()
+            assert PartitionState.shared_nbytes(6, 2, True) == (
+                PartitionState.shared_nbytes(6, 2) + 6
+            )
+            attacher.close()
+        finally:
+            creator.close()
+            creator.unlink()
