@@ -46,11 +46,20 @@ Exit status is non-zero unless every gate passes:
   simulated under the same schedule);
 - barrier-bytes gate (always enforced): the dirty-row delta barriers
   must broadcast strictly fewer replica-matrix cells than the full
-  re-broadcast they replaced (``barrier_bytes`` section).
+  re-broadcast they replaced (``barrier_bytes`` section);
+- numba gate (``numba`` section of ``BENCH_kernels.json``): the compiled
+  ``numba`` backend must reach >= 2x the ``numpy`` backend on the 2PS-L
+  *remaining* (scoring) pass over hub-heavy R-MAT — the serial-dominated
+  stream the compiled kernels exist for — and stay bit-identical with
+  it.  Like the CPU-count rule, the gate **records-but-skips** when the
+  optional numba dependency is unavailable on the host, so numba-free
+  environments keep an authoritative BENCH file without a red gate.
 
 ``--smoke`` runs the same gates at a reduced scale (65k edges) with
 proportionally relaxed speedup thresholds, so CI can check the kernel
-layer in seconds without the full 1M-edge run.
+layer in seconds without the full 1M-edge run.  ``--record-only``
+(the nightly trend-tracking mode) records every gate outcome in the
+BENCH payloads but only correctness failures affect the exit status.
 """
 
 from __future__ import annotations
@@ -92,6 +101,13 @@ PARALLEL_SMOKE_GATE = 0.2
 #: hosts with >= --n-workers usable CPUs, like the Phase-2 gate).
 PHASE1_GATE = 1.5
 PHASE1_SMOKE_GATE = 0.15
+
+#: numba-vs-numpy speedup of the compiled 2PS-L remaining pass on
+#: hub-heavy R-MAT (ISSUE 5 acceptance gate; recorded-but-skipped when
+#: numba is unavailable).  The smoke threshold is relaxed: at 65k edges
+#: per-chunk dispatch overhead amortizes much less.
+NUMBA_GATE = 2.0
+NUMBA_SMOKE_GATE = 1.2
 
 SMOKE_SCALE = 12
 
@@ -225,6 +241,100 @@ def measure_speedup_gate(
         f"{state}, {cpus} cpus)"
     )
     return best, gate, seq_s, par_s
+
+
+def run_numba_section(args, scale: int, smoke: bool) -> tuple[dict, bool]:
+    """The gated ``numba`` section of ``BENCH_kernels.json``.
+
+    Hub-heavy R-MAT (skewed quadrant mass: hubs collide in nearly every
+    block, so the numpy backend's conflict-free batching degrades toward
+    the serial reference — exactly the stream the compiled kernels
+    exist for), sequential 2PS-L, best-of-``repeats`` per backend; the
+    gate compares the *remaining* ("partitioning" phase) wall time of
+    the ``numba`` backend against ``numpy`` and requires bit-identical
+    results.  When numba is unavailable the measurement is impossible:
+    the section records the reason and the gate is marked skipped
+    (``pass: null``), mirroring the CPU-count rule of the parallel
+    wall-clock gates.  Returns ``(section, ok)``.
+    """
+    from repro.kernels import available_backends as _backends
+    from repro.kernels import missing_backends
+
+    threshold = NUMBA_SMOKE_GATE if smoke else NUMBA_GATE
+    section = {
+        "benchmark": "compiled numba kernels vs numpy "
+        "(2PS-L remaining pass, hub-heavy R-MAT)",
+        "graph": {
+            "generator": "rmat-hub-heavy",
+            "scale": scale,
+            "edge_factor": args.edge_factor,
+            "a": 0.7, "b": 0.12, "c": 0.12,
+            "seed": args.seed,
+        },
+        "k": args.k,
+        "alpha": args.alpha,
+    }
+    if "numba" not in _backends():
+        # Checked before the graph exists: no point generating a
+        # million-edge R-MAT just to record a skipped gate.
+        reason = missing_backends().get("numba", "numba is not registered")
+        section["available"] = False
+        section["reason"] = reason
+        section["gate"] = {
+            "threshold": threshold,
+            "speedup": None,
+            "enforced": False,
+            "pass": None,
+            "skipped_reason": f"numba unavailable on this host: {reason}",
+        }
+        print(f"  numba section: SKIPPED (recorded; {reason})")
+        return section, True
+    graph = rmat_graph(
+        scale, edge_factor=args.edge_factor, a=0.7, b=0.12, c=0.12,
+        seed=args.seed,
+    )
+    section["graph"]["n_vertices"] = graph.n_vertices
+    section["graph"]["n_edges"] = graph.n_edges
+    # Warm-up outside the timed runs: the first kernel invocation in a
+    # process pays the JIT compilation, which is not pass throughput.
+    warm = rmat_graph(7, edge_factor=4, seed=2)
+    TwoPhasePartitioner(backend="numba").partition(warm, args.k)
+    repeats = 1 if smoke else args.repeats
+    stream = InMemoryEdgeStream(graph)
+    runs = {
+        backend: run_config(
+            lambda backend=backend: TwoPhasePartitioner(backend=backend),
+            stream, args.k, args.alpha, repeats,
+        )
+        for backend in ("numpy", "numba")
+    }
+    assert_bit_exact(
+        runs["numpy"]["result"], runs["numba"]["result"],
+        "numba section: numba vs numpy on hub-heavy R-MAT",
+    )
+    numpy_s = runs["numpy"]["row"]["phase_seconds"]["partitioning"]
+    numba_s = runs["numba"]["row"]["phase_seconds"]["partitioning"]
+    speedup = numpy_s / numba_s if numba_s > 0 else 0.0
+    passed = speedup >= threshold
+    section["available"] = True
+    section["backends"] = {b: run["row"] for b, run in runs.items()}
+    section["remaining_pass_seconds"] = {
+        "numpy": round(numpy_s, 6), "numba": round(numba_s, 6),
+    }
+    section["bit_exact_with_numpy"] = True
+    section["gate"] = {
+        "threshold": threshold,
+        "speedup": round(speedup, 2),
+        "enforced": True,
+        "pass": passed,
+        "skipped_reason": None,
+    }
+    print(
+        f"  numba remaining pass (hub-heavy): {numpy_s:.3f}s numpy -> "
+        f"{numba_s:.3f}s numba ({speedup:.2f}x, gate {threshold}x: "
+        f"{'pass' if passed else 'FAIL'})"
+    )
+    return section, passed
 
 
 def run_parallel_wallclock(
@@ -383,6 +493,15 @@ def main(argv: list[str] | None = None) -> int:
         help=f"small-scale gate check (scale {SMOKE_SCALE}, 1 repeat, "
         "relaxed speedup thresholds)",
     )
+    parser.add_argument(
+        "--record-only",
+        action="store_true",
+        help="record every gate outcome in the BENCH files but exit 0 "
+        "even when a *speedup threshold* misses (correctness gates — "
+        "cross-backend bit-exactness, runner equality, segment leaks — "
+        "still fail hard).  For trend-tracking runs (the nightly "
+        "workflow) on hosts whose throughput is not under our control.",
+    )
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -498,6 +617,8 @@ def main(argv: list[str] | None = None) -> int:
                 "pass": passed,
             }
 
+    numba_section, numba_ok = run_numba_section(args, scale, args.smoke)
+
     payload = {
         "benchmark": "kernel-backend throughput (2PS-L / 2PS-HDRF / parallel)",
         "graph": {
@@ -519,15 +640,16 @@ def main(argv: list[str] | None = None) -> int:
         "default_backend": DEFAULT_BACKEND,
         "configs": payload_configs,
         "gates": gate_rows,
+        "numba": numba_section,
         "identical_assignments": True,
         "parallel_matches_sequential": True,
-        "meets_gates": meets,
+        "meets_gates": meets and numba_ok,
     }
     with open(out, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=False)
         fh.write("\n")
     print(f"  gates: {json.dumps(gate_rows)}")
-    print(f"  wrote {out} (meets_gates={meets})")
+    print(f"  wrote {out} (meets_gates={meets and numba_ok})")
 
     parallel_ok = run_parallel_wallclock(
         stream,
@@ -537,7 +659,12 @@ def main(argv: list[str] | None = None) -> int:
         args.smoke,
         parallel_out,
     )
-    return 0 if meets and parallel_ok else 1
+    if args.record_only:
+        # Correctness failures raised SystemExit long before this point;
+        # anything left is a speedup-threshold miss, recorded in the
+        # BENCH payloads for the trend line.
+        return 0
+    return 0 if meets and numba_ok and parallel_ok else 1
 
 
 if __name__ == "__main__":

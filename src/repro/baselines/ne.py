@@ -212,7 +212,13 @@ class NeighborhoodExpansion(EdgePartitioner):
                 remaining -= got
             # Spill anything left to the least-loaded open partitions.
             for e in exp.unassigned_edge_ids().tolist():
-                p = int(np.argmin(np.where(sizes < capacity, sizes, np.iinfo(np.int64).max)))
+                p = int(
+                    np.argmin(
+                        np.where(
+                            sizes < capacity, sizes, np.iinfo(np.int64).max
+                        )
+                    )
+                )
                 assign_cb(e, p)
             cost.heap_operations += exp.heap_ops
             cost.expansion_scans += exp.scan_count

@@ -22,11 +22,11 @@ import numpy as np
 
 from repro.core import ParallelTwoPhase
 from repro.core.runners import RUNNERS
-from repro.errors import ReproError
+from repro.errors import PartitioningError, ReproError
 from repro.experiments.common import ALL_PARTITIONERS, make_partitioner
 from repro.graph.datasets import DATASETS, load_dataset
 from repro.graph.formats import write_binary_edge_list
-from repro.kernels import DEFAULT_BACKEND, available_backends
+from repro.kernels import DEFAULT_BACKEND, available_backends, missing_backends
 from repro.storage import hdd_device, page_cache_device, ssd_device
 from repro.streaming import FileEdgeStream, load_partitioned, write_partitioned
 
@@ -52,6 +52,17 @@ def _make_cli_partitioner(args):
     when any of ``--runner``/``--n-workers``/``--sync-interval``/
     ``--parallel-phase1`` asks for one (each flag alone activates the
     parallel path — none may be silently ignored)."""
+    missing = missing_backends()
+    if args.backend in missing:
+        # An *explicit* request for an optional backend fails loudly;
+        # only the library-level resolution degrades to the default
+        # (see repro.kernels, "Optional backends").
+        raise PartitioningError(
+            f"kernel backend {args.backend!r} is unavailable on this "
+            f"host: {missing[args.backend]}. Install the missing "
+            f"dependency, or drop --backend to use the default "
+            f"({DEFAULT_BACKEND!r})."
+        )
     parallel_flags = (args.runner, args.n_workers, args.sync_interval)
     if all(flag is None for flag in parallel_flags) and not args.parallel_phase1:
         return make_partitioner(args.algorithm, backend=args.backend)
@@ -245,7 +256,10 @@ def build_parser() -> argparse.ArgumentParser:
     part.add_argument("--n-vertices", type=int, default=None)
     part.add_argument(
         "--backend",
-        choices=available_backends(),
+        # Known-but-unavailable optional backends (e.g. numba without
+        # its dependency) stay listed so the request reaches the clear
+        # PartitioningError instead of an argparse usage error.
+        choices=sorted(set(available_backends()) | set(missing_backends())),
         default=None,
         help="kernel backend for the streaming passes "
         f"(default: {DEFAULT_BACKEND}; backends are bit-exact)",

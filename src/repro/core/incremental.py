@@ -137,7 +137,11 @@ class IncrementalPartitioner:
             pad = np.zeros((grow, self.k), dtype=bool)
             self.replicas = np.vstack([self.replicas, pad])
         if self.v2c[v] < 0:
-            if neighbor is not None and 0 <= neighbor < self.v2c.shape[0] and self.v2c[neighbor] >= 0:
+            if (
+                neighbor is not None
+                and 0 <= neighbor < self.v2c.shape[0]
+                and self.v2c[neighbor] >= 0
+            ):
                 self.v2c[v] = self.v2c[neighbor]
             else:
                 # Open a singleton cluster on the least-loaded partition.

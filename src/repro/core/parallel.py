@@ -201,7 +201,11 @@ class ParallelTwoPhase(EdgePartitioner):
             shard_bounds=np.linspace(0, m, self.n_workers + 1).astype(
                 np.int64
             ),
-            backend=self.backend,
+            # The *resolved* backend name: if an optional backend (e.g.
+            # numba) fell back to the default, the parent resolves it
+            # once and every runner worker receives the concrete name —
+            # no per-worker re-detection or repeated fallback warnings.
+            backend=kernels.name,
             k=k,
             alpha=alpha,
             hash_seed=self.hash_seed,

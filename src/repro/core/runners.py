@@ -140,6 +140,13 @@ class ShardedJob:
     and the Phase-2 outputs (``state``, ``assignments``) are filled in
     before :meth:`RunnerSession.bind_phase2`.  ``cost`` accumulates over
     the whole run.
+
+    ``backend`` carries the *resolved* kernel-backend name: the parent
+    resolves optional-backend fallback (e.g. ``numba`` without its
+    dependency -> the default backend, one warning) once before opening
+    the session, so every worker's ``get_backend(job.backend)`` hits a
+    concrete registered backend — process-pool workers never re-detect
+    optional dependencies or repeat fallback warnings.
     """
 
     stream: object

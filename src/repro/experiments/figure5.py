@@ -15,7 +15,9 @@ from repro.graph.datasets import load_dataset
 DEFAULT_DATASETS = ("OK", "IT", "TW", "FR", "UK", "GSH", "WDC")
 
 
-def run(scale: float = 0.25, datasets=DEFAULT_DATASETS, k: int = 32) -> ExperimentResult:
+def run(
+    scale: float = 0.25, datasets=DEFAULT_DATASETS, k: int = 32
+) -> ExperimentResult:
     """Measure the per-phase wall-clock split of a single-pass 2PS-L run."""
     rows = []
     for dataset in datasets:

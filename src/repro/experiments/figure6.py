@@ -16,7 +16,9 @@ from repro.graph.datasets import DATASETS, load_dataset
 DEFAULT_DATASETS = ("OK", "IT", "TW", "FR", "UK", "GSH", "WDC")
 
 
-def run(scale: float = 0.25, datasets=DEFAULT_DATASETS, k: int = 32) -> ExperimentResult:
+def run(
+    scale: float = 0.25, datasets=DEFAULT_DATASETS, k: int = 32
+) -> ExperimentResult:
     """Measure the pre-partitioned edge fraction per dataset."""
     rows = []
     for dataset in datasets:

@@ -20,7 +20,9 @@ DEFAULT_DATASETS = ("OK", "IT", "TW", "FR")
 DEFAULT_KS = (4, 32, 128, 256)
 
 
-def run(scale: float = 0.25, datasets=DEFAULT_DATASETS, ks=DEFAULT_KS) -> ExperimentResult:
+def run(
+    scale: float = 0.25, datasets=DEFAULT_DATASETS, ks=DEFAULT_KS
+) -> ExperimentResult:
     """Compare 2PS-HDRF against 2PS-L per (dataset, k)."""
     rows = []
     for dataset in datasets:

@@ -10,7 +10,9 @@ from __future__ import annotations
 from repro.experiments.common import ExperimentResult
 
 
-def format_table(rows: list[dict], columns: list[str] | None = None, title: str = "") -> str:
+def format_table(
+    rows: list[dict], columns: list[str] | None = None, title: str = ""
+) -> str:
     """Render ``rows`` as a fixed-width ASCII table.
 
     Parameters

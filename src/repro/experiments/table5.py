@@ -52,7 +52,9 @@ def _run_device(path: str, n_vertices: int, device, k: int) -> tuple[float, floa
     return result.model_seconds(), stream.stats.simulated_read_seconds
 
 
-def run(scale: float = 0.25, datasets=DEFAULT_DATASETS, k: int = 32) -> ExperimentResult:
+def run(
+    scale: float = 0.25, datasets=DEFAULT_DATASETS, k: int = 32
+) -> ExperimentResult:
     """Compare page-cache / SSD / HDD partitioning time per dataset."""
     rows = []
     with tempfile.TemporaryDirectory() as tmp:

@@ -76,7 +76,8 @@ DATASETS: dict[str, DatasetSpec] = {
             "Twitter follower graph; extreme degree skew.",
         ),
         DatasetSpec(
-            "FR", "com-friendster", "social", 66_000_000, 1_800_000_000, 20_000, 380_000,
+            "FR", "com-friendster", "social", 66_000_000,
+            1_800_000_000, 20_000, 380_000,
             "Friendster social network.",
         ),
         DatasetSpec(

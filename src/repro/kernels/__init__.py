@@ -15,6 +15,12 @@ or as vectorized numpy array code:
   pass, vectorized splitmix64 for the stateless baselines, and
   conflict-free sub-batching for the stateful clustering and scoring
   passes (see below).
+- ``numba`` — an *optional* compiled backend
+  (:mod:`repro.kernels.numba_backend`): the numpy chunk orchestration
+  with the serial conflict loops (Phase-1 clustering, the 2PS-L scoring
+  pass, the 2PS-HDRF argmax) replaced by ``numba.njit``-compiled
+  per-edge kernels.  Registered only when the numba import succeeds; see
+  *Optional backends* below for the fallback contract.
 
 Backend contract
 ----------------
@@ -130,12 +136,40 @@ Writing a backend
    name to the sweep lists (they enumerate ``available_backends()``, so
    registration before test collection usually suffices).
 
-A future numba/cython backend would typically keep the numpy chunk
-orchestration and replace only the serial conflict kernels with compiled
-per-edge loops.
+The ``numba`` backend follows exactly this recipe: it keeps the numpy
+chunk orchestration (and inherits the merge ops unchanged) and replaces
+only the serial conflict kernels with compiled per-edge loops that are
+line-for-line transliterations of the reference bodies.
+
+Optional backends
+-----------------
+A backend whose dependency may be absent (today: ``numba``) registers
+through :func:`_register_optional_backends` at import time.  When the
+dependency imports, the backend behaves like any other registry entry.
+When it does not:
+
+- the name is *known but missing*: it appears in :func:`missing_backends`
+  (name -> human-readable reason) and **not** in
+  :func:`available_backends`, so equivalence sweeps and the benchmark
+  matrix never enumerate a backend that cannot run;
+- :func:`get_backend` on the missing name degrades to the
+  :data:`DEFAULT_BACKEND` with a one-time ``RuntimeWarning`` — library
+  callers (partitioner constructors, runner workers) keep working, just
+  without the speedup.  Workers of a parallel run never hit the warning
+  at all: ``ParallelTwoPhase`` ships the *resolved* backend name to the
+  runner session;
+- explicit user-facing requests stay loud: the CLI raises a
+  :class:`~repro.errors.PartitioningError` for ``--backend <missing>``
+  instead of silently falling back (``repro.cli``).
+
+Registering the name manually (``register_backend("numba", ...)``) clears
+the missing state — that is how the tests pin the numba kernel logic in
+its interpreted mode on hosts without numba.
 """
 
 from __future__ import annotations
+
+import warnings
 
 from repro.errors import ConfigurationError
 from repro.kernels.base import ClusteringState, KernelBackend, TwoPhaseContext
@@ -148,15 +182,36 @@ DEFAULT_BACKEND = "numpy"
 _REGISTRY: dict[str, type[KernelBackend]] = {}
 _INSTANCES: dict[str, KernelBackend] = {}
 
+#: Optional backends whose dependency is absent: name -> reason.  Kept
+#: disjoint from ``_REGISTRY`` by construction.
+_MISSING: dict[str, str] = {}
+
+#: Missing-backend names whose fallback warning already fired (one-time).
+_FALLBACK_WARNED: set[str] = set()
+
 
 def register_backend(name: str, cls: type[KernelBackend]) -> None:
-    """Register a kernel backend class under ``name`` (see module docs)."""
+    """Register a kernel backend class under ``name`` (see module docs).
+
+    The registry key must equal ``cls.name``: results record the
+    backend by ``cls.name``, and the parallel path ships the *resolved*
+    instance name to runner workers (which look it up again), so an
+    alias registration would produce runs that cannot name their own
+    backend.
+    """
     if not issubclass(cls, KernelBackend):
         raise ConfigurationError(
             f"backend {name!r} must subclass KernelBackend, got {cls!r}"
         )
+    if cls.name != name:
+        raise ConfigurationError(
+            f"backend registry key {name!r} must equal {cls.__name__}.name "
+            f"({cls.name!r}); aliases would break resolved-name lookups"
+        )
     _REGISTRY[name] = cls
     _INSTANCES.pop(name, None)
+    _MISSING.pop(name, None)
+    _FALLBACK_WARNED.discard(name)
 
 
 def available_backends() -> tuple[str, ...]:
@@ -164,10 +219,22 @@ def available_backends() -> tuple[str, ...]:
     return tuple(sorted(_REGISTRY, key=lambda n: (n != "python", n)))
 
 
+def missing_backends() -> dict[str, str]:
+    """Known-but-unavailable optional backends -> human-readable reason.
+
+    Disjoint from :func:`available_backends`; see *Optional backends* in
+    the module docs for how :func:`get_backend` treats these names.
+    """
+    return dict(_MISSING)
+
+
 def get_backend(name: str | None = None) -> KernelBackend:
     """Resolve a backend name (``None`` -> :data:`DEFAULT_BACKEND`).
 
-    Backends are stateless between runs, so instances are shared.
+    Backends are stateless between runs, so instances are shared.  A
+    known-but-unavailable optional backend (see :func:`missing_backends`)
+    resolves to the :data:`DEFAULT_BACKEND` with a one-time
+    ``RuntimeWarning`` naming the missing dependency.
 
     Raises
     ------
@@ -175,6 +242,17 @@ def get_backend(name: str | None = None) -> KernelBackend:
         For unknown names (message lists the registry).
     """
     key = DEFAULT_BACKEND if name is None else str(name)
+    if key not in _REGISTRY and key in _MISSING:
+        if key not in _FALLBACK_WARNED:
+            _FALLBACK_WARNED.add(key)
+            warnings.warn(
+                f"kernel backend {key!r} is unavailable on this host "
+                f"({_MISSING[key]}); falling back to the "
+                f"{DEFAULT_BACKEND!r} backend",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        key = DEFAULT_BACKEND
     if key not in _REGISTRY:
         raise ConfigurationError(
             f"unknown kernel backend {key!r}; available: {list(available_backends())}"
@@ -184,8 +262,30 @@ def get_backend(name: str | None = None) -> KernelBackend:
     return _INSTANCES[key]
 
 
+def _register_optional_backends() -> None:
+    """(Re-)detect optional compiled backends.
+
+    Runs at import; tests re-run it after monkeypatching the numba
+    import to exercise the absence path on hosts where numba is
+    installed.  Re-detection fully reconciles the registered / missing /
+    warned state in both directions.
+    """
+    from repro.kernels import numba_backend
+
+    if numba_backend.numba_available():
+        register_backend("numba", numba_backend.NumbaBackend)
+    else:
+        _REGISTRY.pop("numba", None)
+        _INSTANCES.pop("numba", None)
+        _MISSING["numba"] = (
+            numba_backend.unavailable_reason() or "numba is not installed"
+        )
+        _FALLBACK_WARNED.discard("numba")
+
+
 register_backend("python", PythonBackend)
 register_backend("numpy", NumpyBackend)
+_register_optional_backends()
 
 __all__ = [
     "DEFAULT_BACKEND",
@@ -196,5 +296,6 @@ __all__ = [
     "TwoPhaseContext",
     "available_backends",
     "get_backend",
+    "missing_backends",
     "register_backend",
 ]

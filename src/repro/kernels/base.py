@@ -52,6 +52,37 @@ class Int64Buffer:
         """Live array view of the filled prefix (invalidated by appends)."""
         return self._buf[: self._n]
 
+    def reserve(self, capacity: int) -> np.ndarray:
+        """Grow the backing array to at least ``capacity`` slots and
+        return it.
+
+        For kernels that append by writing past the filled prefix
+        directly (the compiled clustering loops of the ``numba``
+        backend): reserve a safe bound up front, hand the raw backing
+        array to the kernel, then publish the new fill count with
+        :meth:`set_length`.  The returned array is the live backing
+        store — earlier views are invalidated exactly as by ``append``.
+        """
+        capacity = int(capacity)
+        if capacity > self._buf.shape[0]:
+            grown = np.zeros(
+                max(capacity, self._buf.shape[0] * 2), dtype=np.int64
+            )
+            grown[: self._n] = self._buf[: self._n]
+            self._buf = grown
+        return self._buf
+
+    def set_length(self, n: int) -> None:
+        """Publish ``n`` filled slots after direct writes into
+        :meth:`reserve`'s array (``n`` must not exceed its capacity)."""
+        n = int(n)
+        if not 0 <= n <= self._buf.shape[0]:
+            raise ValueError(
+                f"length {n} outside the reserved capacity "
+                f"{self._buf.shape[0]}"
+            )
+        self._n = n
+
     @classmethod
     def from_array(cls, values: np.ndarray) -> "Int64Buffer":
         """Buffer pre-filled with ``values`` (copied)."""

@@ -219,9 +219,14 @@ class PythonBackend(KernelBackend):
     ) -> int:
         """Hash on the higher-degree endpoint; least-loaded as last resort.
 
-        The single implementation of the order-sensitive fallback chain —
-        every backend's serial path must route through it so the chain
-        can never diverge between backends.  ``least_loaded`` is a
+        The reference implementation of the order-sensitive fallback
+        chain — every *interpreted* backend's serial path must route
+        through it so the chain cannot diverge between backends.  One
+        exception by necessity: the jitted
+        ``numba_backend._remaining_linear_kernel`` inlines this chain
+        (compiled code cannot call back into Python); any change here
+        must be mirrored there in lockstep, and the cross-backend
+        equivalence suite pins the pair.  ``least_loaded`` is a
         zero-argument callable (e.g. ``LeastLoadedTracker.argmin`` or an
         ``np.argmin`` closure) returning the smallest-index minimum of
         the live sizes.
@@ -336,11 +341,15 @@ class PythonBackend(KernelBackend):
         ``-inf`` before the argmax (first-index tie-break, as
         ``np.argmax``).
 
-        This is the single implementation of the HDRF decision — the
+        This is the reference implementation of the HDRF decision — the
         reference 2PS-HDRF pass, the ``numpy`` backend's serial fallback
         and the classic HDRF baseline all route through it, so the
-        score arithmetic (and therefore its float rounding) can never
-        diverge between them.
+        score arithmetic (and therefore its float rounding) cannot
+        diverge between them.  One exception by necessity: the jitted
+        ``numba_backend._remaining_hdrf_kernel`` inlines these exact
+        expressions (compiled code cannot call back into Python); any
+        change here must be mirrored there in lockstep, and the
+        cross-backend equivalence suite pins the pair.
         """
         scores = u_row * (2.0 - theta_u) + v_row * (1.0 + theta_u)
         maxs = sizes_np.max()

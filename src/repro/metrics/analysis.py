@@ -71,7 +71,9 @@ def cluster_size_histogram(v2c: np.ndarray) -> np.ndarray:
     return np.sort(sizes)[::-1]
 
 
-def partition_anatomy(edges: np.ndarray, assignments: np.ndarray, k: int, n_vertices: int) -> list[dict]:
+def partition_anatomy(
+    edges: np.ndarray, assignments: np.ndarray, k: int, n_vertices: int
+) -> list[dict]:
     """Per-partition report: edges, cover size, internal-vertex fraction.
 
     A vertex is *internal* to partition p if all of its edges live on p —

@@ -126,7 +126,9 @@ class SimReport:
         """End-to-end simulated processing time."""
         return self.compute_seconds + self.comm_seconds + self.latency_seconds
 
-    def record(self, compute: float, comm: float, latency: float, messages: int) -> None:
+    def record(
+        self, compute: float, comm: float, latency: float, messages: int
+    ) -> None:
         """Account one superstep."""
         self.supersteps += 1
         self.compute_seconds += compute

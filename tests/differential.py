@@ -19,6 +19,11 @@ contract of :mod:`repro.core.runners` on the **full final state**:
   pre-partitioning, scoring);
 - no shared-memory segment survives any process-runner session.
 
+The backend dimension is :func:`repro.kernels.available_backends`, so the
+sweep is {python, numpy} everywhere and gains the compiled ``numba``
+backend automatically on hosts where numba is importable (the numba CI
+leg) — registration order is the only wiring a new backend needs.
+
 Every failure message carries the generating seed, so any red run is
 reproducible with::
 

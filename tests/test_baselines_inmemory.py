@@ -62,7 +62,9 @@ class TestExpansionState:
         exp.expand_partition(0, 30, lambda e, p: first.append(e))
         hub_vertices = np.unique(community_graph.edges[first])
         second = []
-        exp.expand_partition(0, 30, lambda e, p: second.append(e), seed_hint=hub_vertices)
+        exp.expand_partition(
+            0, 30, lambda e, p: second.append(e), seed_hint=hub_vertices
+        )
         second_vertices = np.unique(community_graph.edges[second])
         # The continued expansion must overlap the first region.
         assert np.intersect1d(hub_vertices, second_vertices).size > 0

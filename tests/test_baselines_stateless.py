@@ -1,7 +1,6 @@
 """Tests for the stateless partitioners: DBH, Grid, RandomHash."""
 
 import numpy as np
-import pytest
 
 from repro.baselines import DBH, Grid, RandomHash
 from repro.metrics import validate_partition

@@ -38,7 +38,9 @@ class TestCommon:
 
     def test_run_one_row_schema(self):
         row = run_one("DBH", "OK", 4, scale=0.02)
-        assert {"partitioner", "dataset", "k", "rf", "alpha", "wall_s", "model_s"} <= set(row)
+        assert {
+            "partitioner", "dataset", "k", "rf", "alpha", "wall_s", "model_s"
+        } <= set(row)
 
     def test_result_filters(self):
         result = ExperimentResult(

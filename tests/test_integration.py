@@ -23,7 +23,7 @@ from repro.processing import (
     PregelEngine,
 )
 from repro.storage import hdd_device, page_cache_device, ssd_device
-from repro.streaming import FileEdgeStream, InMemoryEdgeStream
+from repro.streaming import FileEdgeStream
 
 from tests.conftest import ALL_PARTITIONER_FACTORIES, CAP_ENFORCING
 

@@ -26,12 +26,28 @@ from repro.kernels import (
     register_backend,
 )
 from repro.kernels.base import Int64Buffer
+from repro.kernels.numba_backend import NumbaBackend
 from repro.partitioning import LeastLoadedTracker, PartitionArtifacts
 from repro.partitioning.state import PartitionState
 from repro.streaming import DEFAULT_CHUNK_SIZE, InMemoryEdgeStream
 
 #: Every non-reference backend is pinned to the reference here.
 VECTOR_BACKENDS = [n for n in available_backends() if n != "python"]
+
+
+def _merge_op_backends():
+    """Backend instances for the Phase-1 merge-op twins: every registered
+    backend, plus the numba backend in its interpreted mode when the real
+    dependency is absent — ``merge_phase1_degrees`` and
+    ``merge_phase1_clustering`` must stay bit-exact across all three
+    implementations on every host."""
+    impls = [get_backend(name) for name in available_backends()]
+    if "numba" not in available_backends():
+        impls.append(NumbaBackend())
+    return impls
+
+
+MERGE_OP_BACKENDS = _merge_op_backends()
 
 SLOW = settings(
     max_examples=25,
@@ -280,6 +296,18 @@ class TestRegistry:
         with pytest.raises(ConfigurationError):
             register_backend("bogus", dict)
 
+    def test_register_requires_matching_name(self):
+        """Alias registrations are rejected: the parallel path ships the
+        resolved instance name to workers, so key != cls.name would make
+        worker-side lookups fail."""
+
+        class Misnamed(NumbaBackend):
+            name = "other"
+
+        with pytest.raises(ConfigurationError):
+            register_backend("fast", Misnamed)
+        assert "fast" not in available_backends()
+
     def test_backend_recorded_in_extras(self, community_graph):
         result = TwoPhasePartitioner().partition(community_graph, 4)
         assert result.extras["backend"] == DEFAULT_BACKEND
@@ -416,8 +444,8 @@ class TestPhase1MergeOps:
             graph, k, n_workers
         )
         merged = {}
-        for backend in available_backends():
-            merged[backend] = get_backend(backend).merge_phase1_clustering(
+        for backend in MERGE_OP_BACKENDS:
+            merged[backend.name] = backend.merge_phase1_clustering(
                 v2c_g, vol_g, exports, degrees
             )
         ref_v2c, ref_vol = merged["python"]
@@ -438,8 +466,6 @@ class TestPhase1MergeOps:
         np.testing.assert_array_equal(ref_v2c[unchanged], v2c_g[unchanged])
 
     def test_clustering_merge_first_worker_wins(self):
-        py = get_backend("python")
-        npb = get_backend("numpy")
         v2c_g = np.array([0, 1, -1], dtype=np.int64)
         vol_g = np.array([4, 2], dtype=np.int64)
         degrees = np.array([4, 2, 3], dtype=np.int64)
@@ -452,7 +478,7 @@ class TestPhase1MergeOps:
             (np.array([2, 1, 0], dtype=np.int64),
              np.array([7, 2, 4], dtype=np.int64)),
         ]
-        for backend in (py, npb):
+        for backend in MERGE_OP_BACKENDS:
             v2c, vol = backend.merge_phase1_clustering(
                 v2c_g, vol_g, exports, degrees
             )
@@ -474,21 +500,21 @@ class TestPhase1MergeOps:
             for _ in range(n_partials)
         ]
         results = [
-            get_backend(backend).merge_phase1_degrees(partials, n_hint)
-            for backend in available_backends()
+            backend.merge_phase1_degrees(partials, n_hint)
+            for backend in MERGE_OP_BACKENDS
         ]
         for out in results[1:]:
             np.testing.assert_array_equal(results[0], out)
         assert results[0].shape[0] >= n_hint
         assert results[0].dtype == np.int64
 
-    @pytest.mark.parametrize("backend", available_backends())
-    def test_clustering_load_round_trips(self, backend, community_graph):
+    @pytest.mark.parametrize(
+        "kernels", MERGE_OP_BACKENDS, ids=lambda b: b.name
+    )
+    def test_clustering_load_round_trips(self, kernels, community_graph):
         """load(export(state)) must reproduce export(state) exactly and
         must copy: mutating the loaded state leaves the source intact."""
         from repro.core.clustering import default_volume_cap
-
-        kernels = get_backend(backend)
         stream = InMemoryEdgeStream(community_graph)
         degrees = kernels.degree_pass(stream, community_graph.n_vertices)
         cap = default_volume_cap(community_graph.n_edges, 4, 0.5)

@@ -23,7 +23,9 @@ class TestContract:
 
     def test_rejects_empty_stream(self):
         with pytest.raises(PartitioningError):
-            TwoPhasePartitioner().partition(np.empty((0, 2), dtype=int), 4, n_vertices=4)
+            TwoPhasePartitioner().partition(
+                np.empty((0, 2), dtype=int), 4, n_vertices=4
+            )
 
     def test_rejects_k_one(self, toy_graph):
         with pytest.raises(PartitioningError):
@@ -46,7 +48,9 @@ class TestContract:
 class TestPhases:
     def test_all_phases_timed(self, social_graph):
         result = TwoPhasePartitioner().partition(social_graph, 8)
-        for phase in ("degree", "clustering", "mapping", "prepartition", "partitioning"):
+        for phase in (
+            "degree", "clustering", "mapping", "prepartition", "partitioning"
+        ):
             assert phase in result.timer.totals
 
     def test_extras_account_for_all_edges(self, social_graph):
