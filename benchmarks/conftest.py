@@ -12,6 +12,7 @@ that several tests assert against is computed once per session.
 
 from __future__ import annotations
 
+import gc
 from functools import lru_cache
 
 import pytest
@@ -34,3 +35,20 @@ def run_cached(name: str, dataset: str, k: int, scale: float = BENCH_SCALE):
 @pytest.fixture(scope="session")
 def bench_scale() -> float:
     return BENCH_SCALE
+
+
+@pytest.fixture(autouse=True)
+def _quiesce_gc():
+    # The phase-breakdown tests compare single-round wall-clock sections
+    # of ~10-50ms at smoke scale; a generation-2 cyclic-GC pass — whose
+    # pause grows with every test module the surrounding session has
+    # imported — landing inside one section flips those ratios.  Freeze
+    # the session's live objects out of the collector for the duration
+    # of each benchmark so its GC pauses only traverse what the bench
+    # itself allocated.
+    gc.collect()
+    gc.freeze()
+    try:
+        yield
+    finally:
+        gc.unfreeze()

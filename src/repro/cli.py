@@ -5,7 +5,8 @@ process that reads the graph data as a file from a given storage, partitions
 the edges, and writes back the partitioned graph data"):
 
 - ``repro-partition generate`` — materialize a dataset stand-in as a binary
-  edge list;
+  edge list, or stream an external-memory R-MAT straight to disk
+  (``--rmat-scale``, bounded memory at any scale);
 - ``repro-partition partition`` — out-of-core partition a binary edge list
   and write per-edge assignments;
 - ``repro-partition info`` — basic statistics of an edge-list file;
@@ -20,12 +21,13 @@ import sys
 
 import numpy as np
 
-from repro.core import ParallelTwoPhase
+from repro.core import ParallelTwoPhase, TwoPhasePartitioner
 from repro.core.runners import RUNNERS
 from repro.errors import PartitioningError, ReproError
 from repro.experiments.common import ALL_PARTITIONERS, make_partitioner
 from repro.graph.datasets import DATASETS, load_dataset
 from repro.graph.formats import write_binary_edge_list
+from repro.graph.generators import rmat_edge_file
 from repro.kernels import DEFAULT_BACKEND, available_backends, missing_backends
 from repro.storage import hdd_device, page_cache_device, ssd_device
 from repro.streaming import FileEdgeStream, load_partitioned, write_partitioned
@@ -34,6 +36,25 @@ _DEVICES = {"page-cache": page_cache_device, "ssd": ssd_device, "hdd": hdd_devic
 
 
 def _cmd_generate(args) -> int:
+    if (args.dataset is None) == (args.rmat_scale is None):
+        raise ReproError(
+            "generate: pass exactly one of --dataset (materialized "
+            "stand-in) or --rmat-scale (external-memory R-MAT)"
+        )
+    if args.rmat_scale is not None:
+        # Streams batches straight to disk — never holds the edge array.
+        n, m = rmat_edge_file(
+            args.out,
+            args.rmat_scale,
+            edge_factor=args.edge_factor,
+            seed=args.seed,
+            batch_edges=args.batch_edges,
+        )
+        print(
+            f"wrote external-memory R-MAT: |V|={n} |E|={m} "
+            f"({m * 8} bytes) -> {args.out}"
+        )
+        return 0
     graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     nbytes = write_binary_edge_list(graph, args.out)
     print(
@@ -65,7 +86,17 @@ def _make_cli_partitioner(args):
         )
     parallel_flags = (args.runner, args.n_workers, args.sync_interval)
     if all(flag is None for flag in parallel_flags) and not args.parallel_phase1:
-        return make_partitioner(args.algorithm, backend=args.backend)
+        if not args.packed_state:
+            return make_partitioner(args.algorithm, backend=args.backend)
+        mode = _PARALLEL_MODES.get(args.algorithm)
+        if mode is None:
+            raise ReproError(
+                f"--packed-state applies only to "
+                f"{sorted(_PARALLEL_MODES)}, not {args.algorithm!r}"
+            )
+        return TwoPhasePartitioner(
+            mode=mode, backend=args.backend, packed_state=True
+        )
     mode = _PARALLEL_MODES.get(args.algorithm)
     if mode is None:
         raise ReproError(
@@ -81,12 +112,18 @@ def _make_cli_partitioner(args):
         backend=args.backend,
         runner=args.runner or "simulated",
         parallel_phase1=args.parallel_phase1,
+        packed_state=args.packed_state,
     )
 
 
 def _cmd_partition(args) -> int:
     device = _DEVICES[args.device]() if args.device else None
-    stream = FileEdgeStream(args.input, n_vertices=args.n_vertices, device=device)
+    stream = FileEdgeStream(
+        args.input,
+        n_vertices=args.n_vertices,
+        device=device,
+        prefetch=args.prefetch,
+    )
     partitioner = _make_cli_partitioner(args)
     result = partitioner.partition(
         stream, args.k, alpha=args.alpha, chunk_size=args.chunk_size
@@ -240,9 +277,28 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     gen = sub.add_parser("generate", help="write a dataset stand-in to disk")
-    gen.add_argument("--dataset", required=True, choices=sorted(DATASETS))
+    gen.add_argument("--dataset", default=None, choices=sorted(DATASETS))
     gen.add_argument("--scale", type=float, default=1.0)
     gen.add_argument("--seed", type=int, default=7)
+    gen.add_argument(
+        "--rmat-scale",
+        type=int,
+        default=None,
+        help="generate an R-MAT graph of 2**SCALE vertices streamed "
+        "straight to disk in bounded memory (instead of --dataset)",
+    )
+    gen.add_argument(
+        "--edge-factor",
+        type=int,
+        default=16,
+        help="edges per vertex for --rmat-scale (default 16)",
+    )
+    gen.add_argument(
+        "--batch-edges",
+        type=int,
+        default=1 << 20,
+        help="generation batch size for --rmat-scale; bounds peak memory",
+    )
     gen.add_argument("--out", required=True)
     gen.set_defaults(func=_cmd_generate)
 
@@ -299,6 +355,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard the Phase-1 degree and clustering passes through the "
         "runner too (implies the parallel path; bit-exact with the "
         "sequential Phase 1 at --n-workers 1)",
+    )
+    part.add_argument(
+        "--packed-state",
+        action="store_true",
+        help="store the replica matrix bit-packed (ceil(k/8) bytes per "
+        "vertex; 2PS-L / 2PS-HDRF only, bit-exact with dense)",
+    )
+    part.add_argument(
+        "--prefetch",
+        action="store_true",
+        help="double-buffer file reads through a background thread "
+        "(wall-clock knob only; chunks and I/O accounting are identical)",
     )
     part.add_argument("--device", choices=sorted(_DEVICES), default=None)
     part.add_argument("--out", default=None, help="write int32 assignments")

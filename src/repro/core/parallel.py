@@ -127,6 +127,11 @@ class ParallelTwoPhase(EdgePartitioner):
     start_method, task_timeout:
         Process-runner knobs (``multiprocessing`` start method and the
         per-window hang timeout); ignored by the other runners.
+    packed_state:
+        When True, the global state and every worker view store the
+        replica matrix bit-packed (``ceil(k/8)`` bytes per row — the
+        out-of-core memory tier).  A pure storage knob: results are
+        bit-exact with dense state on every runner and backend.
     """
 
     def __init__(
@@ -145,6 +150,7 @@ class ParallelTwoPhase(EdgePartitioner):
         parallel_phase1: bool = False,
         start_method: str | None = None,
         task_timeout: float = 600.0,
+        packed_state: bool = False,
     ) -> None:
         if n_workers < 1:
             raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
@@ -183,6 +189,7 @@ class ParallelTwoPhase(EdgePartitioner):
             runner, start_method=start_method, task_timeout=task_timeout
         )
         self.parallel_phase1 = bool(parallel_phase1)
+        self.packed_state = bool(packed_state)
         self.name = (
             "2PS-L-parallel" if mode == "linear" else "2PS-HDRF-parallel"
         )
@@ -233,7 +240,7 @@ class ParallelTwoPhase(EdgePartitioner):
                 )
                 phase1_syncs = 0
 
-            state = PartitionState(n, k, m, alpha)
+            state = PartitionState(n, k, m, alpha, packed=self.packed_state)
             assignments = np.full(m, -1, dtype=np.int32)
             job.v2c = clustering.v2c
             job.c2p = c2p

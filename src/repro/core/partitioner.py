@@ -128,6 +128,10 @@ class TwoPhasePartitioner(EdgePartitioner):
         ``None`` keeps the stream's own default, ``"auto"`` derives one
         from ``|V|`` and ``k`` (:func:`repro.streaming.stream.
         auto_chunk_size`).
+    packed_state:
+        When True, the replica matrix is stored bit-packed (``ceil(k/8)``
+        bytes per row; the out-of-core memory tier).  A pure storage
+        knob — bit-exact with the dense default on every backend.
     """
 
     def __init__(
@@ -140,6 +144,7 @@ class TwoPhasePartitioner(EdgePartitioner):
         keep_state: bool = False,
         backend: str | None = None,
         chunk_size: int | str | None = None,
+        packed_state: bool = False,
     ) -> None:
         if mode not in ("linear", "hdrf"):
             raise ConfigurationError(
@@ -166,6 +171,7 @@ class TwoPhasePartitioner(EdgePartitioner):
         self.keep_state = bool(keep_state)
         self.backend = backend
         self.chunk_size = chunk_size
+        self.packed_state = bool(packed_state)
         self.name = "2PS-L" if mode == "linear" else "2PS-HDRF"
 
     # ------------------------------------------------------------------
@@ -185,7 +191,7 @@ class TwoPhasePartitioner(EdgePartitioner):
             cost=cost,
         )
 
-        state = PartitionState(n, k, m, alpha)
+        state = PartitionState(n, k, m, alpha, packed=self.packed_state)
         assignments = np.full(m, -1, dtype=np.int32)
         ctx = TwoPhaseContext(
             k=k,

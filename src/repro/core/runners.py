@@ -90,6 +90,7 @@ from repro.metrics.runtime import CostCounter
 from repro.partitioning.state import (
     PartitionState,
     _BufferArena,
+    _replica_storage,
     merge_replica_deltas,
 )
 from repro.streaming.stream import make_stream_spec
@@ -198,16 +199,19 @@ def merge_barrier(state: PartitionState, worker_states) -> int:
         return 0  # the worker shares the global state: nothing to do
     if all(ws.dirty is not None for ws in worker_states):
         return merge_replica_deltas(state, worker_states)
-    merged = np.logical_or.reduce(
-        [state.replicas] + [ws.replicas for ws in worker_states]
+    # Raw-storage OR: a logical OR on dense bool rows, a byte OR on
+    # bit-packed rows — one fallback for both representations.
+    merged = np.bitwise_or.reduce(
+        [_replica_storage(state.replicas)]
+        + [_replica_storage(ws.replicas) for ws in worker_states]
     )
     new_sizes = state.sizes + sum(
         ws.sizes - state.sizes for ws in worker_states
     )
-    state.replicas[:] = merged
+    _replica_storage(state.replicas)[:] = merged
     state.sizes[:] = new_sizes
     for ws in worker_states:
-        ws.replicas[:] = merged
+        _replica_storage(ws.replicas)[:] = merged
         ws.sizes[:] = new_sizes
     return int(state.n_vertices)
 
@@ -528,7 +532,7 @@ class _SimulatedSession(RunnerSession):
             self.worker_states = [
                 PartitionState(
                     job.state.n_vertices, job.k, job.state.n_edges,
-                    job.alpha, track_dirty=True,
+                    job.alpha, track_dirty=True, packed=job.state.packed,
                 )
                 for _ in range(job.n_workers)
             ]
@@ -726,7 +730,7 @@ def _attach_phase2(ref) -> dict:
     from multiprocessing import shared_memory
 
     payload = _WORKER["payload"]
-    assign_name, state_names, phase1_name, n, n_clusters = ref
+    assign_name, state_names, phase1_name, n, n_clusters, packed = ref
     assign_shm = shared_memory.SharedMemory(name=assign_name, create=False)
     assignments = np.ndarray(
         payload.n_edges, dtype=np.int32, buffer=assign_shm.buf
@@ -734,7 +738,7 @@ def _attach_phase2(ref) -> dict:
     views = [
         PartitionState.attach(
             name, n, payload.k, payload.n_edges, payload.alpha,
-            track_dirty=True,
+            track_dirty=True, packed=packed,
         )
         for name in state_names
     ]
@@ -1087,7 +1091,7 @@ class _ProcessSession(RunnerSession):
         for _ in range(job.n_workers):
             view = PartitionState.from_shared(
                 job.state.n_vertices, job.k, job.state.n_edges, job.alpha,
-                track_dirty=True,
+                track_dirty=True, packed=job.state.packed,
             )
             self.views.append(view)
             _LIVE_SEGMENTS.add(view.shm_name)
@@ -1108,6 +1112,7 @@ class _ProcessSession(RunnerSession):
             self._phase1_shm.name,
             n,
             n_clusters,
+            bool(job.state.packed),
         )
 
     def run_pass(self, pass_name: str) -> tuple[int, int]:

@@ -18,6 +18,7 @@ from repro.graph.generators import (
     chung_lu_graph,
     planted_partition_graph,
     ring_of_cliques,
+    rmat_edge_file,
     rmat_graph,
     star_graph,
     two_cluster_toy_graph,
@@ -34,6 +35,7 @@ from repro.graph.degrees import compute_degrees, compute_degrees_from_stream
 __all__ = [
     "Graph",
     "chung_lu_graph",
+    "rmat_edge_file",
     "rmat_graph",
     "planted_partition_graph",
     "ring_of_cliques",

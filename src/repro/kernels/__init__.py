@@ -99,6 +99,36 @@ each other on randomized barrier scenarios; the randomized differential
 harness (``tests/differential.py``) pins the full pipeline across
 runners, backends and seeds.
 
+Packed replica rows (out-of-core states)
+----------------------------------------
+``PartitionState(..., packed=True)`` stores the replica matrix as
+bit-packed rows (``(k + 7) // 8`` little-bitorder bytes per vertex, the
+``np.packbits(..., bitorder="little")`` layout) behind
+:class:`~repro.partitioning.state.PackedReplicaMatrix`.  Kernels never
+see the byte layout: the wrapper speaks the same indexing protocol as
+the dense bool matrix — ``replicas[rows, cols]`` bit gathers,
+``replicas[rows]`` row gathers, ``replicas[us, ps] = True`` duplicate-
+safe bit scatters, ``sum``/``any``/``copy``/``__array__`` — so a
+backend written against the dense protocol runs packed states
+unchanged.  The contract additions for backends that bypass the
+protocol with raw-``ndarray`` tricks:
+
+- detect packed storage with ``getattr(replicas, "packed", None)`` and
+  either handle the packed rows natively (the row bytes ARE the
+  ``np.packbits`` encoding — ``_HdrfScalarEngine._pack_row`` just reads
+  them) or route to a protocol-speaking twin, the way the ``numba``
+  backend's remaining passes delegate to their inherited numpy
+  implementations for non-``ndarray`` replica matrices;
+- bit-*clear* writes don't exist: replica bits are monotone within a
+  run, and ``PackedReplicaMatrix.__setitem__`` rejects anything but
+  ``True`` scatters (barrier refreshes assign whole rows instead);
+- tail bits (``k`` not a byte multiple) must stay zero — popcount-based
+  metrics (``sum``) trust them;
+- packed and dense states must stay **bit-exact** for any stream,
+  chunk size and runner: the huge-shape tier of the differential
+  harness (``tests/differential.py --out-of-core``) and
+  ``tests/test_state.py`` pin this across the backend matrix.
+
 Writing a backend
 -----------------
 1. Subclass :class:`~repro.kernels.base.KernelBackend` (or an existing

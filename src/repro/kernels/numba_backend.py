@@ -458,6 +458,11 @@ class NumbaBackend(NumpyBackend):
     # Phase 2: remaining passes (compiled per-edge decision loops)
     # ------------------------------------------------------------------
     def remaining_pass_linear(self, stream, ctx) -> None:
+        if not isinstance(ctx.state.replicas, np.ndarray):
+            # Bit-packed replica state: the jitted per-edge loop addresses
+            # a dense bool matrix; the inherited numpy pass speaks the
+            # packed indexing protocol and is bit-exact by contract.
+            return super().remaining_pass_linear(stream, ctx)
         kernel = _kernel_table()["remaining_linear"]
         replicas = ctx.state.replicas
         sizes = ctx.state.sizes
@@ -493,6 +498,9 @@ class NumbaBackend(NumpyBackend):
         ctx.cost.edges_streamed += stream.n_edges
 
     def remaining_pass_hdrf(self, stream, ctx) -> None:
+        if not isinstance(ctx.state.replicas, np.ndarray):
+            # Same packed-state fallback as remaining_pass_linear.
+            return super().remaining_pass_hdrf(stream, ctx)
         from repro.core.scoring import HDRF_EPSILON
 
         kernel = _kernel_table()["remaining_hdrf"]

@@ -924,6 +924,10 @@ class _HdrfScalarEngine:
 
     def _pack_row(self, vertex) -> int:
         """Pack one replica row into an int bitmask (first touch only)."""
+        packed = getattr(self.replicas, "packed", None)
+        if packed is not None:
+            # Bit-packed rows already ARE the little-endian mask bytes.
+            return int.from_bytes(packed[vertex].tobytes(), "little")
         row = np.packbits(self.replicas[vertex], bitorder="little")
         return int.from_bytes(row.tobytes(), "little")
 
@@ -934,7 +938,9 @@ class _HdrfScalarEngine:
         (the caller decides); already-cached masks win over the fresh
         packing.
         """
-        packed = np.packbits(self.replicas, axis=1, bitorder="little")
+        packed = getattr(self.replicas, "packed", None)
+        if packed is None:
+            packed = np.packbits(self.replicas, axis=1, bitorder="little")
         dense = [
             int.from_bytes(row.tobytes(), "little") for row in packed
         ]

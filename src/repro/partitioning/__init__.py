@@ -12,7 +12,11 @@ partitioners lives here:
   phase timings and the machine-neutral operation counts.
 """
 
-from repro.partitioning.state import LeastLoadedTracker, PartitionState
+from repro.partitioning.state import (
+    LeastLoadedTracker,
+    PackedReplicaMatrix,
+    PartitionState,
+)
 from repro.partitioning.base import (
     EdgePartitioner,
     PartitionArtifacts,
@@ -21,6 +25,7 @@ from repro.partitioning.base import (
 
 __all__ = [
     "LeastLoadedTracker",
+    "PackedReplicaMatrix",
     "PartitionState",
     "EdgePartitioner",
     "PartitionArtifacts",

@@ -44,6 +44,26 @@ across the global state and every view (they were refreshed at the previous
 barrier and unwritten since), so skipping them cannot change the merge.
 This makes barrier cost proportional to the touched vertex set of a sync
 window, not to ``|V|``.
+
+Bit-packed replica rows
+-----------------------
+A state created with ``packed=True`` stores the replication matrix as
+:class:`PackedReplicaMatrix` — ``ceil(k / 8)`` bytes per vertex instead of
+``k`` dense bools, an 8x cut of the dominant ``|V| x k`` term in the Table
+II memory model.  The packed layout is **little bit order**: column ``j``
+lives at bit ``j % 8`` of byte ``j // 8`` of its row, i.e. exactly
+``np.packbits(dense_row, bitorder="little")``.  Bits past column ``k - 1``
+in the last byte are invariantly zero, which keeps byte-wise popcounts and
+ORs exact; every write path below preserves the invariant.
+
+The wrapper speaks the same indexing dialect the kernels use on the dense
+matrix (scalar/fancy boolean reads, ``= True`` scalar/fancy writes with
+duplicate collapse, dense row gathers, dense row assignment, axis sums,
+``__array__`` for whole-matrix comparison), so packed state drops into
+every backend, runner, and the shared-memory machinery unchanged — and the
+differential harness pins packed-vs-dense bit-exactness end to end.  Merge
+barriers OR raw uint8 rows directly (``np.bitwise_or`` is a logical OR on
+bools and a byte OR on packed rows, so one code path serves both).
 """
 
 from __future__ import annotations
@@ -77,6 +97,144 @@ class _BufferArena:
         arr = np.ndarray(shape, dtype=dt, buffer=self._buf, offset=offset)
         self._offset = offset + arr.nbytes
         return arr
+
+
+def packed_row_bytes(k: int) -> int:
+    """Bytes per bit-packed replica row: ``ceil(k / 8)``."""
+    return (int(k) + 7) // 8
+
+
+class PackedReplicaMatrix:
+    """Bit-packed boolean ``(n, k)`` matrix over ``(n, ceil(k/8))`` uint8.
+
+    Layout: little bit order — column ``j`` is bit ``j % 8`` of byte
+    ``j // 8``, matching ``np.packbits(dense, axis=1, bitorder="little")``.
+    Bits past column ``k - 1`` stay zero (every writer preserves this), so
+    ``np.bitwise_count`` popcounts and byte-wise ORs are exact.
+
+    Supported access patterns (the kernel contract's working set):
+
+    - ``m[rows, cols]`` with any scalar/array mix -> dense bool (a copy,
+      like fancy indexing on an ndarray);
+    - ``m[rows]`` / ``m[i]`` row gathers -> dense bool rows;
+    - ``m[rows, cols] = True`` — duplicate ``(row, col)`` pairs collapse
+      (``np.bitwise_or.at``, the unbuffered scatter);
+    - ``m[rows] = dense_bool`` whole-row assignment (re-packs);
+    - ``m.sum(axis=0|1)``, ``m.any()``, ``np.asarray(m)``, ``m.copy()``.
+
+    Anything else raises, loudly, rather than silently diverging from
+    dense semantics — the differential harness depends on that.
+    """
+
+    __slots__ = ("packed", "k")
+
+    def __init__(self, packed: np.ndarray, k: int) -> None:
+        self.packed = packed
+        self.k = int(k)
+
+    # -- shape protocol -------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.packed.shape[0], self.k)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.packed.nbytes)
+
+    def __len__(self) -> int:
+        return self.packed.shape[0]
+
+    # -- reads ----------------------------------------------------------
+    def __getitem__(self, index):
+        if isinstance(index, tuple):
+            rows, cols = index
+            cols = np.asarray(cols)
+            bits = (self.packed[rows, cols >> 3] >> (cols & 7)) & 1
+            return bits.astype(bool)
+        sub = self.packed[index]
+        axis = sub.ndim - 1  # scalar row -> 1-d, gather -> 2-d
+        return np.unpackbits(
+            sub, axis=axis, count=self.k, bitorder="little"
+        ).view(bool)
+
+    def sum(self, axis=None):
+        if axis == 1:
+            return np.bitwise_count(self.packed).sum(axis=1, dtype=np.int64)
+        if axis == 0:
+            # Chunked unpack keeps the dense scratch bounded at ~0.5 MiB.
+            out = np.zeros(self.k, dtype=np.int64)
+            step = max(1, (1 << 19) // max(self.packed.shape[1], 1))
+            for lo in range(0, self.packed.shape[0], step):
+                out += np.unpackbits(
+                    self.packed[lo : lo + step],
+                    axis=1, count=self.k, bitorder="little",
+                ).sum(axis=0, dtype=np.int64)
+            return out
+        if axis is None:
+            return int(np.bitwise_count(self.packed).sum())
+        raise PartitioningError(
+            f"PackedReplicaMatrix.sum: unsupported axis {axis!r}"
+        )
+
+    def any(self) -> bool:
+        return bool(self.packed.any())
+
+    def copy(self) -> np.ndarray:
+        """Dense bool copy (consumers of copies expect plain ndarrays)."""
+        return np.unpackbits(
+            self.packed, axis=1, count=self.k, bitorder="little"
+        ).view(bool)
+
+    def __array__(self, dtype=None, copy=None) -> np.ndarray:
+        dense = self.copy()
+        return dense if dtype is None else dense.astype(dtype)
+
+    # -- writes ---------------------------------------------------------
+    def __setitem__(self, index, value) -> None:
+        if isinstance(index, tuple):
+            if not (value is True or value is np.True_):
+                raise PartitioningError(
+                    "PackedReplicaMatrix element writes support only "
+                    f"'= True', got {value!r}"
+                )
+            rows, cols = index
+            rows = np.asarray(rows)
+            cols = np.asarray(cols)
+            if rows.ndim == 0 and cols.ndim == 0:
+                c = int(cols)
+                self.packed[int(rows), c >> 3] |= np.uint8(1 << (c & 7))
+                return
+            rows, cols = np.broadcast_arrays(rows, cols)
+            # ``|=`` buffers duplicate (row, byte) targets and drops bits;
+            # ``bitwise_or.at`` is the unbuffered scatter.
+            np.bitwise_or.at(
+                self.packed,
+                (rows, cols >> 3),
+                np.left_shift(np.uint8(1), (cols & 7).astype(np.uint8)),
+            )
+            return
+        dense = np.asarray(value, dtype=bool)
+        if dense.shape[-1] != self.k:
+            raise PartitioningError(
+                f"PackedReplicaMatrix row assignment needs {self.k} "
+                f"columns, got shape {dense.shape}"
+            )
+        # packbits zero-pads to the byte boundary -> tail bits stay zero.
+        self.packed[index] = np.packbits(
+            dense, axis=-1, bitorder="little"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PackedReplicaMatrix(n={len(self)}, k={self.k})"
+
+
+def _replica_storage(replicas):
+    """Raw storage of a replica matrix: the uint8 plane when packed, the
+    matrix itself when dense.  ``np.bitwise_or`` on the result is a row
+    merge in both representations, so barrier code stays representation
+    agnostic."""
+    packed = getattr(replicas, "packed", None)
+    return replicas if packed is None else packed
 
 
 class LeastLoadedTracker:
@@ -143,6 +301,11 @@ class PartitionState:
         When True, allocate the per-row dirty bitmap used by the delta
         barriers (see the module docstring); creators and attachers of a
         shared segment must agree on it (it changes the segment layout).
+    packed:
+        When True, store the replication matrix bit-packed
+        (:class:`PackedReplicaMatrix`, ``ceil(k/8)`` bytes per row) instead
+        of dense bool.  Bit-exact with dense by contract; creators and
+        attachers of a shared segment must agree on it (layout).
 
     Raises
     ------
@@ -161,6 +324,7 @@ class PartitionState:
         *,
         allocator=None,
         track_dirty: bool = False,
+        packed: bool = False,
     ):
         if k < 2:
             raise PartitioningError(f"k must be >= 2, got {k}")
@@ -175,8 +339,16 @@ class PartitionState:
         self.capacity = max(
             int(math.floor(alpha * n_edges / k)), int(math.ceil(n_edges / k))
         )
+        #: Whether the replica matrix is bit-packed (segment-layout flag).
+        self.packed = bool(packed)
         alloc = np.zeros if allocator is None else allocator
-        self.replicas = alloc((self.n_vertices, self.k), bool)
+        if packed:
+            self.replicas = PackedReplicaMatrix(
+                alloc((self.n_vertices, packed_row_bytes(self.k)), np.uint8),
+                self.k,
+            )
+        else:
+            self.replicas = alloc((self.n_vertices, self.k), bool)
         self.sizes = alloc(self.k, np.int64)
         #: Dirty-row bitmap for delta barriers (``None`` when untracked).
         self.dirty = alloc(self.n_vertices, bool) if track_dirty else None
@@ -187,9 +359,15 @@ class PartitionState:
     # shared-memory lifecycle (see the module docstring for the contract)
     # ------------------------------------------------------------------
     @staticmethod
-    def shared_nbytes(n_vertices: int, k: int, track_dirty: bool = False) -> int:
+    def shared_nbytes(
+        n_vertices: int,
+        k: int,
+        track_dirty: bool = False,
+        packed: bool = False,
+    ) -> int:
         """Segment size for a shared state of these dimensions."""
-        replicas = int(n_vertices) * int(k)
+        row_bytes = packed_row_bytes(k) if packed else int(k)
+        replicas = int(n_vertices) * row_bytes
         aligned = -(-replicas // 8) * 8  # int64 alignment for ``sizes``
         total = aligned + 8 * int(k)
         if track_dirty:
@@ -206,6 +384,7 @@ class PartitionState:
         *,
         name: str | None = None,
         track_dirty: bool = False,
+        packed: bool = False,
     ) -> "PartitionState":
         """Create a state whose arrays live in a new shared-memory segment.
 
@@ -215,13 +394,14 @@ class PartitionState:
         """
         from multiprocessing import shared_memory
 
-        size = cls.shared_nbytes(n_vertices, k, track_dirty)
+        size = cls.shared_nbytes(n_vertices, k, track_dirty, packed)
         shm = shared_memory.SharedMemory(name=name, create=True, size=size)
         try:
             np.frombuffer(shm.buf, dtype=np.uint8)[:] = 0
             state = cls(
                 n_vertices, k, n_edges, alpha,
                 allocator=_BufferArena(shm.buf), track_dirty=track_dirty,
+                packed=packed,
             )
         except BaseException:
             shm.close()
@@ -241,12 +421,14 @@ class PartitionState:
         alpha: float = 1.05,
         *,
         track_dirty: bool = False,
+        packed: bool = False,
     ) -> "PartitionState":
         """Map an existing shared segment created by :meth:`from_shared`.
 
-        Dimensions (including ``track_dirty``) must match the creator's;
-        the attacher sees (and mutates) the creator's live arrays.  Call
-        :meth:`close` when done; never :meth:`unlink` from an attacher.
+        Dimensions (including ``track_dirty`` and ``packed``) must match
+        the creator's; the attacher sees (and mutates) the creator's live
+        arrays.  Call :meth:`close` when done; never :meth:`unlink` from
+        an attacher.
 
         Raises
         ------
@@ -262,16 +444,17 @@ class PartitionState:
             raise PartitioningError(
                 f"no shared partition-state segment {name!r}"
             ) from exc
-        if shm.size < cls.shared_nbytes(n_vertices, k, track_dirty):
+        if shm.size < cls.shared_nbytes(n_vertices, k, track_dirty, packed):
             shm.close()
             raise PartitioningError(
                 f"shared segment {name!r} holds {shm.size} bytes, need "
-                f"{cls.shared_nbytes(n_vertices, k, track_dirty)} "
+                f"{cls.shared_nbytes(n_vertices, k, track_dirty, packed)} "
                 f"for n={n_vertices}, k={k}"
             )
         state = cls(
             n_vertices, k, n_edges, alpha,
             allocator=_BufferArena(shm.buf), track_dirty=track_dirty,
+            packed=packed,
         )
         state._shm = shm
         state._owns_segment = False
@@ -341,7 +524,11 @@ class PartitionState:
         Raises
         ------
         PartitioningError
-            When ``us``/``vs``/``ps`` are not equal-length 1-d arrays.
+            When ``us``/``vs``/``ps`` are not equal-length 1-d arrays, or
+            any partition id falls outside ``[0, k)`` — checked *before*
+            the first write, so a rejected call never half-applies (a raw
+            fancy-index ``IndexError`` would fire after the replica bits
+            landed but before the size counts did).
         """
         us = np.asarray(us)
         vs = np.asarray(vs)
@@ -358,6 +545,12 @@ class PartitionState:
             )
         if us.shape[0] == 0:
             return
+        p_lo, p_hi = int(ps.min()), int(ps.max())
+        if p_lo < 0 or p_hi >= self.k:
+            raise PartitioningError(
+                f"scatter_edges: partition ids must be in [0, {self.k}), "
+                f"got range [{p_lo}, {p_hi}]"
+            )
         self.replicas[us, ps] = True
         self.replicas[vs, ps] = True
         self.sizes += np.bincount(ps, minlength=self.k)
@@ -458,6 +651,11 @@ def merge_replica_deltas(state: PartitionState, worker_states) -> int:
     bytes (``rows * k`` versus ``n_vertices * k`` for a full re-broadcast).
     The equivalence with the full merge is pinned by the property tests in
     ``tests/test_state.py`` and end-to-end by the differential harness.
+
+    The merge runs on the **raw row storage** (:func:`_replica_storage`):
+    ``np.bitwise_or`` is a logical OR on dense bool rows and a byte OR on
+    bit-packed rows, so dense and packed states share this single code
+    path (all participants must use the same representation).
     """
     dirty = worker_states[0].dirty.copy()
     for ws in worker_states[1:]:
@@ -466,15 +664,18 @@ def merge_replica_deltas(state: PartitionState, worker_states) -> int:
     new_sizes = state.sizes + sum(
         ws.sizes - state.sizes for ws in worker_states
     )
+    raw = _replica_storage(state.replicas)
     if rows.size:
-        merged = state.replicas[rows]
+        merged = raw[rows]
         for ws in worker_states:
-            np.logical_or(merged, ws.replicas[rows], out=merged)
-        state.replicas[rows] = merged
+            np.bitwise_or(
+                merged, _replica_storage(ws.replicas)[rows], out=merged
+            )
+        raw[rows] = merged
     state.sizes[:] = new_sizes
     for ws in worker_states:
         if rows.size:
-            ws.replicas[rows] = merged
+            _replica_storage(ws.replicas)[rows] = merged
         ws.sizes[:] = new_sizes
         ws.dirty[:] = False
     return int(rows.size)

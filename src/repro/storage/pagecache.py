@@ -79,4 +79,8 @@ class PageCache:
             return
         others = sum(v for k, v in self._resident.items() if k != path)
         allowed = max(0, self.capacity_bytes - others)
-        self._resident[path] = min(high_water, allowed)
+        # Admission never evicts the file's own resident bytes: when the
+        # shared budget leaves ``allowed`` below what is already cached
+        # (e.g. after a capacity cut modeling memory pressure), the
+        # residency stays put instead of shrinking.
+        self._resident[path] = max(current, min(high_water, allowed))

@@ -14,11 +14,27 @@ Two implementations are provided:
   ever holding the full edge set in memory — the true out-of-core path.  It
   can charge a simulated :class:`~repro.storage.devices.StorageDevice` for
   every byte so the Table V experiment can compare page cache vs SSD vs HDD.
+
+Prefetching and I/O accounting
+------------------------------
+``FileEdgeStream(..., prefetch=True)`` double-buffers file reads: a
+background thread reads and decodes chunk ``i+1`` while the kernels consume
+chunk ``i`` (up to :data:`PREFETCH_DEPTH` chunks in flight), overlapping
+real file I/O with compute.  The accounting contract is unchanged by
+design: **device charging and ``IOStats`` recording happen on the consumer
+side, immediately before each chunk is yielded**, so a prefetching stream
+produces bit-identical stats and simulated-clock charges to a synchronous
+one for any consumed prefix — only the chunk *contents* travel through the
+reader thread.  The equivalence (same chunks, same stats, reader errors
+propagate) is pinned in ``tests/test_streams.py`` and end-to-end by the
+differential harness's out-of-core tier.
 """
 
 from __future__ import annotations
 
 import os
+import queue
+import threading
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Iterator
@@ -43,6 +59,10 @@ AUTO_CHUNK_MAX = 262_144
 AUTO_CHUNK_CACHE_BUDGET = 8 * 1024 * 1024
 AUTO_CHUNK_EDGE_BYTES = 96
 
+#: Chunks a prefetching :class:`FileEdgeStream` may hold in flight: the one
+#: being consumed plus one being read ahead (double buffering).
+PREFETCH_DEPTH = 2
+
 
 def auto_chunk_size(n_vertices: int | None, k: int) -> int:
     """Pick a streaming chunk size from ``|V|``, ``k`` and a cache budget.
@@ -63,7 +83,9 @@ def auto_chunk_size(n_vertices: int | None, k: int) -> int:
     k = max(int(k), 1)
     per_edge = AUTO_CHUNK_EDGE_BYTES + 8 * k
     chunk = AUTO_CHUNK_CACHE_BUDGET // per_edge
-    if n_vertices:
+    # ``is not None``, not truthiness: ``n_vertices=0`` is a (degenerate)
+    # hint and must take the |V| cap, not behave like the no-hint case.
+    if n_vertices is not None:
         chunk = min(chunk, 4 * int(n_vertices))
     return int(min(max(chunk, AUTO_CHUNK_MIN), AUTO_CHUNK_MAX))
 
@@ -237,6 +259,11 @@ class FileEdgeStream(EdgeStream):
         Optional :class:`~repro.storage.devices.StorageDevice`; when given,
         every read is charged simulated time through the device (and its
         page-cache model, if any).
+    prefetch:
+        When True, every pass/window double-buffers through a background
+        reader thread (see the module docstring).  A pure wall-clock knob:
+        chunks, stats, and device charges are identical to a synchronous
+        stream.
 
     Raises
     ------
@@ -244,7 +271,13 @@ class FileEdgeStream(EdgeStream):
         If the file does not exist or has a truncated record.
     """
 
-    def __init__(self, path, n_vertices: int | None = None, device=None) -> None:
+    def __init__(
+        self,
+        path,
+        n_vertices: int | None = None,
+        device=None,
+        prefetch: bool = False,
+    ) -> None:
         super().__init__()
         self._path = os.fspath(path)
         if not os.path.exists(self._path):
@@ -257,6 +290,8 @@ class FileEdgeStream(EdgeStream):
         self._m = size // BYTES_PER_EDGE
         self._n = n_vertices
         self._device = device
+        #: Whether passes/windows read ahead through a background thread.
+        self.prefetch = bool(prefetch)
 
     @property
     def path(self) -> str:
@@ -278,6 +313,9 @@ class FileEdgeStream(EdgeStream):
         self, start: int, stop: int, chunk_size: int | None
     ) -> Iterator[np.ndarray]:
         chunk_size = self._resolve_chunk_size(chunk_size)
+        if self.prefetch and stop > start:
+            yield from self._prefetch_iter(start, stop, chunk_size)
+            return
         bytes_per_chunk = chunk_size * BYTES_PER_EDGE
         with open(self._path, "rb") as fh:
             fh.seek(start * BYTES_PER_EDGE)
@@ -294,6 +332,80 @@ class FileEdgeStream(EdgeStream):
                     seconds = self._device.charge_read(self._path, len(data))
                 self.stats.record_chunk(chunk.shape[0], len(data), seconds)
                 yield chunk
+
+    def _prefetch_iter(
+        self, start: int, stop: int, chunk_size: int
+    ) -> Iterator[np.ndarray]:
+        """Double-buffered window iterator (see the module docstring).
+
+        The reader thread reads and decodes up to :data:`PREFETCH_DEPTH`
+        chunks ahead through a bounded queue; the consumer charges the
+        device and records stats right before yielding, so accounting
+        order is identical to the synchronous path.  The reader never
+        blocks forever: every queue put polls the stop event, and the
+        consumer drains the queue on exit (including early generator
+        close) before joining the thread.
+        """
+        bytes_per_chunk = chunk_size * BYTES_PER_EDGE
+        out: queue.Queue = queue.Queue(maxsize=PREFETCH_DEPTH)
+        stop_event = threading.Event()
+
+        def put(item) -> bool:
+            while not stop_event.is_set():
+                try:
+                    out.put(item, timeout=0.05)
+                    return True
+                except queue.Full:
+                    continue
+            return False
+
+        def read_ahead() -> None:
+            try:
+                with open(self._path, "rb") as fh:
+                    fh.seek(start * BYTES_PER_EDGE)
+                    left = (stop - start) * BYTES_PER_EDGE
+                    while left > 0:
+                        data = fh.read(min(bytes_per_chunk, left))
+                        if not data or len(data) % BYTES_PER_EDGE:
+                            raise StreamError(
+                                f"{self._path}: truncated edge record"
+                            )
+                        left -= len(data)
+                        chunk = (
+                            np.frombuffer(data, dtype="<u4")
+                            .reshape(-1, 2)
+                            .astype(np.int64)
+                        )
+                        if not put(("chunk", chunk, len(data))):
+                            return
+                put(("done", None, 0))
+            except BaseException as exc:  # propagated to the consumer
+                put(("error", exc, 0))
+
+        reader = threading.Thread(
+            target=read_ahead, name="repro-prefetch", daemon=True
+        )
+        reader.start()
+        try:
+            while True:
+                kind, payload, nbytes = out.get()
+                if kind == "error":
+                    raise payload
+                if kind == "done":
+                    return
+                seconds = 0.0
+                if self._device is not None:
+                    seconds = self._device.charge_read(self._path, nbytes)
+                self.stats.record_chunk(payload.shape[0], nbytes, seconds)
+                yield payload
+        finally:
+            stop_event.set()
+            while True:
+                try:
+                    out.get_nowait()
+                except queue.Empty:
+                    break
+            reader.join(timeout=10.0)
 
 
 class StreamSpec(ABC):
@@ -323,9 +435,13 @@ class FileStreamSpec(StreamSpec):
     path: str
     n_vertices: int | None = None
     chunk_size: int = DEFAULT_CHUNK_SIZE
+    #: Carried over so process-runner workers read ahead like the parent.
+    prefetch: bool = False
 
     def open(self) -> EdgeStream:
-        stream = FileEdgeStream(self.path, n_vertices=self.n_vertices)
+        stream = FileEdgeStream(
+            self.path, n_vertices=self.n_vertices, prefetch=self.prefetch
+        )
         stream.default_chunk_size = self.chunk_size
         return stream
 
@@ -371,7 +487,10 @@ def make_stream_spec(stream: EdgeStream):
     """
     if isinstance(stream, FileEdgeStream):
         spec = FileStreamSpec(
-            stream.path, stream.n_vertices, stream.default_chunk_size
+            stream.path,
+            stream.n_vertices,
+            stream.default_chunk_size,
+            stream.prefetch,
         )
         return spec, None
     from multiprocessing import shared_memory

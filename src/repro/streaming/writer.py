@@ -11,6 +11,12 @@ edge-list file per partition plus a JSON manifest;
 :func:`load_partitioned` reads such a directory back into per-partition
 :class:`~repro.graph.graph.Graph` objects (or a single merged graph with
 assignments, for verification).
+
+:class:`EdgeListWriter` is the input-side twin: an append-only streaming
+writer of one binary ``<u4`` edge-list file (the
+:func:`repro.graph.formats.write_binary_edge_list` format), consumed chunk
+by chunk so external-memory generators can emit graphs far larger than RAM
+(see :func:`repro.graph.generators.rmat_edge_file`).
 """
 
 from __future__ import annotations
@@ -25,6 +31,60 @@ from repro.graph.formats import BYTES_PER_EDGE
 from repro.graph.graph import Graph
 
 MANIFEST_NAME = "manifest.json"
+
+#: Largest vertex id a ``<u4`` edge record can carry.
+MAX_U4_VERTEX = 2**32 - 1
+
+
+class EdgeListWriter:
+    """Append-only streaming writer of one binary ``<u4`` edge-list file.
+
+    Peak memory is one caller-supplied chunk: each :meth:`write_chunk`
+    validates, casts, and appends, so a generator looping over bounded
+    batches never materializes the full edge array.  Use as a context
+    manager; :attr:`n_edges` counts everything written so far.
+
+    Raises
+    ------
+    FormatError
+        On a non-``(c, 2)`` chunk or vertex ids outside ``[0, 2**32)``
+        (``<u4`` would silently wrap them).
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self._fh = open(self.path, "wb")
+        self.n_edges = 0
+        self._closed = False
+
+    def write_chunk(self, edges) -> int:
+        """Append a ``(c, 2)`` chunk of edges; returns edges written."""
+        arr = np.asarray(edges)
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise FormatError(
+                f"edge chunk must be (c, 2), got shape {arr.shape}"
+            )
+        if arr.shape[0] == 0:
+            return 0
+        if int(arr.min()) < 0 or int(arr.max()) > MAX_U4_VERTEX:
+            raise FormatError(
+                "edge chunk has vertex ids outside the u4 range [0, 2**32)"
+            )
+        flat = np.ascontiguousarray(arr, dtype="<u4").reshape(-1)
+        self._fh.write(flat.tobytes())
+        self.n_edges += int(arr.shape[0])
+        return int(arr.shape[0])
+
+    def close(self) -> None:
+        if not self._closed:
+            self._fh.close()
+            self._closed = True
+
+    def __enter__(self) -> "EdgeListWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
 
 class PartitionWriter:

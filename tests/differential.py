@@ -31,11 +31,22 @@ reproducible with::
 
 ``tests/test_differential.py`` drives a fixed seed matrix through this
 module in CI; bump ``EXTRA_RANDOM_SEEDS`` locally for a longer soak.
+
+The **huge-shape out-of-core tier** (:func:`check_out_of_core_seed`) runs
+the identical bit-exactness contract on down-scaled shapes drawn to
+stress the out-of-core machinery: ``k`` values above 8 and off byte
+boundaries (packed-row tail bits), the graph round-tripped through a
+binary edge file, and every storage variant — packed vs dense state,
+prefetching vs synchronous file streams, file vs in-memory ingestion —
+must land on the byte-identical final state within every runner/backend
+cell.  Reproduce with ``--out-of-core --seed <seed>``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+import tempfile
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -43,6 +54,8 @@ from repro.core import ParallelTwoPhase, TwoPhasePartitioner
 from repro.core.runners import live_shared_segments
 from repro.graph.generators import chung_lu_graph, rmat_graph
 from repro.kernels import available_backends
+from repro.streaming import FileEdgeStream
+from repro.streaming.writer import EdgeListWriter
 
 #: The full runner matrix the harness sweeps.
 RUNNERS = ("serial", "simulated", "process")
@@ -222,6 +235,173 @@ def check_seed(
     return case
 
 
+#: k values of the out-of-core tier: above 8 so a packed row spans more
+#: than one byte, and mostly off byte boundaries so the tail bits of the
+#: last byte are exercised (16 pins the exact-boundary case).
+_HUGE_K = (9, 11, 13, 16, 17, 23, 31, 33)
+
+#: Storage variants of the out-of-core tier, in sweep order.  The first
+#: entry is the per-cell baseline every other variant must match.
+_OOC_VARIANT_ORDER = (
+    "dense/in-memory",
+    "packed/in-memory",
+    "packed/file-sync",
+    "packed/file-prefetch",
+    "dense/file-prefetch",
+)
+
+#: The process runner only runs the endpoints of the variant sweep (its
+#: baseline plus the fully out-of-core configuration): pool spawns
+#: dominate the tier's cost, and the intermediate variants are already
+#: pinned against the same baseline by the in-process runners.
+_OOC_PROCESS_VARIANTS = ("dense/in-memory", "packed/file-prefetch")
+
+
+def make_huge_case(seed: int) -> DifferentialCase:
+    """Derive an out-of-core scenario from ``seed`` (pure function).
+
+    Reuses :func:`make_case` for the graph/schedule dimensions, then
+    redraws ``k`` from the packing-tail-stressing set and clamps the
+    chunk size away from the degenerate per-edge sizes (a per-edge file
+    stream is a different test than an out-of-core one).
+    """
+    base = make_case(seed)
+    rng = np.random.default_rng(seed + 0x00C)
+    return replace(
+        base,
+        k=_HUGE_K[int(rng.integers(len(_HUGE_K)))],
+        chunk_size=(64, 181, 4096)[int(rng.integers(3))],
+    )
+
+
+def _run_out_of_core(case, runner, backend, packed, stream):
+    """One run of the scenario over an explicit stream/state variant."""
+    return ParallelTwoPhase(
+        n_workers=case.n_workers,
+        sync_interval=case.sync_interval,
+        clustering_passes=case.clustering_passes,
+        mode=case.mode,
+        backend=backend,
+        runner=runner,
+        parallel_phase1=case.parallel_phase1,
+        packed_state=packed,
+    ).partition(
+        stream, case.k, alpha=case.alpha, chunk_size=case.chunk_size
+    )
+
+
+def check_out_of_core_seed(
+    seed: int,
+    runners=RUNNERS,
+    backends=None,
+    include_process: bool = True,
+) -> DifferentialCase:
+    """Run the huge-shape out-of-core differential tier for one seed.
+
+    Within every runner/backend cell, all storage variants
+    (``_OOC_VARIANT_ORDER``) must produce the byte-identical final
+    state; across cells the base contract applies (backends agree,
+    simulated == process, sequential packed-over-prefetch-file ==
+    sequential dense-in-memory).  Raises ``AssertionError`` carrying
+    the reproducing seed on any divergence.
+    """
+    case = make_huge_case(seed)
+    if backends is None:
+        backends = available_backends()
+    active_runners = tuple(
+        r for r in runners if include_process or r != "process"
+    )
+    graph = case.build_graph()
+    try:
+        with tempfile.TemporaryDirectory(prefix="diff_ooc_") as tmp:
+            path = os.path.join(tmp, "edges.bin")
+            with EdgeListWriter(path) as writer:
+                # Chunked, like an external-memory generator would write.
+                for lo in range(0, graph.n_edges, 512):
+                    writer.write_chunk(graph.edges[lo:lo + 512])
+
+            def make_stream(storage: str):
+                if storage == "in-memory":
+                    return graph
+                return FileEdgeStream(
+                    path,
+                    n_vertices=graph.n_vertices,
+                    prefetch=(storage == "file-prefetch"),
+                )
+
+            baselines = {}
+            for runner in active_runners:
+                names = (
+                    _OOC_PROCESS_VARIANTS
+                    if runner == "process"
+                    else _OOC_VARIANT_ORDER
+                )
+                for backend in backends:
+                    baseline = None
+                    for name in names:
+                        state_kind, storage = name.split("/")
+                        result = _run_out_of_core(
+                            case, runner, backend,
+                            state_kind == "packed", make_stream(storage),
+                        )
+                        if baseline is None:
+                            baseline = result
+                        else:
+                            assert_full_state_equal(
+                                baseline, result,
+                                f"{runner}/{backend}: "
+                                f"{names[0]} vs {name}",
+                            )
+                    baselines[(runner, backend)] = baseline
+            # Cross-cell contracts on the baselines: backends agree
+            # within each runner; simulated == process.
+            sharded = [key for key in baselines if key[0] != "serial"]
+            for key in sharded[1:]:
+                assert_full_state_equal(
+                    baselines[sharded[0]], baselines[key],
+                    f"{sharded[0]} vs {key}",
+                )
+            serial = [key for key in baselines if key[0] == "serial"]
+            for key in serial[1:]:
+                assert_full_state_equal(
+                    baselines[serial[0]], baselines[key],
+                    f"{serial[0]} vs {key}",
+                )
+            # Sequential surface: packed state fed by the prefetching
+            # file stream == dense state fed by the in-memory graph.
+            seq_dense = TwoPhasePartitioner(
+                clustering_passes=case.clustering_passes,
+                mode=case.mode,
+                backend=backends[0],
+            ).partition(
+                graph, case.k, alpha=case.alpha,
+                chunk_size=case.chunk_size,
+            )
+            seq_packed = TwoPhasePartitioner(
+                clustering_passes=case.clustering_passes,
+                mode=case.mode,
+                backend=backends[0],
+                packed_state=True,
+            ).partition(
+                make_stream("file-prefetch"), case.k, alpha=case.alpha,
+                chunk_size=case.chunk_size,
+            )
+            assert_full_state_equal(
+                seq_dense, seq_packed,
+                "sequential dense/in-memory vs "
+                "sequential packed/file-prefetch",
+            )
+            leaked = sorted(live_shared_segments())
+            assert not leaked, f"leaked shared-memory segments: {leaked}"
+    except AssertionError as exc:
+        raise AssertionError(
+            f"out-of-core differential seed {seed} failed ({case!r}); "
+            f"reproduce with: PYTHONPATH=src python tests/differential.py "
+            f"--out-of-core --seed {seed}\n{exc}"
+        ) from exc
+    return case
+
+
 def main(argv=None) -> int:  # pragma: no cover - manual reproduction tool
     import argparse
 
@@ -231,8 +411,14 @@ def main(argv=None) -> int:  # pragma: no cover - manual reproduction tool
         "--no-process", action="store_true",
         help="skip the multiprocessing runner (faster triage)",
     )
+    parser.add_argument(
+        "--out-of-core", action="store_true",
+        help="run the huge-shape out-of-core tier instead of the base "
+        "matrix (packed state, file streams, prefetching)",
+    )
     args = parser.parse_args(argv)
-    case = check_seed(args.seed, include_process=not args.no_process)
+    check = check_out_of_core_seed if args.out_of_core else check_seed
+    case = check(args.seed, include_process=not args.no_process)
     print(f"seed {args.seed} OK: {case}")
     return 0
 

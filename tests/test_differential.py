@@ -13,8 +13,10 @@ import pytest
 
 from differential import (
     RUNNERS,
+    check_out_of_core_seed,
     check_seed,
     make_case,
+    make_huge_case,
     run_case,
     sequential_reference,
 )
@@ -26,6 +28,12 @@ HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
 #: parallel_phase1 toward True); see ``test_seed_matrix_covers_surface``.
 SEED_MATRIX = (11, 23, 58, 101, 240, 397, 1009, 4242)
 
+#: Fixed seed matrix of the huge-shape out-of-core tier.  Chosen to
+#: cover every generator, both modes, n_workers == 1 and > 1, and k
+#: both on and off a byte boundary (the packed-row tail bits); see
+#: ``test_out_of_core_matrix_covers_surface``.
+OUT_OF_CORE_SEED_MATRIX = (8, 12, 14)
+
 #: Extra seeds for a longer local soak (kept empty in CI for run time).
 EXTRA_RANDOM_SEEDS = ()
 
@@ -34,6 +42,48 @@ EXTRA_RANDOM_SEEDS = ()
 @pytest.mark.parametrize("seed", SEED_MATRIX + EXTRA_RANDOM_SEEDS)
 def test_differential_seed(seed):
     check_seed(seed)
+
+
+@pytest.mark.skipif(not HAS_FORK, reason="needs the fork start method")
+@pytest.mark.parametrize("seed", OUT_OF_CORE_SEED_MATRIX)
+def test_out_of_core_differential_seed(seed):
+    check_out_of_core_seed(seed)
+
+
+def test_out_of_core_matrix_covers_surface():
+    """The out-of-core matrix must keep stressing the packed-row layout
+    (multi-byte rows, tail bits, the exact byte boundary) and both ends
+    of the worker/mode dimensions."""
+    cases = [make_huge_case(seed) for seed in OUT_OF_CORE_SEED_MATRIX]
+    assert all(c.k > 8 for c in cases)
+    assert any(c.k % 8 == 0 for c in cases)
+    assert any(c.k % 8 != 0 for c in cases)
+    assert {c.mode for c in cases} == {"linear", "hdrf"}
+    assert any(c.n_workers == 1 for c in cases)
+    assert any(c.n_workers > 1 for c in cases)
+    assert len({c.generator for c in cases}) == 3
+
+
+def test_huge_case_derivation_is_deterministic():
+    assert make_huge_case(999) == make_huge_case(999)
+
+
+def test_out_of_core_failure_names_the_seed(monkeypatch):
+    """A diverging out-of-core variant must surface the reproducing
+    seed and the --out-of-core flag in the error."""
+    import differential
+
+    real = differential._run_out_of_core
+
+    def broken(case, runner, backend, packed, stream):
+        result = real(case, runner, backend, packed, stream)
+        if packed:  # corrupt every packed-state variant
+            result.assignments[0] = (result.assignments[0] + 1) % case.k
+        return result
+
+    monkeypatch.setattr(differential, "_run_out_of_core", broken)
+    with pytest.raises(AssertionError, match="--out-of-core --seed 3"):
+        differential.check_out_of_core_seed(3, include_process=False)
 
 
 def test_seed_matrix_covers_surface():

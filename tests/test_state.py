@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import BalanceError, PartitioningError
-from repro.partitioning import PartitionState
+from repro.partitioning import PackedReplicaMatrix, PartitionState
 
 
 class TestConstruction:
@@ -150,6 +150,160 @@ class TestScatterEdges:
         # and the state is untouched by the rejected call
         assert state.sizes.tolist() == [0, 0, 0]
         assert not state.replicas.any()
+
+    @pytest.mark.parametrize("ps", [[1, 3], [0, -1], [99, 0]])
+    def test_out_of_range_partition_rejected_before_mutation(self, ps):
+        """Regression (ISSUE 7 satellite): an out-of-range partition id
+        used to surface as a raw ``IndexError`` *after* the replica
+        bits of the in-range edges had already been scattered."""
+        state = PartitionState(6, 3, 12)
+        with pytest.raises(PartitioningError, match=r"\[0, 3\)"):
+            state.scatter_edges([0, 1], [2, 3], ps)
+        # validated up front: nothing was half-applied
+        assert state.sizes.tolist() == [0, 0, 0]
+        assert not state.replicas.any()
+
+
+class TestPackedReplicaMatrix:
+    """Bit-packed replica rows vs the dense bool matrix (ISSUE 7).
+
+    Property tests: under identical random assignments every metric,
+    the dirty-delta barrier and the shared-memory round trip must agree
+    with the dense representation bit for bit, while the replica
+    storage shrinks ~8x.
+    """
+
+    @staticmethod
+    def _random_pair(seed, n=40, k=11, m=400):
+        dense = PartitionState(n, k, m, alpha=1.5)
+        packed = PartitionState(n, k, m, alpha=1.5, packed=True)
+        rng = np.random.default_rng(seed)
+        for _ in range(6):
+            c = int(rng.integers(1, 30))
+            us = rng.integers(0, n, size=c)
+            vs = rng.integers(0, n, size=c)
+            ps = rng.integers(0, k, size=c)
+            dense.scatter_edges(us, vs, ps)
+            packed.scatter_edges(us, vs, ps)
+        return dense, packed
+
+    @pytest.mark.parametrize("seed", [0, 1, 5, 9])
+    @pytest.mark.parametrize("k", [2, 8, 9, 16, 17, 33])
+    def test_metrics_match_dense(self, seed, k):
+        dense, packed = self._random_pair(seed, k=k)
+        assert isinstance(packed.replicas, PackedReplicaMatrix)
+        np.testing.assert_array_equal(
+            np.asarray(packed.replicas), dense.replicas
+        )
+        np.testing.assert_array_equal(
+            packed.replica_counts(), dense.replica_counts()
+        )
+        np.testing.assert_array_equal(
+            packed.vertex_cover_sizes(), dense.vertex_cover_sizes()
+        )
+        assert packed.replication_factor() == dense.replication_factor()
+        np.testing.assert_array_equal(packed.sizes, dense.sizes)
+
+    def test_nbytes_shrinks_eightfold_at_k32(self):
+        dense = PartitionState(1000, 32, 10)
+        packed = PartitionState(1000, 32, 10, packed=True)
+        assert packed.replicas.nbytes * 8 == dense.replicas.nbytes
+        assert dense.nbytes() / packed.nbytes() > 6.0
+
+    def test_tail_bits_stay_zero_off_byte_boundary(self):
+        state = PartitionState(4, 9, 10, packed=True)
+        us = np.arange(4)
+        state.scatter_edges(us, us[::-1], np.full(4, 8))
+        raw = state.replicas.packed
+        assert raw.shape == (4, 2)  # 9 bits -> 2 bytes per row
+        assert (raw[:, 1] == 1).all()  # partition 8 = bit 0 of byte 1
+        assert np.asarray(state.replicas).shape == (4, 9)
+
+    def test_duplicate_bits_in_one_scatter(self):
+        # Duplicate (vertex, partition) pairs inside one chunk must all
+        # land (the packed write path cannot use buffered fancy |=).
+        dense = PartitionState(6, 9, 20)
+        packed = PartitionState(6, 9, 20, packed=True)
+        us = np.array([0, 0, 0, 2])
+        vs = np.array([1, 1, 3, 2])
+        ps = np.array([3, 8, 3, 0])
+        dense.scatter_edges(us, vs, ps)
+        packed.scatter_edges(us, vs, ps)
+        np.testing.assert_array_equal(
+            np.asarray(packed.replicas), dense.replicas
+        )
+
+    def test_assign_and_single_bit_reads(self):
+        state = PartitionState(4, 9, 10, packed=True)
+        state.assign(0, 1, 8)
+        assert state.replicas[0, 8] and state.replicas[1, 8]
+        assert not state.replicas[0, 0]
+
+    def test_bit_clear_writes_rejected(self):
+        state = PartitionState(4, 9, 10, packed=True)
+        with pytest.raises(PartitioningError):
+            state.replicas[0, 1] = False
+
+    @pytest.mark.parametrize("seed", [0, 3, 8])
+    def test_dirty_delta_merge_matches_dense(self, seed):
+        from repro.partitioning.state import merge_replica_deltas
+
+        n, k, m = 30, 11, 300
+        rng = np.random.default_rng(seed)
+
+        def build(packed):
+            state = PartitionState(n, k, m, packed=packed)
+            views = [
+                PartitionState(n, k, m, track_dirty=True, packed=packed)
+                for _ in range(3)
+            ]
+            return state, views
+
+        dense_state, dense_views = build(False)
+        packed_state, packed_views = build(True)
+        for _ in range(3):
+            for dv, pv in zip(dense_views, packed_views):
+                c = int(rng.integers(0, 15))
+                if not c:
+                    continue
+                us = rng.integers(0, n, size=c)
+                vs = rng.integers(0, n, size=c)
+                ps = rng.integers(0, k, size=c)
+                for view in (dv, pv):
+                    view.scatter_edges(us, vs, ps)
+                    view.mark_dirty(us)
+                    view.mark_dirty(vs)
+            rows_dense = merge_replica_deltas(dense_state, dense_views)
+            rows_packed = merge_replica_deltas(packed_state, packed_views)
+            assert rows_dense == rows_packed
+            np.testing.assert_array_equal(
+                np.asarray(packed_state.replicas), dense_state.replicas
+            )
+            np.testing.assert_array_equal(
+                packed_state.sizes, dense_state.sizes
+            )
+            for dv, pv in zip(dense_views, packed_views):
+                np.testing.assert_array_equal(
+                    np.asarray(pv.replicas), dv.replicas
+                )
+                assert not pv.dirty.any()
+
+    def test_shared_packed_round_trip(self):
+        creator = PartitionState.from_shared(8, 11, 20, packed=True)
+        try:
+            attacher = PartitionState.attach(
+                creator.shm_name, 8, 11, 20, packed=True
+            )
+            creator.scatter_edges([0, 1], [2, 3], [8, 10])
+            assert attacher.replicas[0, 8] and attacher.replicas[3, 10]
+            assert attacher.sizes[8] == 1 and attacher.sizes[10] == 1
+            assert PartitionState.shared_nbytes(8, 11, packed=True) < (
+                PartitionState.shared_nbytes(8, 11)
+            )
+            attacher.close()
+        finally:
+            creator.close()
+            creator.unlink()
 
 
 class TestSharedMemoryState:

@@ -119,6 +119,24 @@ class TestPageCache:
         cache.read("b", 80)
         assert cache.resident_bytes() <= 100
 
+    def test_admission_never_shrinks_residency(self):
+        """Regression (ISSUE 7 satellite): when the shared budget drops
+        below a file's already-cached bytes (``capacity_bytes`` cut
+        mid-run, modeling memory pressure), re-admission used to clamp
+        the file *down* to the new budget — silently evicting bytes
+        that were already resident and had been served as hits."""
+        cache = PageCache(capacity_bytes=200)
+        cache.begin_pass("f")
+        cache.read("f", 120)
+        assert cache.resident_bytes("f") == 120
+        cache.capacity_bytes = 100  # memory pressure: budget cut
+        cache.begin_pass("f")
+        hit, miss = cache.read("f", 130)
+        assert (hit, miss) == (120, 10)
+        # The miss re-admits "f"; residency must stay at 120, not
+        # shrink to the 100-byte budget.
+        assert cache.resident_bytes("f") == 120
+
     def test_rejects_negative_capacity(self):
         with pytest.raises(StorageError):
             PageCache(capacity_bytes=-1)

@@ -115,6 +115,97 @@ class TestFileStream:
             list(FileEdgeStream(graph_file).chunks(chunk_size=-1))
 
 
+class TestPrefetchStream:
+    """Double-buffered prefetching ``FileEdgeStream`` (out-of-core tier).
+
+    The contract (see ``repro.streaming.stream``): a prefetching stream
+    yields the identical chunk sequence, IOStats and device charges as
+    the synchronous stream — accounting happens on the consumer side —
+    and reader-thread failures surface in the consumer, not in a dead
+    background thread.
+    """
+
+    @pytest.fixture
+    def graph_file(self, tmp_path, powerlaw_graph):
+        path = tmp_path / "pf.bin"
+        write_binary_edge_list(powerlaw_graph, path)
+        return path
+
+    def test_chunks_match_sync(self, graph_file):
+        sync = list(FileEdgeStream(graph_file).chunks(chunk_size=97))
+        pre = list(
+            FileEdgeStream(graph_file, prefetch=True).chunks(chunk_size=97)
+        )
+        assert len(pre) == len(sync)
+        for a, b in zip(sync, pre):
+            assert np.array_equal(a, b)
+
+    def test_window_matches_sync(self, graph_file):
+        sync = list(FileEdgeStream(graph_file).window(7, 301, chunk_size=13))
+        pre = list(
+            FileEdgeStream(graph_file, prefetch=True).window(
+                7, 301, chunk_size=13
+            )
+        )
+        assert len(pre) == len(sync)
+        for a, b in zip(sync, pre):
+            assert np.array_equal(a, b)
+
+    def test_iostats_match_sync(self, graph_file):
+        sync = FileEdgeStream(graph_file)
+        pre = FileEdgeStream(graph_file, prefetch=True)
+        for _ in range(2):
+            list(sync.chunks(chunk_size=64))
+            list(pre.chunks(chunk_size=64))
+        assert pre.stats.passes == sync.stats.passes
+        assert pre.stats.edges_read == sync.stats.edges_read
+        assert pre.stats.bytes_read == sync.stats.bytes_read
+
+    def test_device_charges_match_sync(self, graph_file):
+        dev_sync = ssd_device()
+        dev_pre = ssd_device()
+        list(FileEdgeStream(graph_file, device=dev_sync).chunks())
+        list(
+            FileEdgeStream(graph_file, device=dev_pre, prefetch=True).chunks()
+        )
+        assert dev_pre.clock.elapsed == pytest.approx(dev_sync.clock.elapsed)
+        assert dev_pre.clock.elapsed > 0
+
+    def test_early_close_does_not_hang(self, graph_file):
+        """Abandoning a pass mid-stream must stop and join the reader
+        thread (generator ``finally``), leaving the stream reusable."""
+        stream = FileEdgeStream(graph_file, prefetch=True)
+        it = stream.chunks(chunk_size=8)
+        next(it)
+        it.close()
+        total = sum(c.shape[0] for c in stream.chunks(chunk_size=64))
+        assert total == stream.n_edges
+
+    def test_reader_errors_propagate(self, tmp_path, powerlaw_graph):
+        path = tmp_path / "trunc.bin"
+        write_binary_edge_list(powerlaw_graph, path)
+        stream = FileEdgeStream(path, prefetch=True)
+        # Corrupt the file *after* construction-time validation: the
+        # background reader hits the short read and the consumer must
+        # re-raise its StreamError instead of ending the pass quietly.
+        with open(path, "r+b") as fh:
+            fh.truncate(powerlaw_graph.n_edges * 8 - 4)
+        with pytest.raises(StreamError, match="truncated"):
+            list(stream.chunks(chunk_size=32))
+
+    def test_spec_round_trip_carries_prefetch(self, graph_file, powerlaw_graph):
+        import pickle
+
+        stream = FileEdgeStream(graph_file, prefetch=True)
+        spec, segment = make_stream_spec(stream)
+        assert segment is None
+        reopened = pickle.loads(pickle.dumps(spec)).open()
+        assert reopened.prefetch is True
+        assert np.array_equal(
+            np.concatenate(list(reopened.chunks())), powerlaw_graph.edges
+        )
+
+
 class TestAsStream:
     def test_graph_coerced(self, toy_graph):
         stream = as_stream(toy_graph)
@@ -355,6 +446,17 @@ class TestAutoChunkSize:
 
     def test_none_vertices_skips_the_cap(self):
         assert auto_chunk_size(None, 8) == auto_chunk_size(10**9, 8)
+
+    def test_zero_vertices_is_a_hint_not_no_hint(self):
+        """Regression (ISSUE 7 satellite): ``n_vertices=0`` used to fall
+        through a truthiness check and skip the ``4 * |V|`` cap, sizing
+        a degenerate stream's chunks like an unhinted one."""
+        assert auto_chunk_size(0, 8) == AUTO_CHUNK_MIN
+        assert auto_chunk_size(0, 8) != auto_chunk_size(None, 8)
+
+    def test_tiny_vertex_counts_take_the_cap(self):
+        assert auto_chunk_size(1, 8) == AUTO_CHUNK_MIN  # 4*1, clamped up
+        assert auto_chunk_size(2000, 8) == 4 * 2000
 
     def test_partition_accepts_auto(self, powerlaw_graph):
         from repro.core import TwoPhasePartitioner
