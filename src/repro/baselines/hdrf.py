@@ -13,25 +13,30 @@ Faithful details:
 - the hard balance cap is enforced by masking full partitions before the
   argmax (capacity bound alpha * |E| / k).
 
-The per-edge decision routes through the kernel layer's scoring twin
-(:meth:`repro.kernels.python_backend.PythonBackend.hdrf_choose`) — the
-single implementation of the HDRF argmax shared with the 2PS-HDRF
-remaining pass, so the score arithmetic can never diverge between the
-baseline and the two-phase variant.  One simulated "score evaluation" per
-partition per edge is charged to the cost counter, preserving the
-O(|E| * k) operation count.
+The whole pass dispatches through the kernel registry
+(:meth:`repro.kernels.base.KernelBackend.hdrf_baseline_pass`): the
+``python`` backend streams edge-at-a-time through the scoring twin
+``PythonBackend.hdrf_choose`` (shared with the 2PS-HDRF remaining pass,
+so the score arithmetic can never diverge between the baseline and the
+two-phase variant), the ``numpy`` backend runs the same decisions through
+the speculate-verify-repair block machinery, and the ``numba`` backends
+run a compiled per-edge argmax — all bit-exact by the backend contract.
+One simulated "score evaluation" per partition per edge is charged to the
+cost counter, preserving the O(|E| * k) operation count.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.scoring import HDRF_EPSILON
-from repro.kernels.python_backend import PythonBackend
+from repro.kernels import get_backend
 from repro.metrics.memory import measured_state_bytes
 from repro.metrics.runtime import CostCounter, PhaseTimer
 from repro.partitioning.base import EdgePartitioner, PartitionResult
 from repro.partitioning.state import PartitionState
+from repro.kernels.base import TwoPhaseContext
+
+_EMPTY = np.zeros(0, dtype=np.int64)
 
 
 class HDRF(EdgePartitioner):
@@ -41,50 +46,54 @@ class HDRF(EdgePartitioner):
     ----------
     lam:
         Weight of the balance term (paper: 1.1).
+    backend:
+        Kernel backend name (``None`` -> registry default); validated
+        eagerly so an unknown name fails at construction.
+    chunk_size:
+        Stream chunk size for this run (``None`` keeps the stream's
+        default, ``"auto"`` resolves the size heuristic) — a pure
+        performance knob, like everywhere else in the kernel layer.
     """
 
     name = "HDRF"
+    backend: str | None = None
+    chunk_size: int | None = None
 
-    def __init__(self, lam: float = 1.1) -> None:
+    def __init__(
+        self,
+        lam: float = 1.1,
+        backend: str | None = None,
+        chunk_size: int | str | None = None,
+    ) -> None:
         self.lam = float(lam)
+        get_backend(backend)  # fail fast on unknown names
+        self.backend = backend
+        self.chunk_size = chunk_size
 
     def _run(self, stream, k: int, alpha: float) -> PartitionResult:
+        kernels = get_backend(self.backend)
         timer = PhaseTimer()
         cost = CostCounter()
         n = self._resolve_n_vertices(stream)
         m = stream.n_edges
         state = PartitionState(n, k, m, alpha)
         assignments = np.empty(m, dtype=np.int32)
-        partial_deg = [0] * n
-        replicas = state.replicas
-        sizes = np.zeros(k, dtype=np.float64)
-        capacity = state.capacity
-        lam = self.lam
-
-        choose = PythonBackend.hdrf_choose
+        # The baseline needs no clustering inputs; empty read-only arrays
+        # satisfy the context shape.
+        ctx = TwoPhaseContext(
+            k=k,
+            v2c=_EMPTY,
+            c2p=_EMPTY,
+            volumes=_EMPTY,
+            degrees=_EMPTY,
+            state=state,
+            assignments=assignments,
+            hash_seed=0,
+            cost=cost,
+            hdrf_lambda=self.lam,
+        )
         with timer.phase("partitioning"):
-            idx = 0
-            for chunk in stream.chunks():
-                for u, v in chunk.tolist():
-                    partial_deg[u] += 1
-                    partial_deg[v] += 1
-                    du = partial_deg[u]
-                    dv = partial_deg[v]
-                    theta_u = du / (du + dv)
-                    # C_REP + lambda * C_BAL over all k partitions at once.
-                    p = choose(
-                        replicas[u], replicas[v], theta_u, sizes, capacity,
-                        lam, HDRF_EPSILON,
-                    )
-                    sizes[p] += 1.0
-                    replicas[u, p] = True
-                    replicas[v, p] = True
-                    assignments[idx] = p
-                    idx += 1
-            cost.edges_streamed += m
-            cost.score_evaluations += m * k
-
-        state.sizes[:] = sizes.astype(np.int64)
+            partial_deg = kernels.hdrf_baseline_pass(stream, ctx)
         return PartitionResult(
             partitioner=self.name,
             k=k,
@@ -96,4 +105,5 @@ class HDRF(EdgePartitioner):
             timer=timer,
             cost=cost,
             state_bytes=measured_state_bytes(state, partial_deg),
+            extras={"backend": kernels.name},
         )

@@ -132,6 +132,12 @@ class ParallelTwoPhase(EdgePartitioner):
         replica matrix bit-packed (``ceil(k/8)`` bytes per row — the
         out-of-core memory tier).  A pure storage knob: results are
         bit-exact with dense state on every runner and backend.
+    tune:
+        ``"auto"`` enables the online auto-tuner (:mod:`repro.tuning`)
+        for every ``partition(...)`` call of this instance; ``None``
+        (default) disables it.  The tuner touches ``sync_interval`` only
+        in the semantics-free regime (``n_workers == 1`` or the serial
+        runner), so tuned runs stay bit-exact with untuned ones.
     """
 
     def __init__(
@@ -151,6 +157,7 @@ class ParallelTwoPhase(EdgePartitioner):
         start_method: str | None = None,
         task_timeout: float = 600.0,
         packed_state: bool = False,
+        tune: str | None = None,
     ) -> None:
         if n_workers < 1:
             raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
@@ -174,6 +181,10 @@ class ParallelTwoPhase(EdgePartitioner):
             raise ConfigurationError(
                 f"chunk_size must be positive or 'auto', got {chunk_size!r}"
             )
+        if tune not in (None, "auto"):
+            raise ConfigurationError(
+                f"tune must be None or 'auto', got {tune!r}"
+            )
         get_backend(backend)  # validate the name eagerly
         self.n_workers = int(n_workers)
         self.sync_interval = int(sync_interval)
@@ -190,6 +201,7 @@ class ParallelTwoPhase(EdgePartitioner):
         )
         self.parallel_phase1 = bool(parallel_phase1)
         self.packed_state = bool(packed_state)
+        self.tune = tune
         self.name = (
             "2PS-L-parallel" if mode == "linear" else "2PS-HDRF-parallel"
         )

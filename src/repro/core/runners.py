@@ -120,16 +120,53 @@ def _phase1_error(worker: int, step: str, exc: BaseException) -> PartitioningErr
 
 
 def cluster_id_capacity(n_edges: int, n_vertices: int, n_workers: int) -> int:
-    """Upper bound on cluster ids the parallel Phase 1 can ever allocate.
+    """Upper bound on live cluster ids any Phase-1 export can carry.
 
-    Each (worker, vertex) pair opens at most one fresh cluster — once a
-    vertex is assigned anywhere, the barrier refresh assigns it in every
-    view and assignments never revert to -1 — and every fresh cluster also
-    consumes one first-encounter of an edge endpoint in some worker's
-    shard, so the total is bounded by both ``n_workers * |V|`` and
-    ``2 * |E|``.
+    Every barrier compacts the merged clustering
+    (:func:`compact_clustering`), so a worker's next export is the
+    compacted base plus its own window's fresh clusters.  Both terms are
+    counted by *assigned vertices*: a live cluster has at least one
+    assigned member (clusters only exist through members, and parallel
+    clustering always folds true degrees, so a member contributes
+    positive volume), and each fresh cluster assigns one
+    snapshot-unassigned vertex — hence exports stay within ``|V|``.
+    Assigned vertices are also endpoint first-encounters of processed
+    edges, disjoint across shards, giving the ``2 * |E|`` bound.  The
+    no-merge single-worker path opens at most one cluster per vertex,
+    satisfying the same bound.  ``n_workers`` no longer enters the bound
+    (pre-compaction it contributed an ``n_workers * |V|`` term); the
+    parameter is kept so call sites document which run they size for.
     """
-    return min(2 * int(n_edges), int(n_workers) * int(n_vertices)) + 1
+    del n_workers  # bound is worker-count-free since barrier compaction
+    return min(2 * int(n_edges), int(n_vertices)) + 1
+
+
+def compact_clustering(
+    v2c: np.ndarray, volumes: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Drop zero-volume clusters, relabeling ids order-preservingly.
+
+    Merging per-worker clustering exports leaves behind clusters whose
+    members all migrated away (volume 0).  Compacting at every barrier
+    keeps the id space — and with it the fixed per-worker scratch of the
+    process runner (:func:`cluster_id_capacity`) — bounded by *live*
+    clusters instead of cumulative allocations.
+
+    Semantics-free by construction: assigned vertices always point at
+    live clusters (a member contributes positive volume), and the relabel
+    is monotone, so the volume ordering — all downstream consumers
+    (Graham scheduling, cluster-to-partition lookups) are order- or
+    id-composition-based — is preserved bit-exactly.
+    """
+    live = np.flatnonzero(volumes > 0)
+    if live.shape[0] == volumes.shape[0]:
+        return v2c, volumes
+    remap = np.full(volumes.shape[0], -1, dtype=np.int64)
+    remap[live] = np.arange(live.shape[0], dtype=np.int64)
+    assigned = v2c >= 0
+    out = v2c.copy()
+    out[assigned] = remap[v2c[assigned]]
+    return out, volumes[live]
 
 
 @dataclass
@@ -516,6 +553,7 @@ class _SimulatedSession(RunnerSession):
                     v2c_g, vol_g = kernels.merge_phase1_clustering(
                         v2c_g, vol_g, exports, degrees
                     )
+                    v2c_g, vol_g = compact_clustering(v2c_g, vol_g)
         return v2c_g, vol_g, syncs
 
     # ------------------------------------------------------------------
@@ -1055,6 +1093,7 @@ class _ProcessSession(RunnerSession):
                 v2c_g, vol_g = kernels.merge_phase1_clustering(
                     v2c_g, vol_g, exports, degrees
                 )
+                v2c_g, vol_g = compact_clustering(v2c_g, vol_g)
                 for header, v2c_view, vol_view in slots:
                     v2c_view[:] = v2c_g
                     vol_view[: vol_g.shape[0]] = vol_g

@@ -18,9 +18,15 @@ or as vectorized numpy array code:
 - ``numba`` — an *optional* compiled backend
   (:mod:`repro.kernels.numba_backend`): the numpy chunk orchestration
   with the serial conflict loops (Phase-1 clustering, the 2PS-L scoring
-  pass, the 2PS-HDRF argmax) replaced by ``numba.njit``-compiled
-  per-edge kernels.  Registered only when the numba import succeeds; see
-  *Optional backends* below for the fallback contract.
+  pass, the 2PS-HDRF argmax, the classic HDRF baseline) replaced by
+  ``numba.njit``-compiled per-edge kernels.  Registered only when the
+  numba import succeeds; see *Optional backends* below for the fallback
+  contract.
+- ``numba-parallel`` — ``numba`` plus ``numba.prange`` execution of the
+  conflict-free sub-batches (the 2PS-L scoring batch and the Phase-1
+  migration batch), registered and missing together with ``numba``.
+  See *Parallel sub-batch determinism* below for the rules that keep it
+  bit-exact.
 
 Backend contract
 ----------------
@@ -60,6 +66,50 @@ whenever any partition could hit the hard balance cap inside it (the
 remaining capacity ``capacity - max(sizes)`` is smaller than the block's
 candidate count), because cap overflow makes decisions order-dependent
 through the masking / hash / least-loaded fallback chains.
+
+Parallel sub-batch determinism
+------------------------------
+A backend may execute a conflict-free sub-batch with *thread-level*
+parallelism (the ``numba-parallel`` backend runs the hooks
+``_apply_remaining_batch`` and ``_migrate_batch`` under
+``numba.prange``) only under these rules, which make the schedule
+unobservable:
+
+- every parallel row must read and write state no other row of the
+  region touches — exactly the conflict-freedom invariant the sub-batch
+  filters already establish (pairwise-disjoint endpoint replica rows for
+  scoring; block-unique vertices *and* block-private clusters for
+  Phase-1 migration);
+- any cross-row aggregate must be an **order-insensitive reduction**
+  (integer sums, ``np.bincount`` over the per-row outputs) or must be
+  serialized outside the parallel region — float accumulation across
+  rows is *not* order-insensitive and is therefore banned inside a
+  parallel region;
+- when the parallel runtime is absent the same kernel body must run
+  serially (``prange`` degrades to ``range``), so the fallback is
+  deterministic by construction, not by luck.
+
+Under these rules parallel execution is bit-identical to the serial
+backends for every schedule and thread count;
+``tests/test_numba_backend.py`` pins ``numba-parallel`` against
+``numba`` and the reference.
+
+Auto-tuning determinism
+-----------------------
+The probe-window tuner (:mod:`repro.tuning`, ``tune="auto"``) picks
+``{backend, chunk_size, sync_interval}`` before a run.  Its contract:
+
+- decisions are pure functions of the probe data, the declared stream
+  shape (``|E|``, ``|V|``, ``k``), the seed, and the *set* of available
+  backends — never of wall-clock measurements — so a fixed seed + stream
+  always yields the same decision;
+- every knob it may change is semantics-free under the contracts above:
+  backends are bit-exact by this package's contract, ``chunk_size`` is a
+  pure performance knob, and ``sync_interval`` is only tuned when it
+  cannot change results (single-worker or serial-runner schedules);
+- therefore a tuned run is bit-exact with the corresponding untuned run
+  — enforced by the differential harness's ``tune`` dimension
+  (``tests/differential.py``).
 
 Phase-1 merge ops (parallel barriers)
 -------------------------------------
@@ -137,7 +187,8 @@ Writing a backend
 2. Override any subset of the pass methods: ``degree_pass``,
    ``clustering_true_pass``, ``clustering_partial_pass``,
    ``prepartition_pass``, ``remaining_pass_linear``,
-   ``remaining_pass_hdrf``, ``stateless_pass``.  Keep the serial fallback
+   ``remaining_pass_hdrf``, ``hdrf_baseline_pass``, ``stateless_pass``.
+   Keep the serial fallback
    path for conflicting edges — that is what makes correctness local —
    and route order-sensitive decisions through the shared twins
    (``PythonBackend._fallback_partition`` for the hash/least-loaded
@@ -304,13 +355,16 @@ def _register_optional_backends() -> None:
 
     if numba_backend.numba_available():
         register_backend("numba", numba_backend.NumbaBackend)
+        register_backend("numba-parallel", numba_backend.NumbaParallelBackend)
     else:
-        _REGISTRY.pop("numba", None)
-        _INSTANCES.pop("numba", None)
-        _MISSING["numba"] = (
+        reason = (
             numba_backend.unavailable_reason() or "numba is not installed"
         )
-        _FALLBACK_WARNED.discard("numba")
+        for name in ("numba", "numba-parallel"):
+            _REGISTRY.pop(name, None)
+            _INSTANCES.pop(name, None)
+            _MISSING[name] = reason
+            _FALLBACK_WARNED.discard(name)
 
 
 register_backend("python", PythonBackend)

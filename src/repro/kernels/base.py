@@ -278,5 +278,27 @@ class KernelBackend(ABC):
     def remaining_pass_hdrf(self, stream, ctx: TwoPhaseContext) -> None:
         """2PS-HDRF: full HDRF scoring over all k partitions."""
 
+    # ------------------------------------------------------------------
+    # Classic streaming baselines
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def hdrf_baseline_pass(self, stream, ctx: TwoPhaseContext) -> np.ndarray:
+        """The classic HDRF baseline (CIKM'15) in one streaming pass.
+
+        Unlike :meth:`remaining_pass_hdrf`, every edge participates (there
+        is no pre-partitioning), and the degrees feeding ``theta`` are
+        *partial*: each endpoint's counter is incremented before the edge
+        is scored, exactly as in the original algorithm.  The increments
+        are decision-independent, so a batched backend may reconstruct the
+        per-edge partial degrees ahead of the decisions.
+
+        ``ctx.v2c``/``c2p``/``volumes``/``degrees`` are unused (pass empty
+        arrays); ``ctx.state``, ``ctx.assignments`` and ``ctx.cost`` are
+        mutated in place (``edges_streamed += |E|`` and
+        ``score_evaluations += k * |E|``, preserving the baseline's
+        O(|E| * k) operation count).  Returns the final int64 partial-
+        degree array (for the caller's state-bytes accounting).
+        """
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} name={self.name!r}>"

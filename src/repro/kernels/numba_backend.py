@@ -367,11 +367,147 @@ def _remaining_hdrf_kernel(
     return n_rem
 
 
+def _hdrf_baseline_kernel(
+    us, vs, partial, replicas, sizes, capacity, k, lam, eps, assignments
+):
+    """Classic HDRF baseline over one chunk (CIKM'15).
+
+    The ``remaining_hdrf`` argmax with two differences that make it the
+    baseline: partial degrees are bumped before each edge is scored
+    (``theta`` uses the running counters, not frozen true degrees), and
+    every edge participates — there is no pre-partitioning filter.
+    """
+    for i in range(us.shape[0]):
+        u = us[i]
+        v = vs[i]
+        partial[u] += 1
+        partial[v] += 1
+        du = partial[u]
+        dv = partial[v]
+        theta_u = du / (du + dv)
+        tu = 2.0 - theta_u
+        tv = 1.0 + theta_u
+        maxs = sizes[0]
+        mins = sizes[0]
+        for q in range(1, k):
+            s = sizes[q]
+            if s > maxs:
+                maxs = s
+            if s < mins:
+                mins = s
+        max_f = float(maxs)
+        denom = (eps + max_f) - float(mins)
+        best_p = 0
+        best_s = -np.inf
+        for q in range(k):
+            if sizes[q] >= capacity:
+                score = -np.inf
+            else:
+                rep = 0.0
+                if replicas[u, q]:
+                    rep += tu
+                if replicas[v, q]:
+                    rep += tv
+                score = rep + (lam * (max_f - float(sizes[q]))) / denom
+            if q == 0 or score > best_s:
+                best_p = q
+                best_s = score
+        sizes[best_p] += 1
+        replicas[u, best_p] = True
+        replicas[v, best_p] = True
+        assignments[i] = best_p
+    return 0
+
+
+#: Interpreted-mode stand-in for ``numba.prange``; rebound to the real
+#: ``numba.prange`` by ``_kernel_table`` before the parallel bodies are
+#: jitted.  Plain ``range`` keeps the interpreted kernels serial — the
+#: documented deterministic fallback of the ``numba-parallel`` backend.
+prange = range
+
+
+def _remaining_batch_kernel(
+    bu, bv, bp1, bp2, br1, br2, btu, btv, replicas, out_p
+):
+    """Conflict-free sub-batch of the 2PS-L scoring pass, row-parallel.
+
+    The caller guarantees pairwise-disjoint endpoint pairs, so each row
+    reads and writes replica rows no other row touches — iterations are
+    independent and the ``prange`` schedule cannot change results.  Size
+    updates and assignment scatters stay with the caller (order-
+    insensitive reductions, per the package determinism rules).
+    """
+    for i in prange(bu.shape[0]):
+        u = bu[i]
+        v = bv[i]
+        p1 = bp1[i]
+        p2 = bp2[i]
+        # Same association order as the reference: ratio, +u, +v.
+        s1 = br1[i]
+        if replicas[u, p1]:
+            s1 += btu[i]
+        if replicas[v, p1]:
+            s1 += btv[i]
+        s2 = br2[i]
+        if replicas[u, p2]:
+            s2 += btu[i]
+        if replicas[v, p2]:
+            s2 += btv[i]
+        p = p1 if s1 >= s2 else p2
+        replicas[u, p] = True
+        replicas[v, p] = True
+        out_p[i] = p
+    return 0
+
+
+def _cluster_migrate_kernel(v2c, vols, deg, u, v, cu, cv, cap):
+    """Conflict-free Algorithm-1 migrations, row-parallel.
+
+    The caller guarantees block-unique vertices and block-private
+    cluster ids, so each row's volume reads/writes touch clusters no
+    other row can reach; the applied count is a scalar ``+`` reduction
+    (order-insensitive by integer associativity).
+    """
+    applied = 0
+    for i in prange(u.shape[0]):
+        vol_u = vols[cu[i]]
+        vol_v = vols[cv[i]]
+        du = deg[u[i]]
+        dv = deg[v[i]]
+        if vol_u <= cap and vol_v <= cap:
+            # v_s: endpoint whose cluster (without it) is smaller.
+            if vol_u - du <= vol_v - dv:
+                vs_ = u[i]
+                cs = cu[i]
+                cl = cv[i]
+                ds = du
+            else:
+                vs_ = v[i]
+                cs = cv[i]
+                cl = cu[i]
+                ds = dv
+            if vols[cl] + ds <= cap:
+                vols[cl] += ds
+                vols[cs] -= ds
+                v2c[vs_] = cl
+                applied += 1
+    return applied
+
+
 _KERNEL_BODIES = {
     "cluster_true": _cluster_true_kernel,
     "cluster_partial": _cluster_partial_kernel,
     "remaining_linear": _remaining_linear_kernel,
     "remaining_hdrf": _remaining_hdrf_kernel,
+    "hdrf_baseline": _hdrf_baseline_kernel,
+}
+
+#: Bodies compiled with ``parallel=True`` (``prange`` over independent
+#: rows).  Kept apart from the serial bodies so the jit options differ;
+#: interpreted mode serves them as-is (``prange`` is ``range`` then).
+_PARALLEL_KERNEL_BODIES = {
+    "remaining_batch": _remaining_batch_kernel,
+    "cluster_migrate": _cluster_migrate_kernel,
 }
 
 _KERNELS: dict | None = None
@@ -390,16 +526,30 @@ def _kernel_table() -> dict:
     monkeypatched-absence tests) the table rebuilds instead of serving
     kernels from the stale mode.
     """
-    global _KERNELS, _KERNELS_SOURCE
+    global _KERNELS, _KERNELS_SOURCE, prange
     numba = load_numba()
     if _KERNELS is None or _KERNELS_SOURCE is not numba:
         if numba is None:
             _KERNELS = dict(_KERNEL_BODIES)
+            _KERNELS.update(_PARALLEL_KERNEL_BODIES)
         else:
+            # Rebind the module-global ``prange`` before jitting: numba
+            # resolves globals at compile time, so the parallel bodies
+            # pick up the real ``numba.prange`` (outside jitted code it
+            # degrades to ``range``, keeping interpreted reuse safe).
+            prange = numba.prange
             _KERNELS = {
                 name: numba.njit(cache=True, fastmath=False)(body)
                 for name, body in _KERNEL_BODIES.items()
             }
+            _KERNELS.update(
+                {
+                    name: numba.njit(
+                        cache=True, fastmath=False, parallel=True
+                    )(body)
+                    for name, body in _PARALLEL_KERNEL_BODIES.items()
+                }
+            )
         _KERNELS_SOURCE = numba
     return _KERNELS
 
@@ -532,3 +682,110 @@ class NumbaBackend(NumpyBackend):
             idx += c
         ctx.cost.score_evaluations += ctx.k * n_rem
         ctx.cost.edges_streamed += stream.n_edges
+
+    # ------------------------------------------------------------------
+    # Classic streaming baselines (compiled per-edge argmax loop)
+    # ------------------------------------------------------------------
+    def hdrf_baseline_pass(self, stream, ctx) -> np.ndarray:
+        if not isinstance(ctx.state.replicas, np.ndarray):
+            # Same packed-state fallback as the remaining passes.
+            return super().hdrf_baseline_pass(stream, ctx)
+        from repro.core.scoring import HDRF_EPSILON
+
+        kernel = _kernel_table()["hdrf_baseline"]
+        partial = np.zeros(int(ctx.state.n_vertices), dtype=np.int64)
+        replicas = ctx.state.replicas
+        sizes = ctx.state.sizes
+        capacity = int(ctx.state.capacity)
+        lam = float(ctx.hdrf_lambda)
+        idx = 0
+        for chunk in stream.chunks():
+            c = chunk.shape[0]
+            if c:
+                kernel(
+                    np.ascontiguousarray(chunk[:, 0]),
+                    np.ascontiguousarray(chunk[:, 1]),
+                    partial,
+                    replicas,
+                    sizes,
+                    capacity,
+                    ctx.k,
+                    lam,
+                    HDRF_EPSILON,
+                    ctx.assignments[idx : idx + c],
+                )
+            idx += c
+        ctx.cost.score_evaluations += ctx.k * stream.n_edges
+        ctx.cost.edges_streamed += stream.n_edges
+        return partial
+
+
+class NumbaParallelBackend(NumbaBackend):
+    """``numba`` plus ``prange`` over the conflict-free sub-batches.
+
+    The serial compiled loops of :class:`NumbaBackend` are already the
+    fastest path for the conflict-*dominated* work; what they leave on
+    the table is the conflict-free share the ``numpy`` backend batches —
+    those rows are provably order-independent, so they can run on all
+    cores.  This backend therefore routes the 2PS-L remaining pass and
+    the Phase-1 true-degree pass through the *numpy* sub-batch
+    orchestration and overrides exactly the two conflict-free hooks with
+    ``parallel=True`` kernels (``prange`` over rows); the serial residue
+    of each block still runs the reference kernels.  Determinism: every
+    parallel region writes disjoint state per row and all reductions are
+    order-insensitive (see the package determinism rules), so results
+    are bit-identical to the serial ``numba`` backend — pinned by
+    ``tests/test_numba_backend.py``.  Without numba the hooks run
+    interpreted with ``prange == range``: the documented serial
+    fallback.
+    """
+
+    name = "numba-parallel"
+
+    # ------------------------------------------------------------------
+    # Phase 1: numpy sub-batch orchestration + parallel migration hook
+    # ------------------------------------------------------------------
+    def clustering_true_pass(self, stream, st, cap, cost) -> None:
+        # Bypass NumbaBackend's serial compiled loop: the numpy blocked
+        # pass extracts the conflict-free migrations this backend
+        # parallelizes.
+        NumpyBackend.clustering_true_pass(self, stream, st, cap, cost)
+
+    def _migrate_batch(self, v2c, vol, deg, u, v, cu, cv, cap) -> int:
+        kernel = _kernel_table()["cluster_migrate"]
+        return int(
+            kernel(v2c, vol.view(), deg, u, v, cu, cv, float(cap))
+        )
+
+    # ------------------------------------------------------------------
+    # Phase 2: numpy sub-batch orchestration + parallel batch hook
+    # ------------------------------------------------------------------
+    def remaining_pass_linear(self, stream, ctx) -> None:
+        NumpyBackend.remaining_pass_linear(self, stream, ctx)
+
+    def _apply_remaining_batch(
+        self, ctx, bu, bv, bp1, bp2, br1, br2, btu, btv
+    ) -> np.ndarray:
+        replicas = ctx.state.replicas
+        if not isinstance(replicas, np.ndarray):
+            # Bit-packed replica state: the compiled kernel addresses a
+            # dense bool matrix; the numpy hook speaks the packed
+            # indexing protocol and is bit-exact by contract.
+            return super()._apply_remaining_batch(
+                ctx, bu, bv, bp1, bp2, br1, br2, btu, btv
+            )
+        kernel = _kernel_table()["remaining_batch"]
+        out_p = np.empty(bu.shape[0], dtype=np.int64)
+        kernel(
+            bu,
+            bv,
+            np.ascontiguousarray(bp1),
+            np.ascontiguousarray(bp2),
+            br1,
+            br2,
+            btu,
+            btv,
+            replicas,
+            out_p,
+        )
+        return out_p

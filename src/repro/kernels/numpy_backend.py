@@ -580,32 +580,42 @@ class NumpyBackend(PythonBackend):
         )
         batch = ~conflict
         if batch.any():
-            replicas = ctx.state.replicas
             bu = ru[batch]
             bv = rv[batch]
-            bp1 = rp1[batch]
-            bp2 = rp2[batch]
-            # Same association order as the reference: ratio, +u, +v.
-            s1 = (
-                r1[batch]
-                + replicas[bu, bp1] * term_u[batch]
-                + replicas[bv, bp1] * term_v[batch]
+            p = self._apply_remaining_batch(
+                ctx, bu, bv, rp1[batch], rp2[batch],
+                r1[batch], r2[batch], term_u[batch], term_v[batch],
             )
-            s2 = (
-                r2[batch]
-                + replicas[bu, bp2] * term_u[batch]
-                + replicas[bv, bp2] * term_v[batch]
-            )
-            p = np.where(s1 >= s2, bp1, bp2)
             sizes += np.bincount(p, minlength=ctx.k)
-            replicas[bu, p] = True
-            replicas[bv, p] = True
             ctx.assignments[positions[batch]] = p
         if conflict.any():
             self._remaining_serial(
                 ctx, ru, rv, rp1, rp2, positions, r1, r2, term_u, term_v,
                 np.flatnonzero(conflict),
             )
+
+    def _apply_remaining_batch(
+        self, ctx, bu, bv, bp1, bp2, br1, br2, btu, btv
+    ) -> np.ndarray:
+        """Score and apply one conflict-free sub-batch of the linear
+        remaining pass; returns the chosen partitions.
+
+        The batch rows have pairwise-disjoint endpoint pairs (the caller
+        filtered on block-first appearance), so every row reads and
+        writes replica-matrix state no other row touches — the rows are
+        order-independent and a parallel backend may override this hook
+        with a ``prange`` kernel.  Size updates and assignment scatters
+        stay with the caller (order-insensitive reductions, per the
+        package determinism rules).
+        """
+        replicas = ctx.state.replicas
+        # Same association order as the reference: ratio, +u, +v.
+        s1 = br1 + replicas[bu, bp1] * btu + replicas[bv, bp1] * btv
+        s2 = br2 + replicas[bu, bp2] * btu + replicas[bv, bp2] * btv
+        p = np.where(s1 >= s2, bp1, bp2)
+        replicas[bu, p] = True
+        replicas[bv, p] = True
+        return p
 
     def _remaining_serial(
         self, ctx, ru, rv, rp1, rp2, positions, r1, r2, term_u, term_v,
@@ -861,6 +871,89 @@ class NumpyBackend(PythonBackend):
         ps = engine.run_serial(bu, bv, theta, start)
         ctx.assignments[positions[start:]] = ps
         engine.defer(bu[start:], bv[start:], ps)
+
+    # ------------------------------------------------------------------
+    # Classic streaming baselines
+    # ------------------------------------------------------------------
+    def hdrf_baseline_pass(self, stream, ctx: TwoPhaseContext) -> np.ndarray:
+        """Blocked classic HDRF via the speculate-verify-repair machinery.
+
+        The 2PS-HDRF block kernel takes a *per-edge* theta array, and the
+        baseline's partial-degree updates are decision-independent — so
+        the per-edge partial degrees at decision time can be
+        reconstructed exactly before any decision is made: each
+        endpoint's counter equals the pre-block count plus its inclusive
+        occurrence rank within the block (both endpoints of a self-loop
+        land on the same counter, handled by counting interleaved
+        endpoint slots).  With theta exact, :meth:`_hdrf_block` and the
+        scalar engine apply unchanged and the accepted decisions are
+        provably the serial reference ones.
+        """
+        from repro.core.scoring import HDRF_EPSILON
+
+        if ctx.hdrf_lambda <= 0.0:
+            # Same degenerate-balance demotion as remaining_pass_hdrf:
+            # the scalar engine's category collapse needs lam > 0.
+            return super().hdrf_baseline_pass(stream, ctx)
+        n = int(ctx.state.n_vertices)
+        engine = _HdrfScalarEngine(ctx, HDRF_EPSILON)
+        if stream.n_edges > 4 * n:
+            engine.pack_all()
+        partial = np.zeros(n, dtype=np.int64)
+        speculate = True
+        win_edges = 0
+        win_batched = 0
+        idx = 0
+        for chunk in stream.chunks():
+            c = chunk.shape[0]
+            if c == 0:
+                continue
+            u = np.ascontiguousarray(chunk[:, 0])
+            v = np.ascontiguousarray(chunk[:, 1])
+            positions = idx + np.arange(c)
+            for s in range(0, c, HDRF_BLOCK):
+                e = min(s + HDRF_BLOCK, c)
+                bu = u[s:e]
+                bv = v[s:e]
+                b = e - s
+                # Inclusive occurrence ranks over interleaved endpoint
+                # slots (u at even, v at odd positions), grouped by
+                # vertex id via one stable argsort.
+                ids = np.empty(2 * b, dtype=np.int64)
+                ids[0::2] = bu
+                ids[1::2] = bv
+                order = np.argsort(ids, kind="stable")
+                t = np.arange(2 * b)
+                gids = ids[order]
+                new_group = np.empty(2 * b, dtype=bool)
+                new_group[0] = True
+                new_group[1:] = gids[1:] != gids[:-1]
+                gstart = np.maximum.accumulate(np.where(new_group, t, 0))
+                inc = np.empty(2 * b, dtype=np.int64)
+                inc[order] = t - gstart + 1
+                # A self-loop bumps u's counter twice before scoring; its
+                # even slot only counted the first bump.
+                du = partial[bu] + inc[0::2] + (bu == bv)
+                dv = partial[bv] + inc[1::2]
+                theta = du / (du + dv)
+                batched = self._hdrf_block(
+                    ctx, engine, bu, bv, positions[s:e], theta,
+                    HDRF_EPSILON, speculate,
+                )
+                partial += np.bincount(ids, minlength=n)
+                if speculate:
+                    win_edges += b
+                    win_batched += batched
+                    if win_edges >= 8 * HDRF_BLOCK:
+                        # Rolling demotion, as in remaining_pass_hdrf.
+                        speculate = win_batched >= 0.25 * win_edges
+                        win_edges = 0
+                        win_batched = 0
+            idx += c
+        engine.flush()
+        ctx.cost.score_evaluations += ctx.k * stream.n_edges
+        ctx.cost.edges_streamed += stream.n_edges
+        return partial
 
 
 class _HdrfScalarEngine:

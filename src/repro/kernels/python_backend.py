@@ -399,3 +399,42 @@ class PythonBackend(KernelBackend):
         ctx.state.sizes[:] = sizes
         cost.score_evaluations += n_scored
         cost.edges_streamed += stream.n_edges
+
+    # ------------------------------------------------------------------
+    # Classic streaming baselines
+    # ------------------------------------------------------------------
+    def hdrf_baseline_pass(self, stream, ctx: TwoPhaseContext) -> np.ndarray:
+        """Classic HDRF (CIKM'15): partial-degree theta, full argmax."""
+        from repro.core.scoring import HDRF_EPSILON
+
+        replicas = ctx.state.replicas
+        capacity = ctx.state.capacity
+        sizes = ctx.state.sizes.tolist()
+        assignments = ctx.assignments
+        k, cost = ctx.k, ctx.cost
+        lam = ctx.hdrf_lambda
+        choose = self.hdrf_choose
+        sizes_np = np.asarray(sizes, dtype=np.float64)
+        partial = [0] * ctx.state.n_vertices
+        idx = 0
+        for chunk in stream.chunks():
+            for u, v in chunk.tolist():
+                partial[u] += 1
+                partial[v] += 1
+                du = partial[u]
+                dv = partial[v]
+                theta_u = du / (du + dv)
+                p = choose(
+                    replicas[u], replicas[v], theta_u, sizes_np, capacity,
+                    lam, HDRF_EPSILON,
+                )
+                sizes[p] += 1
+                sizes_np[p] += 1.0
+                replicas[u, p] = True
+                replicas[v, p] = True
+                assignments[idx] = p
+                idx += 1
+        ctx.state.sizes[:] = sizes
+        cost.score_evaluations += k * stream.n_edges
+        cost.edges_streamed += stream.n_edges
+        return np.asarray(partial, dtype=np.int64)

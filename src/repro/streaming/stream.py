@@ -78,7 +78,10 @@ def auto_chunk_size(n_vertices: int | None, k: int) -> int:
     clamped to ``[AUTO_CHUNK_MIN, AUTO_CHUNK_MAX]``.
 
     ``n_vertices=None`` (stream without a vertex-count hint) skips the
-    ``|V|`` cap and sizes purely from the budget.
+    ``|V|`` cap and sizes purely from the budget.  ``k`` is coerced to at
+    least 1 (degenerate requests still size sanely), and a ``k`` so large
+    that the budget division underflows to 0 lands on
+    :data:`AUTO_CHUNK_MIN` — the clamp, not the model, is the floor.
     """
     k = max(int(k), 1)
     per_edge = AUTO_CHUNK_EDGE_BYTES + 8 * k

@@ -17,6 +17,9 @@ contract of :mod:`repro.core.runners` on the **full final state**:
 - with ``n_workers=1`` the sharded schedule itself is byte-identical to
   the sequential pipeline (both phases — degrees, clustering, mapping,
   pre-partitioning, scoring);
+- the batched classic-HDRF baseline agrees across every backend, and —
+  on cases drawing ``tune=True`` — ``tune="auto"`` runs (both the
+  parallel matrix and the baseline) are byte-identical to untuned ones;
 - no shared-memory segment survives any process-runner session.
 
 The backend dimension is :func:`repro.kernels.available_backends`, so the
@@ -50,6 +53,7 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from repro.baselines import HDRF
 from repro.core import ParallelTwoPhase, TwoPhasePartitioner
 from repro.core.runners import live_shared_segments
 from repro.graph.generators import chung_lu_graph, rmat_graph
@@ -84,6 +88,13 @@ class DifferentialCase:
     mode: str
     clustering_passes: int
     parallel_phase1: bool
+    #: When True the parallel runs pass ``tune="auto"``: the auto-tuner
+    #: probes the stream and (with backend and chunk size pinned by the
+    #: case) may stretch ``sync_interval`` in the staleness-free regime.
+    #: Every contract below still compares those tuned runs against the
+    #: *untuned* sequential reference, so the sweep itself proves
+    #: tuned == untuned bit-exactness.
+    tune: bool = False
 
     def build_graph(self):
         if self.generator == "chung-lu":
@@ -124,6 +135,9 @@ def make_case(seed: int) -> DifferentialCase:
         clustering_passes=int(rng.integers(1, 3)),
         # Bias toward the sharded Phase 1 — the surface under test.
         parallel_phase1=bool(rng.integers(4) > 0),
+        # Drawn LAST so pre-existing seeds keep their scenarios (the
+        # fixed CI matrix stays meaningful across harness growth).
+        tune=bool(rng.integers(2)),
     )
 
 
@@ -140,11 +154,13 @@ def run_case(case: DifferentialCase, runner: str, backend: str):
     ).partition(
         case.build_graph(), case.k, alpha=case.alpha,
         chunk_size=case.chunk_size,
+        tune="auto" if case.tune else None,
     )
 
 
 def sequential_reference(case: DifferentialCase, backend: str):
-    """The sequential pipeline on the same scenario."""
+    """The sequential pipeline on the same scenario (never tuned: tuned
+    parallel runs are compared against it, proving tuned == untuned)."""
     return TwoPhasePartitioner(
         clustering_passes=case.clustering_passes,
         mode=case.mode,
@@ -152,6 +168,16 @@ def sequential_reference(case: DifferentialCase, backend: str):
     ).partition(
         case.build_graph(), case.k, alpha=case.alpha,
         chunk_size=case.chunk_size,
+    )
+
+
+def hdrf_baseline(
+    case: DifferentialCase, backend: str | None, tune: str | None = None
+):
+    """The classic-HDRF baseline on the scenario's graph/k/alpha."""
+    return HDRF(backend=backend).partition(
+        case.build_graph(), case.k, alpha=case.alpha,
+        chunk_size=case.chunk_size, tune=tune,
     )
 
 
@@ -223,7 +249,22 @@ def check_seed(
                 seq, results[sharded[0]],
                 f"sequential vs {sharded[0]} at n_workers=1",
             )
-        # Contract 5: nothing leaked.
+        # Contract 5: the batched HDRF baseline (kernel-registry
+        # dispatch) agrees across backends, and a tuned run — which may
+        # pick a different backend, all of them bit-exact — agrees with
+        # the untuned default.
+        hdrf_ref = hdrf_baseline(case, backends[0])
+        for backend in backends[1:]:
+            assert_full_state_equal(
+                hdrf_ref, hdrf_baseline(case, backend),
+                f"HDRF baseline {backends[0]} vs {backend}",
+            )
+        if case.tune:
+            assert_full_state_equal(
+                hdrf_ref, hdrf_baseline(case, None, tune="auto"),
+                "HDRF baseline untuned vs tuned",
+            )
+        # Contract 6: nothing leaked.
         leaked = sorted(live_shared_segments())
         assert not leaked, f"leaked shared-memory segments: {leaked}"
     except AssertionError as exc:

@@ -53,6 +53,74 @@ class TestHDRF:
         assert np.array_equal(result.state.replicas, expected)
 
 
+class TestHDRFBackends:
+    """Batched baseline bit-exactness across kernel backends (ISSUE 8).
+
+    The baseline pass dispatches through the kernel registry; the
+    vectorized ``numpy`` twin reconstructs partial degrees per block and
+    runs the speculate-verify-repair machinery, and must land on exactly
+    the per-edge reference decisions — assignments, replicas, sizes AND
+    the simulated cost counters.  (The numba twins are pinned in
+    ``tests/test_numba_backend.py``, where registration is managed.)
+    """
+
+    @staticmethod
+    def _identical(a, b):
+        np.testing.assert_array_equal(a.assignments, b.assignments)
+        np.testing.assert_array_equal(a.state.sizes, b.state.sizes)
+        np.testing.assert_array_equal(a.state.replicas, b.state.replicas)
+        assert a.cost == b.cost
+        assert a.state_bytes == b.state_bytes
+
+    @pytest.mark.parametrize("chunk_size", [1, 37, 4096, 10**6])
+    def test_numpy_matches_python(self, powerlaw_graph, chunk_size):
+        ref = HDRF(backend="python").partition(
+            powerlaw_graph, 8, chunk_size=chunk_size
+        )
+        out = HDRF(backend="numpy").partition(
+            powerlaw_graph, 8, chunk_size=chunk_size
+        )
+        self._identical(ref, out)
+
+    @pytest.mark.parametrize("lam", [0.0, 1.1, 2.5, 15.0])
+    def test_lambda_sweep_bit_exact(self, social_graph, lam):
+        ref = HDRF(lam=lam, backend="python").partition(social_graph, 6)
+        out = HDRF(lam=lam, backend="numpy").partition(social_graph, 6)
+        self._identical(ref, out)
+
+    def test_cap_pressure_bit_exact(self, powerlaw_graph):
+        """alpha=1.0 keeps the hard cap reachable, driving the masked
+        argmax and the repair path."""
+        ref = HDRF(backend="python").partition(
+            powerlaw_graph, 5, alpha=1.0, chunk_size=64
+        )
+        out = HDRF(backend="numpy").partition(
+            powerlaw_graph, 5, alpha=1.0, chunk_size=64
+        )
+        self._identical(ref, out)
+
+    def test_self_loops_bit_exact(self):
+        """Self-loops bump one partial degree twice (theta lands exactly
+        on 1/2); the batched degree reconstruction must reproduce it."""
+        rng = np.random.default_rng(13)
+        edges = rng.integers(0, 200, size=(3000, 2), dtype=np.int64)
+        loops = rng.random(3000) < 0.05
+        edges[loops, 1] = edges[loops, 0]
+        ref = HDRF(backend="python").partition(
+            edges, 4, n_vertices=200, chunk_size=101
+        )
+        out = HDRF(backend="numpy").partition(
+            edges, 4, n_vertices=200, chunk_size=101
+        )
+        self._identical(ref, out)
+
+    def test_unknown_backend_fails_at_construction(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            HDRF(backend="no-such-backend")
+
+
 class TestGreedy:
     def test_valid_partitioning(self, powerlaw_graph):
         result = Greedy().partition(powerlaw_graph, 8)

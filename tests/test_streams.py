@@ -458,6 +458,26 @@ class TestAutoChunkSize:
         assert auto_chunk_size(1, 8) == AUTO_CHUNK_MIN  # 4*1, clamped up
         assert auto_chunk_size(2000, 8) == 4 * 2000
 
+    def test_k_coerced_to_at_least_one(self):
+        """``k <= 1`` sizes like ``k=1`` — pure budget, no crash
+        (ISSUE 8 satellite)."""
+        from repro.streaming.stream import (
+            AUTO_CHUNK_CACHE_BUDGET,
+            AUTO_CHUNK_EDGE_BYTES,
+        )
+
+        expected = AUTO_CHUNK_CACHE_BUDGET // (AUTO_CHUNK_EDGE_BYTES + 8)
+        assert auto_chunk_size(None, 1) == expected
+        assert auto_chunk_size(None, 0) == expected
+        assert auto_chunk_size(None, -3) == expected
+
+    def test_huge_k_budget_underflow_lands_on_min(self):
+        """A ``k`` large enough that the budget division underflows to 0
+        must land on the MIN clamp, not return 0 (ISSUE 8 satellite)."""
+        huge_k = 1 << 21  # per-edge bytes > the whole cache budget
+        assert auto_chunk_size(None, huge_k) == AUTO_CHUNK_MIN
+        assert auto_chunk_size(10**9, huge_k) == AUTO_CHUNK_MIN
+
     def test_partition_accepts_auto(self, powerlaw_graph):
         from repro.core import TwoPhasePartitioner
 
