@@ -81,6 +81,17 @@ Exit status is non-zero unless every gate passes:
   recorded :class:`~repro.tuning.TuningDecision` summary makes the
   chosen ``{backend, chunk_size, sync_interval}`` part of the nightly
   trend line.
+- serving gates (``BENCH_serving.json``): the main run is persisted as a
+  :class:`~repro.serving.store.PartitionStore`, reopened memory-mapped,
+  and a seeded closed-loop load generator drives the
+  :class:`~repro.serving.service.LookupService` (hot-set-skewed vertex
+  routing, edge lookups with misses).  Every sampled lookup must be
+  bit-exact with the in-memory result and the CRC-32 sweep must pass
+  (always enforced); the batched-numpy path must reach >= 10x the
+  scalar path's lookups/s (always enforced — a same-host ratio); and
+  absolute lookups/s floors on both paths are enforced only on hosts
+  with >= 2 usable CPUs, recorded-but-skipped elsewhere, like the
+  parallel wall-clock gates.
 
 ``--smoke`` runs the same gates at a reduced scale (65k edges) with
 proportionally relaxed speedup thresholds, so CI can check the kernel
@@ -172,6 +183,25 @@ STORAGE_REDUCTION_GATE = 6.0
 #: per-chunk compute is too small to hide behind.
 PREFETCH_GATE = 1.02
 PREFETCH_SMOKE_GATE = 0.3
+
+#: Batched-over-scalar throughput ratio the lookup service must reach
+#: (ISSUE 9 acceptance gate; always enforced — both paths run on the
+#: same host back to back, so the ratio is host-independent).  The
+#: vectorized row-gather path beats the per-call python loop by ~two
+#: orders of magnitude; 10x leaves generous headroom.
+SERVING_BATCH_GATE = 10.0
+SERVING_BATCH_SMOKE_GATE = 10.0
+
+#: Absolute lookup-throughput floors (lookups/s) of the closed-loop load
+#: generator.  Wall-clock floors are host-dependent, so — like the
+#: parallel wall-clock gates — they are enforced only on hosts with
+#: >= 2 usable CPUs and record-but-skip elsewhere.  Floors sit ~4x
+#: below the measured container numbers, so they catch an
+#: order-of-magnitude serving regression without flaking on slow CI.
+SERVING_SCALAR_QPS_GATE = 20_000.0
+SERVING_SCALAR_QPS_SMOKE_GATE = 10_000.0
+SERVING_BATCHED_QPS_GATE = 1_000_000.0
+SERVING_BATCHED_QPS_SMOKE_GATE = 400_000.0
 
 SMOKE_SCALE = 12
 
@@ -878,6 +908,240 @@ def run_out_of_core_section(args, scale: int, smoke: bool, out: str) -> bool:
     return reduction_ok and prefetch_ok is not False
 
 
+def run_serving_section(
+    args, graph, sequential_result, smoke: bool, out: str
+) -> bool:
+    """The partition-serving tier -> ``BENCH_serving.json``.
+
+    Persists the main R-MAT run as a :class:`PartitionStore`, reopens it
+    memory-mapped, and drives a :class:`LookupService` with a **seeded
+    closed-loop load generator** (next query issued when the previous
+    answer lands): 90% of vertex queries hit a hot set — the skew the
+    LRU cache exists for — and 20% of edge queries miss.  Records
+    lookups/s plus p50/p99 latency for the scalar path and lookups/s for
+    the batched-numpy path.
+
+    Gates:
+
+    - bit-exactness (always enforced): every sampled lookup served off
+      the mmap-reopened store equals the answer derived directly from
+      the in-memory :class:`PartitionResult` (replica rows, routing,
+      edge ownership including misses), and the store's CRC-32 sweep
+      passes;
+    - batched >= ``SERVING_BATCH_GATE``x scalar lookups/s (always
+      enforced: a same-host ratio);
+    - absolute QPS floors on both paths, enforced only on hosts with
+      >= 2 usable CPUs (recorded-but-skipped elsewhere, like the
+      parallel wall-clock gates).
+
+    Returns True when every applicable gate passes.
+    """
+    from repro.serving import LookupService, PartitionStore
+
+    cpus = usable_cpus()
+    batch_gate = SERVING_BATCH_SMOKE_GATE if smoke else SERVING_BATCH_GATE
+    scalar_floor = (
+        SERVING_SCALAR_QPS_SMOKE_GATE if smoke else SERVING_SCALAR_QPS_GATE
+    )
+    batched_floor = (
+        SERVING_BATCHED_QPS_SMOKE_GATE if smoke else SERVING_BATCHED_QPS_GATE
+    )
+    n_scalar = 5_000 if smoke else 50_000
+    n_batched = 100_000 if smoke else 1_000_000
+    batch_size = 4096
+    rng = np.random.default_rng(args.seed)
+
+    with tempfile.TemporaryDirectory(prefix="bench_serving_") as tmp:
+        path = os.path.join(tmp, "store")
+        t0 = time.perf_counter()
+        PartitionStore.write(path, sequential_result, graph.edges)
+        write_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        store = PartitionStore.open(path)
+        open_s = time.perf_counter() - t0
+        store.verify()
+        svc = LookupService(store, cache_size=4096)
+
+        # -- seeded closed-loop load ----------------------------------
+        n = graph.n_vertices
+        hot = rng.integers(0, n, size=min(1024, n))
+        hot_mask = rng.random(n_scalar) < 0.9
+        vertex_queries = np.where(
+            hot_mask,
+            hot[rng.integers(0, hot.size, size=n_scalar)],
+            rng.integers(0, n, size=n_scalar),
+        ).astype(np.int64)
+        edge_idx = rng.integers(0, graph.n_edges, size=n_scalar)
+        edge_queries = graph.edges[edge_idx].astype(np.int64)
+        # 20% misses: vertex ids above |V| never carry an edge.
+        miss = rng.random(n_scalar) < 0.2
+        edge_queries[miss, 0] = n + rng.integers(1, 1000, size=int(miss.sum()))
+
+        latencies = np.empty(n_scalar, dtype=np.float64)
+        for i, vid in enumerate(vertex_queries.tolist()):
+            t = time.perf_counter_ns()
+            svc.vertex_partitions(vid)
+            latencies[i] = time.perf_counter_ns() - t
+        scalar_s = float(latencies.sum()) * 1e-9
+        scalar_qps = n_scalar / scalar_s if scalar_s > 0 else 0.0
+        p50_us = float(np.percentile(latencies, 50)) / 1e3
+        p99_us = float(np.percentile(latencies, 99)) / 1e3
+        cache = svc.cache_info()
+
+        t0 = time.perf_counter()
+        for i, (u, v) in enumerate(edge_queries.tolist()):
+            svc.edge_partition(u, v)
+        edge_scalar_s = time.perf_counter() - t0
+        edge_scalar_qps = (
+            n_scalar / edge_scalar_s if edge_scalar_s > 0 else 0.0
+        )
+
+        # Batched path: same closed loop, one vectorized call per batch.
+        batched_ids = np.where(
+            rng.random(n_batched) < 0.9,
+            hot[rng.integers(0, hot.size, size=n_batched)],
+            rng.integers(0, n, size=n_batched),
+        ).astype(np.int64)
+        t0 = time.perf_counter()
+        for start in range(0, n_batched, batch_size):
+            svc.vertex_partitions(batched_ids[start : start + batch_size])
+        batched_s = time.perf_counter() - t0
+        batched_qps = n_batched / batched_s if batched_s > 0 else 0.0
+
+        # -- bit-exactness against the in-memory result ---------------
+        dense = np.asarray(sequential_result.state.replicas, dtype=bool)
+        sizes = np.asarray(sequential_result.state.sizes, dtype=np.int64)
+        sample = vertex_queries[:2048]
+        rows = dense[sample]
+        load = np.where(rows, sizes[np.newaxis, :], np.inf)
+        expect = np.argmin(load, axis=1).astype(np.int64)
+        expect[~rows.any(axis=1)] = -1
+        got = svc.vertex_partitions(sample)
+        got_scalar = np.array(
+            [svc.vertex_partitions(int(v)) for v in sample[:256]]
+        )
+        keys = (
+            graph.edges[:, 0].astype(np.uint64) << np.uint64(32)
+        ) | graph.edges[:, 1].astype(np.uint64)
+        order = np.argsort(keys, kind="stable")
+        qk = (
+            edge_queries[:, 0].astype(np.uint64) << np.uint64(32)
+        ) | edge_queries[:, 1].astype(np.uint64)
+        pos = np.searchsorted(keys[order], qk, side="left")
+        pos_c = np.minimum(pos, graph.n_edges - 1)
+        found = (pos < graph.n_edges) & (keys[order][pos_c] == qk)
+        expect_edge = np.full(n_scalar, -1, dtype=np.int64)
+        expect_edge[found] = sequential_result.assignments[
+            order[pos[found]]
+        ]
+        got_edge = svc.edge_partition(edge_queries[:, 0], edge_queries[:, 1])
+        if not (
+            np.array_equal(got, expect)
+            and np.array_equal(got_scalar, expect[:256])
+            and np.array_equal(got_edge, expect_edge)
+        ):
+            raise SystemExit(
+                "serving: mmap-reopened store diverges from the "
+                "in-memory PartitionResult"
+            )
+        print(
+            "  serving store is bit-exact with the in-memory result "
+            "(vertex routing scalar+batched, edge ownership incl. "
+            "misses); checksums OK"
+        )
+
+    batch_speedup = batched_qps / scalar_qps if scalar_qps > 0 else 0.0
+    batch_ok = batch_speedup >= batch_gate
+    qps_enforced = cpus >= 2
+    scalar_ok = scalar_qps >= scalar_floor if qps_enforced else None
+    batched_ok = batched_qps >= batched_floor if qps_enforced else None
+    skip_reason = (
+        None
+        if qps_enforced
+        else f"{cpus} usable CPU(s): absolute lookup-throughput floors "
+        "measure scheduler contention on this host"
+    )
+
+    section = {
+        "benchmark": "partition-serving lookups (mmap store + "
+        "LookupService, seeded closed-loop load)",
+        "graph": {
+            "generator": "rmat",
+            "n_vertices": graph.n_vertices,
+            "n_edges": graph.n_edges,
+        },
+        "k": args.k,
+        "alpha": args.alpha,
+        "smoke": smoke,
+        "seed": args.seed,
+        "usable_cpus": cpus,
+        "store": {
+            "bytes": store.nbytes(),
+            "write_seconds": round(write_s, 4),
+            "open_seconds": round(open_s, 6),
+            "checksums_ok": True,
+        },
+        "load": {
+            "scalar_queries": n_scalar,
+            "batched_queries": n_batched,
+            "batch_size": batch_size,
+            "hot_set": int(hot.size),
+            "hot_fraction": 0.9,
+            "edge_miss_fraction": 0.2,
+        },
+        "scalar": {
+            "lookups_per_s": round(scalar_qps),
+            "p50_us": round(p50_us, 2),
+            "p99_us": round(p99_us, 2),
+            "cache": cache,
+        },
+        "edge_scalar": {"lookups_per_s": round(edge_scalar_qps)},
+        "batched": {"lookups_per_s": round(batched_qps)},
+        "bit_exact_with_result": True,
+        "gates": {
+            "batched_vs_scalar": {
+                "threshold": batch_gate,
+                "speedup": round(batch_speedup, 1),
+                "enforced": True,
+                "pass": batch_ok,
+                "skipped_reason": None,
+            },
+            "scalar_qps_floor": {
+                "threshold": scalar_floor,
+                "speedup": round(scalar_qps),
+                "enforced": qps_enforced,
+                "pass": scalar_ok,
+                "skipped_reason": skip_reason,
+            },
+            "batched_qps_floor": {
+                "threshold": batched_floor,
+                "speedup": round(batched_qps),
+                "enforced": qps_enforced,
+                "pass": batched_ok,
+                "skipped_reason": skip_reason,
+            },
+        },
+    }
+    state = "pass" if batch_ok else "FAIL"
+    print(
+        f"  serving: {scalar_qps:,.0f} scalar lookups/s "
+        f"(p50 {p50_us:.1f}us, p99 {p99_us:.1f}us, "
+        f"{cache['hits']}/{cache['hits'] + cache['misses']} cache hits) -> "
+        f"{batched_qps:,.0f} batched ({batch_speedup:.0f}x, gate "
+        f"{batch_gate}x: {state}); edge {edge_scalar_qps:,.0f}/s; "
+        f"QPS floors {'enforced' if qps_enforced else 'SKIPPED'} "
+        f"({cpus} cpus)"
+    )
+    payload = {"serving": section}
+    with open(out, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    print(f"  wrote {out}")
+    return (
+        batch_ok and scalar_ok is not False and batched_ok is not False
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -910,6 +1174,13 @@ def main(argv: list[str] | None = None) -> int:
         "with --smoke)",
     )
     parser.add_argument(
+        "--serving-out",
+        default=None,
+        help="output path of the partition-serving section "
+        "(default BENCH_serving.json, or BENCH_serving_smoke.json "
+        "with --smoke)",
+    )
+    parser.add_argument(
         "--smoke",
         action="store_true",
         help=f"small-scale gate check (scale {SMOKE_SCALE}, 1 repeat, "
@@ -936,6 +1207,7 @@ def main(argv: list[str] | None = None) -> int:
         out = args.out or "BENCH_kernels_smoke.json"
         parallel_out = args.parallel_out or "BENCH_parallel_smoke.json"
         storage_out = args.storage_out or "BENCH_storage_smoke.json"
+        serving_out = args.serving_out or "BENCH_serving_smoke.json"
     else:
         scale = args.scale
         repeats = args.repeats
@@ -943,6 +1215,7 @@ def main(argv: list[str] | None = None) -> int:
         out = args.out or "BENCH_kernels.json"
         parallel_out = args.parallel_out or "BENCH_parallel.json"
         storage_out = args.storage_out or "BENCH_storage.json"
+        serving_out = args.serving_out or "BENCH_serving.json"
 
     graph = rmat_graph(scale, edge_factor=args.edge_factor, seed=args.seed)
     stream = InMemoryEdgeStream(graph)
@@ -1096,6 +1369,13 @@ def main(argv: list[str] | None = None) -> int:
         parallel_out,
     )
     storage_ok = run_out_of_core_section(args, scale, args.smoke, storage_out)
+    serving_ok = run_serving_section(
+        args,
+        graph,
+        results["2psl"][DEFAULT_BACKEND]["result"],
+        args.smoke,
+        serving_out,
+    )
     if args.record_only:
         # Correctness failures raised SystemExit long before this point;
         # anything left is a speedup-threshold miss, recorded in the
@@ -1104,7 +1384,7 @@ def main(argv: list[str] | None = None) -> int:
     return (
         0
         if meets and numba_ok and hdrf_ok and tuning_ok
-        and parallel_ok and storage_ok
+        and parallel_ok and storage_ok and serving_ok
         else 1
     )
 

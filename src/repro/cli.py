@@ -10,6 +10,11 @@ the edges, and writes back the partitioned graph data"):
 - ``repro-partition partition`` — out-of-core partition a binary edge list
   and write per-edge assignments;
 - ``repro-partition info`` — basic statistics of an edge-list file;
+- ``repro-partition serve-export`` — persist a partitioning as a
+  memory-mappable :class:`~repro.serving.store.PartitionStore` (from a
+  ``partition --out`` assignment file, or partitioning inline);
+- ``repro-partition lookup`` — answer vertex/edge placement queries
+  against an exported store;
 - ``repro-partition experiment`` — run a table/figure reproduction
   (delegates to :mod:`repro.experiments.__main__`).
 """
@@ -230,6 +235,57 @@ def _cmd_process(args) -> int:
     return 0
 
 
+def _cmd_serve_export(args) -> int:
+    """Persist a partitioning as a memory-mappable lookup store."""
+    from repro.serving import PartitionStore
+
+    edges = np.fromfile(args.input, dtype="<u4").reshape(-1, 2)
+    if args.assignments is not None:
+        # Pipeline hand-off: consume the int32 vector `partition --out`
+        # wrote, rebuilding replicas/sizes — no re-partitioning.
+        assignments = np.fromfile(args.assignments, dtype="<i4")
+        store = PartitionStore.from_assignments(
+            args.store,
+            edges,
+            assignments,
+            args.k,
+            alpha=args.alpha,
+            n_vertices=args.n_vertices,
+            partitioner=args.algorithm,
+        )
+    else:
+        stream = FileEdgeStream(args.input, n_vertices=args.n_vertices)
+        partitioner = make_partitioner(args.algorithm)
+        result = partitioner.partition(stream, args.k, alpha=args.alpha)
+        store = PartitionStore.write(args.store, result, edges)
+    print(f"store             : {store.directory}")
+    print(f"k / vertices      : {store.k} / {store.n_vertices}")
+    print(f"edges             : {store.n_edges}")
+    print(f"store bytes       : {store.nbytes()}")
+    return 0
+
+
+def _cmd_lookup(args) -> int:
+    """Serve placement queries from an exported partition store."""
+    from repro.serving import LookupService, PartitionStore
+
+    store = PartitionStore.open(args.store)
+    if args.verify:
+        store.verify()
+        print("checksums         : OK")
+    svc = LookupService(store)
+    if args.vertex:
+        ids = np.asarray(args.vertex, dtype=np.int64)
+        routed = svc.vertex_partitions(ids, hint=args.hint)
+        for v, p in zip(ids.tolist(), routed.tolist()):
+            replicas = svc.replica_set(v).tolist()
+            print(f"vertex {v} -> partition {p} (replicas {replicas})")
+    if args.edge:
+        u, v = args.edge
+        print(f"edge ({u}, {v}) -> partition {svc.edge_partition(u, v)}")
+    return 0
+
+
 def _cmd_info(args) -> int:
     stream = FileEdgeStream(args.input)
     n_seen = -1
@@ -411,6 +467,58 @@ def build_parser() -> argparse.ArgumentParser:
     info = sub.add_parser("info", help="statistics of a binary edge list")
     info.add_argument("--input", required=True)
     info.set_defaults(func=_cmd_info)
+
+    exp_store = sub.add_parser(
+        "serve-export",
+        help="persist a partitioning as a memory-mappable lookup store",
+    )
+    exp_store.add_argument("--input", required=True, help="binary edge list")
+    exp_store.add_argument("--k", type=int, required=True)
+    exp_store.add_argument("--alpha", type=float, default=1.05)
+    exp_store.add_argument("--n-vertices", type=int, default=None)
+    exp_store.add_argument(
+        "--algorithm", default="2PS-L", choices=sorted(ALL_PARTITIONERS)
+    )
+    exp_store.add_argument(
+        "--assignments",
+        default=None,
+        help="int32 assignment file from `partition --out`; when given, "
+        "replicas and sizes are rebuilt from it instead of re-partitioning",
+    )
+    exp_store.add_argument("--store", required=True, help="store directory")
+    exp_store.set_defaults(func=_cmd_serve_export)
+
+    lkp = sub.add_parser(
+        "lookup", help="query vertex/edge placement from an exported store"
+    )
+    lkp.add_argument("--store", required=True, help="store directory")
+    lkp.add_argument(
+        "--vertex",
+        type=int,
+        nargs="+",
+        default=None,
+        help="vertex id(s) to route (batched when several are given)",
+    )
+    lkp.add_argument(
+        "--hint",
+        type=int,
+        default=None,
+        help="caller partition: preferred when the vertex has a replica there",
+    )
+    lkp.add_argument(
+        "--edge",
+        type=int,
+        nargs=2,
+        metavar=("U", "V"),
+        default=None,
+        help="edge endpoints to look up",
+    )
+    lkp.add_argument(
+        "--verify",
+        action="store_true",
+        help="recompute the store's CRC-32 checksums before serving",
+    )
+    lkp.set_defaults(func=_cmd_lookup)
 
     exp = sub.add_parser(
         "experiment", help="regenerate a paper table/figure (or 'all')"

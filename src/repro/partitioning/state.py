@@ -119,6 +119,10 @@ class PackedReplicaMatrix:
     - ``m[rows]`` / ``m[i]`` row gathers -> dense bool rows;
     - ``m[rows, cols] = True`` — duplicate ``(row, col)`` pairs collapse
       (``np.bitwise_or.at``, the unbuffered scatter);
+    - ``m[i, j] = False`` for *scalar* element writes only (the
+      incremental partitioner clears replica bits on deletion; a fancy
+      ``= False`` stays unsupported because the streaming kernels never
+      clear bits in bulk);
     - ``m[rows] = dense_bool`` whole-row assignment (re-packs);
     - ``m.sum(axis=0|1)``, ``m.any()``, ``np.asarray(m)``, ``m.copy()``.
 
@@ -192,18 +196,28 @@ class PackedReplicaMatrix:
     # -- writes ---------------------------------------------------------
     def __setitem__(self, index, value) -> None:
         if isinstance(index, tuple):
-            if not (value is True or value is np.True_):
-                raise PartitioningError(
-                    "PackedReplicaMatrix element writes support only "
-                    f"'= True', got {value!r}"
-                )
             rows, cols = index
             rows = np.asarray(rows)
             cols = np.asarray(cols)
             if rows.ndim == 0 and cols.ndim == 0:
                 c = int(cols)
-                self.packed[int(rows), c >> 3] |= np.uint8(1 << (c & 7))
+                if value is True or value is np.True_:
+                    self.packed[int(rows), c >> 3] |= np.uint8(1 << (c & 7))
+                elif value is False or value is np.False_:
+                    self.packed[int(rows), c >> 3] &= np.uint8(
+                        ~(1 << (c & 7)) & 0xFF
+                    )
+                else:
+                    raise PartitioningError(
+                        "PackedReplicaMatrix scalar writes support only "
+                        f"'= True' / '= False', got {value!r}"
+                    )
                 return
+            if not (value is True or value is np.True_):
+                raise PartitioningError(
+                    "PackedReplicaMatrix fancy element writes support "
+                    f"only '= True', got {value!r}"
+                )
             rows, cols = np.broadcast_arrays(rows, cols)
             # ``|=`` buffers duplicate (row, byte) targets and drops bits;
             # ``bitwise_or.at`` is the unbuffered scatter.

@@ -1,0 +1,42 @@
+"""Partition-serving layer: persist a run, then serve lookups online.
+
+This package closes the loop between offline partitioning and online
+execution.  A completed :class:`~repro.partitioning.base.PartitionResult`
+is persisted once with :meth:`PartitionStore.write
+<repro.serving.store.PartitionStore.write>` and reopened memory-mapped
+with :meth:`PartitionStore.open <repro.serving.store.PartitionStore.open>`
+— O(1) in graph size, zero-copy — after which :class:`LookupService
+<repro.serving.service.LookupService>` answers vertex/edge placement
+queries at memory speed.
+
+The store format (one flat binary file per array, bit-packed replica
+matrix, sorted ``(u << 32) | v`` edge keys), the manifest versioning
+rule (exact-match integer version; readers reject anything else), and
+the checksum policy (O(1) size validation at open, CRC-32 via
+``verify()`` on demand) are documented in :mod:`repro.serving.store`.
+The LRU hot-vertex cache and the hint/least-loaded routing semantics
+are documented in :mod:`repro.serving.service`.
+
+Typical use::
+
+    store = PartitionStore.write(path, result, graph.edges)   # offline
+    svc = LookupService(PartitionStore.open(path))            # online
+    svc.vertex_partitions(np.array([0, 1, 2]), hint=3)
+    svc.edge_partition(u, v)
+"""
+
+from repro.serving.service import LookupService
+from repro.serving.store import (
+    STORE_FORMAT,
+    STORE_VERSION,
+    PartitionStore,
+    edge_keys,
+)
+
+__all__ = [
+    "STORE_FORMAT",
+    "STORE_VERSION",
+    "LookupService",
+    "PartitionStore",
+    "edge_keys",
+]

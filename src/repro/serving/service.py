@@ -1,0 +1,196 @@
+"""Online lookup service over a :class:`~repro.serving.store.PartitionStore`.
+
+:class:`LookupService` answers the three questions a distributed
+execution engine asks a partition map at run time:
+
+* ``vertex_partitions(v)`` — which partition(s) hold a replica of ``v``,
+  routed to a single partition id;
+* ``edge_partition(u, v)`` — which partition owns edge ``(u, v)``;
+* ``replica_set(v)`` — the full replica list of ``v``.
+
+Every query has a scalar form and a batched-numpy form (pass an array,
+get an array); the batched paths are fully vectorized against the
+memory-mapped store arrays.
+
+LRU hot-vertex cache
+--------------------
+Vertex queries decode a bit-packed replica row into a dense boolean row.
+Real workloads are heavily skewed, so the service keeps the ``cache_size``
+most-recently-used decoded rows in an ordered-dict LRU (a hit moves the
+row to the MRU end; an insert past capacity evicts the LRU end).
+``cache_size=0`` disables caching.  Batched vertex queries decode
+straight off the mapped plane and bypass the cache — a vectorized gather
+is already cheaper than per-id bookkeeping — so ``cache_info()`` counts
+scalar traffic only.
+
+Routing semantics
+-----------------
+``vertex_partitions`` reduces a replica set to one partition id:
+
+* with a ``hint`` (the caller's own partition): the hint itself iff the
+  vertex has a replica there — co-locating the read with the caller —
+  else fall through to the default rule;
+* default: the **least-loaded** replica partition by the store's
+  per-partition edge counts (``sizes``), ties broken by lowest id so
+  routing is deterministic;
+* a vertex with no replicas (never touched by any edge) routes to -1,
+  as does an unknown edge in ``edge_partition``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.errors import PartitioningError
+from repro.serving.store import PartitionStore, edge_keys
+
+
+class LookupService:
+    """Serve partition lookups from a store with an LRU hot-vertex cache.
+
+    Parameters
+    ----------
+    store:
+        An open (or freshly written) :class:`PartitionStore`.
+    cache_size:
+        Maximum number of decoded replica rows kept hot (0 disables).
+    """
+
+    def __init__(self, store: PartitionStore, cache_size: int = 4096) -> None:
+        if cache_size < 0:
+            raise PartitioningError(
+                f"cache_size must be >= 0, got {cache_size}"
+            )
+        self.store = store
+        self.k = store.k
+        self.n_vertices = store.n_vertices
+        self.cache_size = int(cache_size)
+        self._cache: OrderedDict[int, np.ndarray] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        # Load signal for least-loaded routing; plain int64 copy (k is
+        # tiny) so routing never touches the mapped file.
+        self._sizes = np.asarray(store.sizes, dtype=np.int64).copy()
+
+    # ------------------------------------------------------------------
+    # replica rows
+    def _row(self, v: int) -> np.ndarray:
+        """Dense boolean replica row of vertex ``v``, via the LRU cache."""
+        if not 0 <= v < self.n_vertices:
+            raise PartitioningError(
+                f"vertex {v} outside [0, {self.n_vertices})"
+            )
+        if self.cache_size:
+            row = self._cache.get(v)
+            if row is not None:
+                self._hits += 1
+                self._cache.move_to_end(v)
+                return row
+            self._misses += 1
+        row = np.unpackbits(
+            self.store.replicas.packed[v], bitorder="little"
+        )[: self.k].astype(bool)
+        row.setflags(write=False)
+        if self.cache_size:
+            self._cache[v] = row
+            if len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+        return row
+
+    def _rows(self, ids: np.ndarray) -> np.ndarray:
+        """Dense boolean rows ``(len(ids), k)`` — vectorized, uncached."""
+        if ids.size and (
+            int(ids.min()) < 0 or int(ids.max()) >= self.n_vertices
+        ):
+            raise PartitioningError(
+                f"vertex ids outside [0, {self.n_vertices})"
+            )
+        plane = self.store.replicas.packed[ids]
+        return np.unpackbits(plane, axis=1, bitorder="little")[
+            :, : self.k
+        ].astype(bool)
+
+    def replica_set(self, v) -> np.ndarray:
+        """Partition ids holding a replica of ``v`` (ascending)."""
+        return np.flatnonzero(self._row(int(v)))
+
+    # ------------------------------------------------------------------
+    # routing
+    def _route_rows(self, rows: np.ndarray, hint) -> np.ndarray:
+        """Reduce dense replica rows to one partition id each."""
+        # Least-loaded replica: mask non-replicas to +inf load, argmin.
+        load = np.where(rows, self._sizes[np.newaxis, :], np.inf)
+        routed = np.argmin(load, axis=1).astype(np.int64)
+        any_replica = rows.any(axis=1)
+        routed[~any_replica] = -1
+        if hint is not None:
+            hint = np.asarray(hint, dtype=np.int64)
+            if hint.ndim == 0:
+                hint = np.broadcast_to(hint, routed.shape)
+            at_hint = np.take_along_axis(
+                rows, np.clip(hint, 0, self.k - 1)[:, np.newaxis], axis=1
+            )[:, 0] & (hint >= 0) & (hint < self.k)
+            routed = np.where(at_hint, hint, routed)
+        return routed
+
+    def vertex_partitions(self, ids, hint=None):
+        """Route vertex ``ids`` to a serving partition each.
+
+        Scalar in → scalar ``int`` out; array in → ``int64`` array out.
+        ``hint`` (scalar or per-id array) is preferred when the vertex
+        has a replica there; otherwise the least-loaded replica wins.
+        """
+        ids_arr = np.asarray(ids, dtype=np.int64)
+        if ids_arr.ndim == 0:
+            row = self._row(int(ids_arr))
+            return int(self._route_rows(row[np.newaxis, :], hint)[0])
+        return self._route_rows(self._rows(ids_arr), hint)
+
+    # ------------------------------------------------------------------
+    # edges
+    def edge_partition(self, u, v):
+        """Partition owning edge ``(u, v)``; -1 when the edge is unknown.
+
+        Scalar in → scalar ``int`` out; array in → ``int64`` array out.
+        Duplicate edges serve the first stream occurrence's partition.
+        """
+        keys = edge_keys(u, v)
+        scalar = keys.ndim == 0
+        keys = np.atleast_1d(keys)
+        pos = np.searchsorted(self.store.edge_keys, keys, side="left")
+        pos_c = np.minimum(pos, len(self.store.edge_keys) - 1)
+        found = (
+            (pos < len(self.store.edge_keys))
+            & (np.asarray(self.store.edge_keys)[pos_c] == keys)
+            if len(self.store.edge_keys)
+            else np.zeros(keys.shape, dtype=bool)
+        )
+        parts = np.full(keys.shape, -1, dtype=np.int64)
+        if found.any():
+            parts[found] = np.asarray(self.store.edge_parts)[pos[found]]
+        return int(parts[0]) if scalar else parts
+
+    # ------------------------------------------------------------------
+    # cache introspection
+    def cache_info(self) -> dict:
+        """Scalar-path cache counters: hits, misses, current size, capacity."""
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "size": len(self._cache),
+            "capacity": self.cache_size,
+        }
+
+    def cache_clear(self) -> None:
+        """Drop every cached row and reset the hit/miss counters."""
+        self._cache.clear()
+        self._hits = 0
+        self._misses = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LookupService(k={self.k}, n={self.n_vertices}, "
+            f"cache={len(self._cache)}/{self.cache_size})"
+        )

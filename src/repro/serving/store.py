@@ -1,0 +1,401 @@
+"""Zero-copy persistent partition store (``repro-partition-store-v1``).
+
+:class:`PartitionStore` is the offline/online hand-off of the serving
+layer: :meth:`PartitionStore.write` persists a completed
+:class:`~repro.partitioning.base.PartitionResult` to a directory of flat
+binary arrays plus a JSON manifest, and :meth:`PartitionStore.open` maps
+those arrays back with ``np.memmap`` — no parsing, no copies, open cost
+O(1) in ``|V|`` and ``|E|`` (the OS pages data in on first touch).
+
+Store format (version 1)
+------------------------
+A store directory holds one file per array, little-endian, C-order:
+
+``assignments.bin``
+    ``<i4 (m,)`` — partition id per edge, in original stream order.
+``edge_keys.bin``
+    ``<u8 (m,)`` — ``(u << 32) | v`` per edge, **sorted ascending**
+    (ties keep stream order: the sort is stable), so edge→partition
+    lookups are one ``np.searchsorted`` against a memory-mapped array.
+``edge_parts.bin``
+    ``<i4 (m,)`` — partition id per sorted edge key.  A multigraph can
+    carry the same ``(u, v)`` pair with different assignments; lookups
+    deterministically serve the **first stream occurrence** (the stable
+    sort keeps it first in its run of duplicates).
+``replicas.bin``
+    ``<u1 (n, ceil(k/8))`` — the replica matrix, always stored
+    bit-packed in the :class:`~repro.partitioning.state.
+    PackedReplicaMatrix` layout (little bit order, tail bits zero).
+    Dense-state results are packed on write; packed-state results copy
+    their plane verbatim, so both representations produce byte-identical
+    stores.  On open the plane is wrapped back in
+    ``PackedReplicaMatrix``, whose dense-protocol indexing serves reads
+    straight off the mapped pages.
+``degrees.bin``
+    ``<i8 (n,)`` — vertex degrees (endpoint counts over the stored
+    edges, the same quantity the degree pass computes).
+``sizes.bin``
+    ``<i8 (k,)`` — edge count per partition (the routing load signal).
+``c2p.bin`` (optional)
+    ``<i8 (n_clusters,)`` — the cluster→partition map, present when the
+    result carried Phase-1 artifacts (``keep_state=True``).
+
+Manifest and versioning rule
+----------------------------
+``manifest.json`` records the format tag, an integer ``version``, the
+run dimensions (``k``, ``alpha``, ``n_vertices``, ``n_edges``,
+``partitioner``) and, per array, its file name, dtype, shape and CRC-32.
+Readers accept a manifest iff the format tag matches and ``version`` is
+exactly :data:`STORE_VERSION`; any future layout change bumps the
+version, so older readers fail loudly instead of mis-mapping bytes.
+:meth:`PartitionStore.open` validates every file's *size* against its
+declared dtype/shape (an O(1) stat per file, catching truncation before
+a single page is touched); the CRC-32s are verified on demand by
+:meth:`PartitionStore.verify`, which streams every file once — kept out
+of ``open`` so opening stays O(1) in the data size.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import FormatError, PartitioningError
+from repro.partitioning.state import PackedReplicaMatrix, packed_row_bytes
+
+MANIFEST_NAME = "manifest.json"
+
+STORE_FORMAT = "repro-partition-store"
+
+#: Manifest version this reader understands (exact match required).
+STORE_VERSION = 1
+
+#: Required arrays of a v1 store: name -> (file, dtype).
+_REQUIRED = {
+    "assignments": ("assignments.bin", "<i4"),
+    "edge_keys": ("edge_keys.bin", "<u8"),
+    "edge_parts": ("edge_parts.bin", "<i4"),
+    "replicas": ("replicas.bin", "<u1"),
+    "degrees": ("degrees.bin", "<i8"),
+    "sizes": ("sizes.bin", "<i8"),
+}
+
+#: Optional arrays: name -> (file, dtype).
+_OPTIONAL = {"c2p": ("c2p.bin", "<i8")}
+
+
+def edge_keys(us, vs) -> np.ndarray:
+    """``(u << 32) | v`` lookup keys as ``uint64`` (vectorized)."""
+    us = np.asarray(us, dtype=np.uint64)
+    vs = np.asarray(vs, dtype=np.uint64)
+    return (us << np.uint64(32)) | vs
+
+
+def _file_crc32(path: Path, chunk_bytes: int = 1 << 22) -> int:
+    """Streaming CRC-32 of a file (bounded memory)."""
+    crc = 0
+    with open(path, "rb") as fh:
+        while True:
+            chunk = fh.read(chunk_bytes)
+            if not chunk:
+                return crc
+            crc = zlib.crc32(chunk, crc)
+
+
+def _write_array(directory: Path, name: str, arr: np.ndarray) -> dict:
+    """Write one array file and return its manifest entry."""
+    fname, dtype = (_REQUIRED | _OPTIONAL)[name]
+    data = np.ascontiguousarray(arr, dtype=dtype)
+    path = directory / fname
+    path.write_bytes(data.tobytes())
+    return {
+        "file": fname,
+        "dtype": dtype,
+        "shape": list(data.shape),
+        "crc32": _file_crc32(path),
+    }
+
+
+class PartitionStore:
+    """A partition run persisted to disk and reopened memory-mapped.
+
+    Build with :meth:`write` (from a :class:`~repro.partitioning.base.
+    PartitionResult` plus its edges) or :meth:`open` (from a store
+    directory).  All array attributes of an opened store are read-only
+    ``np.memmap`` views (``replicas`` wraps its mapped bit plane in
+    :class:`~repro.partitioning.state.PackedReplicaMatrix`); a written
+    store holds ordinary in-memory arrays with identical values, so the
+    two are interchangeable for reads.
+    """
+
+    def __init__(self, directory, manifest: dict, arrays: dict) -> None:
+        self.directory = Path(directory)
+        self.manifest = manifest
+        self.k = int(manifest["k"])
+        self.alpha = float(manifest["alpha"])
+        self.n_vertices = int(manifest["n_vertices"])
+        self.n_edges = int(manifest["n_edges"])
+        self.partitioner = manifest.get("partitioner")
+        self.assignments = arrays["assignments"]
+        self.edge_keys = arrays["edge_keys"]
+        self.edge_parts = arrays["edge_parts"]
+        self.replicas = PackedReplicaMatrix(arrays["replicas"], self.k)
+        self.degrees = arrays["degrees"]
+        self.sizes = arrays["sizes"]
+        self.c2p = arrays.get("c2p")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def write(cls, directory, result, edges) -> "PartitionStore":
+        """Persist ``result`` (with its ``(m, 2)`` edge array) to disk.
+
+        ``edges`` must be the edge array the result's assignments are
+        aligned with (stream order).  Returns the written store (backed
+        by the in-memory arrays, not the mapped files — reopen with
+        :meth:`open` for the zero-copy view).
+
+        Raises
+        ------
+        PartitioningError
+            On an edges/assignments length mismatch or vertex ids
+            outside the 32-bit key range.
+        """
+        state = result.state
+        packed = getattr(state.replicas, "packed", None)
+        if packed is None:
+            plane = np.packbits(
+                np.asarray(state.replicas, dtype=bool),
+                axis=1, bitorder="little",
+            )
+            # packbits pads to whole bytes; pin the exact row width.
+            plane = plane[:, : packed_row_bytes(result.k)]
+        else:
+            plane = packed
+        c2p = getattr(result.artifacts, "c2p", None)
+        return cls._write_arrays(
+            directory,
+            edges=edges,
+            assignments=result.assignments,
+            plane=plane,
+            sizes=np.asarray(state.sizes, dtype=np.int64),
+            k=result.k,
+            alpha=result.alpha,
+            n_vertices=result.n_vertices,
+            partitioner=result.partitioner,
+            c2p=c2p,
+        )
+
+    @classmethod
+    def from_assignments(
+        cls,
+        directory,
+        edges,
+        assignments,
+        k: int,
+        alpha: float = 1.05,
+        n_vertices: int | None = None,
+        partitioner: str | None = None,
+    ) -> "PartitionStore":
+        """Build a store from raw per-edge ``assignments`` (no result).
+
+        The CLI pipeline hand-off: ``partition --out`` persists only the
+        ``int32`` assignment vector, and this constructor rebuilds the
+        replica matrix (a vertex replicates on every partition an
+        incident edge landed on) and partition sizes from it, so
+        ``partition → serve-export`` needs no re-partitioning.
+        """
+        edges = np.asarray(edges)
+        assignments = np.ascontiguousarray(assignments, dtype="<i4")
+        if k <= 0:
+            raise PartitioningError(f"k must be positive, got {k}")
+        if edges.size and (int(edges.min()) < 0 or int(edges.max()) >> 32):
+            # Checked before sizing the replica plane off edges.max().
+            raise PartitioningError(
+                "vertex ids must fit the 32-bit edge-key range [0, 2**32)"
+            )
+        if assignments.size and (
+            int(assignments.min()) < 0 or int(assignments.max()) >= k
+        ):
+            raise PartitioningError(
+                f"assignments contain partition ids outside [0, {k})"
+            )
+        if n_vertices is None:
+            n_vertices = int(edges.max()) + 1 if edges.size else 0
+        plane = np.zeros(
+            (n_vertices, packed_row_bytes(k)), dtype=np.uint8
+        )
+        replicas = PackedReplicaMatrix(plane, k)
+        if edges.size:
+            replicas[edges[:, 0], assignments] = True
+            replicas[edges[:, 1], assignments] = True
+        return cls._write_arrays(
+            directory,
+            edges=edges,
+            assignments=assignments,
+            plane=plane,
+            sizes=np.bincount(assignments, minlength=k).astype(np.int64),
+            k=k,
+            alpha=alpha,
+            n_vertices=n_vertices,
+            partitioner=partitioner,
+            c2p=None,
+        )
+
+    @classmethod
+    def _write_arrays(
+        cls, directory, *, edges, assignments, plane, sizes, k, alpha,
+        n_vertices, partitioner, c2p,
+    ) -> "PartitionStore":
+        edges = np.asarray(edges)
+        assignments = np.asarray(assignments)
+        if edges.ndim != 2 or edges.shape[1] != 2:
+            raise PartitioningError(
+                f"edges must be (m, 2), got shape {edges.shape}"
+            )
+        if edges.shape[0] != assignments.shape[0]:
+            raise PartitioningError(
+                f"{edges.shape[0]} edges vs "
+                f"{assignments.shape[0]} assignments"
+            )
+        if edges.size and (
+            int(edges.min()) < 0 or int(edges.max()) >> 32
+        ):
+            raise PartitioningError(
+                "vertex ids must fit the 32-bit edge-key range [0, 2**32)"
+            )
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+
+        keys = edge_keys(edges[:, 0], edges[:, 1])
+        # Stable: the first stream occurrence of a duplicate (u, v) pair
+        # stays first in its run, so lookups serve it deterministically.
+        order = np.argsort(keys, kind="stable")
+
+        arrays = {
+            "assignments": np.ascontiguousarray(assignments, "<i4"),
+            "edge_keys": keys[order],
+            "edge_parts": np.ascontiguousarray(assignments, "<i4")[order],
+            "replicas": plane,
+            "degrees": np.bincount(
+                edges.reshape(-1), minlength=n_vertices
+            ).astype(np.int64),
+            "sizes": np.asarray(sizes, dtype=np.int64),
+        }
+        if c2p is not None:
+            arrays["c2p"] = np.asarray(c2p, dtype=np.int64)
+
+        entries = {
+            name: _write_array(directory, name, arr)
+            for name, arr in arrays.items()
+        }
+        manifest = {
+            "format": STORE_FORMAT,
+            "version": STORE_VERSION,
+            "k": int(k),
+            "alpha": float(alpha),
+            "n_vertices": int(n_vertices),
+            "n_edges": int(edges.shape[0]),
+            "partitioner": partitioner,
+            "packed_row_bytes": packed_row_bytes(int(k)),
+            "arrays": entries,
+        }
+        (directory / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
+        return cls(directory, manifest, arrays)
+
+    @classmethod
+    def open(cls, directory) -> "PartitionStore":
+        """Memory-map a store directory written by :meth:`write`.
+
+        O(1) in the data size: the manifest is parsed, every file's size
+        is checked against its declared dtype/shape, and the arrays are
+        mapped read-only — no byte of array data is read here.
+
+        Raises
+        ------
+        FormatError
+            On a missing/foreign/future-versioned manifest, a missing
+            array file, or a file whose size contradicts the manifest.
+        """
+        directory = Path(directory)
+        manifest_path = directory / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise FormatError(f"no store manifest at {manifest_path}")
+        manifest = json.loads(manifest_path.read_text())
+        if manifest.get("format") != STORE_FORMAT:
+            raise FormatError(
+                f"not a partition store: format "
+                f"{manifest.get('format')!r}"
+            )
+        if manifest.get("version") != STORE_VERSION:
+            raise FormatError(
+                f"unsupported store version {manifest.get('version')!r} "
+                f"(this reader understands version {STORE_VERSION})"
+            )
+        entries = manifest.get("arrays", {})
+        missing = sorted(set(_REQUIRED) - set(entries))
+        if missing:
+            raise FormatError(f"store manifest lacks arrays: {missing}")
+        arrays = {}
+        for name, entry in entries.items():
+            path = directory / entry["file"]
+            if not path.exists():
+                raise FormatError(f"store array file missing: {path}")
+            shape = tuple(entry["shape"])
+            dtype = np.dtype(entry["dtype"])
+            expected = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+            actual = os.path.getsize(path)
+            if actual != expected:
+                raise FormatError(
+                    f"{entry['file']}: {actual} bytes on disk, manifest "
+                    f"declares {expected} ({dtype} x {shape})"
+                )
+            if expected == 0:
+                arrays[name] = np.empty(shape, dtype=dtype)
+            else:
+                arrays[name] = np.memmap(
+                    path, dtype=dtype, mode="r", shape=shape
+                )
+        return cls(directory, manifest, arrays)
+
+    # ------------------------------------------------------------------
+    def verify(self) -> None:
+        """Recompute every array file's CRC-32 against the manifest.
+
+        Streams each file once (bounded memory); kept separate from
+        :meth:`open` so opening stays O(1) — run this after transport or
+        on a corruption suspicion.
+
+        Raises
+        ------
+        FormatError
+            Naming the first file whose checksum diverges.
+        """
+        for name, entry in self.manifest["arrays"].items():
+            path = self.directory / entry["file"]
+            crc = _file_crc32(path)
+            if crc != entry["crc32"]:
+                raise FormatError(
+                    f"{entry['file']}: CRC-32 {crc:#010x} != manifest "
+                    f"{entry['crc32']:#010x} (corrupt store array "
+                    f"{name!r})"
+                )
+
+    def nbytes(self) -> int:
+        """Total bytes of the stored arrays (as declared by the manifest)."""
+        total = 0
+        for entry in self.manifest["arrays"].values():
+            dtype = np.dtype(entry["dtype"])
+            total += int(np.prod(entry["shape"], dtype=np.int64)) * (
+                dtype.itemsize
+            )
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PartitionStore(dir={str(self.directory)!r}, k={self.k}, "
+            f"n={self.n_vertices}, m={self.n_edges})"
+        )

@@ -176,11 +176,35 @@ class PartitionWriter:
         (self.directory / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
         self._closed = True
 
+    def abort(self) -> None:
+        """Close the partition files *without* writing a manifest.
+
+        The error path of the context manager: a directory with partition
+        files but no manifest makes :func:`load_partitioned` fail loudly,
+        instead of a complete-looking manifest silently blessing partition
+        files that were truncated mid-write.  Idempotent; a writer that
+        was aborted stays closed (a later :meth:`close` will not resurrect
+        it and write a manifest over the partial files).
+        """
+        if self._closed:
+            return
+        for fh in self._files:
+            fh.close()
+        self._closed = True
+
     def __enter__(self) -> "PartitionWriter":
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        self.close()
+        # Only a clean exit earns a manifest: ``close()`` after a raised
+        # with-body would stamp a valid-looking manifest onto partition
+        # files whose tail (the unflushed buffers, or edges the body never
+        # got to write) is missing, and load_partitioned would then load
+        # truncated data without complaint.
+        if exc_type is None:
+            self.close()
+        else:
+            self.abort()
 
 
 def load_partitioned(directory) -> tuple[list[Graph], dict]:

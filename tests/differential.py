@@ -20,6 +20,13 @@ contract of :mod:`repro.core.runners` on the **full final state**:
 - the batched classic-HDRF baseline agrees across every backend, and —
   on cases drawing ``tune=True`` — ``tune="auto"`` runs (both the
   parallel matrix and the baseline) are byte-identical to untuned ones;
+- the **serving round-trip** (:func:`assert_store_round_trip`): the
+  sequential reference persisted as a
+  :class:`~repro.serving.store.PartitionStore` and reopened
+  memory-mapped serves every vertex and edge lookup bit-equal to the
+  in-memory :class:`PartitionResult` — replica rows, degrees, sizes,
+  routing, and per-edge ownership including duplicate-edge
+  (first-stream-occurrence) semantics;
 - no shared-memory segment survives any process-runner session.
 
 The backend dimension is :func:`repro.kernels.available_backends`, so the
@@ -203,6 +210,90 @@ def assert_full_state_equal(reference, other, label: str) -> None:
             )
 
 
+def assert_store_round_trip(result, edges, label: str) -> None:
+    """Serving round-trip contract: write → mmap-reopen → every lookup
+    bit-equal to the in-memory ``result``.
+
+    Covers the full vertex sweep (replica rows, degrees, sizes, routing
+    with and without a hint) and the full edge sweep (ownership of every
+    stored edge, duplicate keys serving the first stream occurrence, a
+    guaranteed-missing edge answering -1), plus scalar-vs-batched
+    consistency on a sample and the CRC-32 sweep.
+    """
+    from repro.serving import LookupService, PartitionStore
+
+    edges = np.asarray(edges)
+    with tempfile.TemporaryDirectory(prefix="diff_store_") as tmp:
+        store_dir = os.path.join(tmp, "store")
+        PartitionStore.write(store_dir, result, edges)
+        store = PartitionStore.open(store_dir)
+        store.verify()
+        svc = LookupService(store)
+
+        dense = np.asarray(result.state.replicas, dtype=bool)
+        sizes = np.asarray(result.state.sizes, dtype=np.int64)
+        n = result.n_vertices
+        ids = np.arange(n, dtype=np.int64)
+
+        # Replica rows bit-equal through the mapped packed plane.
+        np.testing.assert_array_equal(
+            np.asarray(store.replicas), dense,
+            err_msg=f"{label}: mapped replica matrix",
+        )
+        np.testing.assert_array_equal(
+            store.sizes, sizes, err_msg=f"{label}: stored sizes"
+        )
+        np.testing.assert_array_equal(
+            store.degrees,
+            np.bincount(edges.reshape(-1), minlength=n),
+            err_msg=f"{label}: stored degrees",
+        )
+
+        # Vertex routing: least-loaded replica (lowest id on ties), -1
+        # for replica-free vertices; hint wins iff co-located.
+        load = np.where(dense, sizes[np.newaxis, :], np.inf)
+        expected = np.argmin(load, axis=1).astype(np.int64)
+        expected[~dense.any(axis=1)] = -1
+        routed = svc.vertex_partitions(ids)
+        np.testing.assert_array_equal(
+            routed, expected, err_msg=f"{label}: vertex routing"
+        )
+        hint = result.k - 1
+        hinted = svc.vertex_partitions(ids, hint=hint)
+        np.testing.assert_array_equal(
+            hinted, np.where(dense[:, hint], hint, expected),
+            err_msg=f"{label}: hinted vertex routing",
+        )
+        for v in ids[:: max(1, n // 17)]:
+            assert svc.vertex_partitions(int(v)) == routed[v], (
+                f"{label}: scalar vs batched routing at vertex {v}"
+            )
+            np.testing.assert_array_equal(
+                svc.replica_set(int(v)), np.flatnonzero(dense[v]),
+                err_msg=f"{label}: replica_set({v})",
+            )
+
+        # Edge ownership: the full sweep; duplicate (u, v) keys serve
+        # the first stream occurrence's partition.
+        keys = (edges[:, 0].astype(np.uint64) << np.uint64(32)) | (
+            edges[:, 1].astype(np.uint64)
+        )
+        order = np.argsort(keys, kind="stable")
+        first_pos = np.searchsorted(keys[order], keys, side="left")
+        expected_edge = np.asarray(result.assignments)[order[first_pos]]
+        got_edge = svc.edge_partition(edges[:, 0], edges[:, 1])
+        np.testing.assert_array_equal(
+            got_edge, expected_edge, err_msg=f"{label}: edge ownership"
+        )
+        u, v = int(edges[0, 0]), int(edges[0, 1])
+        assert svc.edge_partition(u, v) == int(expected_edge[0]), (
+            f"{label}: scalar vs batched edge lookup"
+        )
+        assert svc.edge_partition(n + 1, n + 2) == -1, (
+            f"{label}: missing edge must answer -1"
+        )
+
+
 def check_seed(
     seed: int,
     runners=RUNNERS,
@@ -264,7 +355,12 @@ def check_seed(
                 hdrf_ref, hdrf_baseline(case, None, tune="auto"),
                 "HDRF baseline untuned vs tuned",
             )
-        # Contract 6: nothing leaked.
+        # Contract 6: the serving round-trip — the sequential reference
+        # persisted, mmap-reopened and queried is bit-equal throughout.
+        assert_store_round_trip(
+            seq, case.build_graph().edges, "store round-trip"
+        )
+        # Contract 7: nothing leaked.
         leaked = sorted(live_shared_segments())
         assert not leaked, f"leaked shared-memory segments: {leaked}"
     except AssertionError as exc:
@@ -431,6 +527,16 @@ def check_out_of_core_seed(
                 seq_dense, seq_packed,
                 "sequential dense/in-memory vs "
                 "sequential packed/file-prefetch",
+            )
+            # Serving round-trip at the huge-shape k (mostly off byte
+            # boundaries): the packed-state result exercises the
+            # verbatim-plane store path, the dense result the packbits
+            # path, and both must serve bit-equal lookups.
+            assert_store_round_trip(
+                seq_packed, graph.edges, "store round-trip (packed state)"
+            )
+            assert_store_round_trip(
+                seq_dense, graph.edges, "store round-trip (dense state)"
             )
             leaked = sorted(live_shared_segments())
             assert not leaked, f"leaked shared-memory segments: {leaked}"

@@ -302,6 +302,67 @@ class TestPartitionedOutput:
         assert "error" in capsys.readouterr().err
 
 
+class TestServing:
+    def test_pipeline_partition_export_lookup(
+        self, graph_file, tmp_path, capsys
+    ):
+        """The full hand-off: partition --out -> serve-export -> lookup."""
+        assign = tmp_path / "assign.bin"
+        store = tmp_path / "store"
+        code = main(
+            [
+                "partition", "--input", str(graph_file),
+                "--k", "4", "--out", str(assign),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        code = main(
+            [
+                "serve-export", "--input", str(graph_file), "--k", "4",
+                "--assignments", str(assign), "--store", str(store),
+            ]
+        )
+        assert code == 0
+        assert "store bytes" in capsys.readouterr().out
+        code = main(
+            [
+                "lookup", "--store", str(store), "--vertex", "0", "3",
+                "--hint", "2", "--edge", "0", "1", "--verify",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "checksums         : OK" in out
+        assert "vertex 0 -> partition" in out
+        assert "vertex 3 -> partition" in out
+        assert "edge (0, 1) -> partition" in out
+
+    def test_serve_export_partitions_inline(
+        self, graph_file, tmp_path, capsys
+    ):
+        store = tmp_path / "store"
+        code = main(
+            [
+                "serve-export", "--input", str(graph_file),
+                "--k", "4", "--store", str(store),
+            ]
+        )
+        assert code == 0
+        assert (store / "manifest.json").exists()
+        capsys.readouterr()
+        code = main(["lookup", "--store", str(store), "--vertex", "1"])
+        assert code == 0
+        assert "vertex 1 -> partition" in capsys.readouterr().out
+
+    def test_lookup_missing_store_is_clean_error(self, tmp_path, capsys):
+        code = main(
+            ["lookup", "--store", str(tmp_path / "nope"), "--vertex", "0"]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
 class TestExperimentSubcommand:
     def test_delegates_to_dispatcher(self, capsys):
         code = main(["experiment", "figure3"])

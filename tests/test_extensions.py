@@ -13,6 +13,37 @@ from repro.hypergraph import (
     planted_hypergraph,
 )
 from repro.metrics import validate_partition
+from repro.partitioning.state import PackedReplicaMatrix
+
+
+def _incremental_snapshot(inc):
+    """Deep copy of every piece of mutable IncrementalPartitioner state."""
+    replicas = (
+        inc.replicas.packed.copy()
+        if isinstance(inc.replicas, PackedReplicaMatrix)
+        else inc.replicas.copy()
+    )
+    return {
+        "degrees": inc.degrees.copy(),
+        "v2c": inc.v2c.copy(),
+        "volumes": inc.volumes.copy(),
+        "c2p": inc.c2p.copy(),
+        "replicas": replicas,
+        "sizes": inc.sizes.copy(),
+        "updates": inc.updates,
+        "incidence": dict(inc._incidence),
+        "score_evaluations": inc.cost.score_evaluations,
+        "hash_evaluations": inc.cost.hash_evaluations,
+    }
+
+
+def _assert_snapshots_equal(before, after):
+    for key, expected in before.items():
+        actual = after[key]
+        if isinstance(expected, np.ndarray):
+            np.testing.assert_array_equal(actual, expected, err_msg=key)
+        else:
+            assert actual == expected, f"{key}: {actual!r} != {expected!r}"
 
 
 @pytest.fixture(scope="module")
@@ -101,6 +132,74 @@ class TestIncremental:
         assert inc.replicas[fresh, p]
         inc.delete(5, fresh, p)
         assert not inc.replicas[fresh, p]
+
+    def test_failed_insert_is_transactional(self, community_graph, monkeypatch):
+        """Regression: a rejected insert must not leak counter mutations.
+
+        Pre-fix, ``insert`` mutated degrees/volumes (and grew state via
+        ``_ensure_vertex``) *before* the capacity feasibility check, so
+        the raised ``PartitioningError`` left corrupted counters behind.
+        Consistent state always has an open partition
+        (``cap(m+1) * k >= m+1``), so the rejection is forced through the
+        ``_insertion_capacity`` seam.
+        """
+        base = TwoPhasePartitioner(keep_state=True).partition(community_graph, 4)
+        inc = IncrementalPartitioner.from_result(base)
+        inc.attach_edges(community_graph.edges, base.assignments)
+        monkeypatch.setattr(inc, "_insertion_capacity", lambda m_after: 0)
+        fresh = community_graph.n_vertices + 7
+        before = _incremental_snapshot(inc)
+        # Existing vertices, one new vertex (growth + neighbor adoption),
+        # and two new vertices (growth + a freshly opened cluster).
+        for u, v in [(0, 1), (0, fresh), (fresh, fresh + 1)]:
+            with pytest.raises(PartitioningError, match="at capacity"):
+                inc.insert(u, v)
+            _assert_snapshots_equal(before, _incremental_snapshot(inc))
+        # And the partitioner still works once the cap seam is restored.
+        monkeypatch.undo()
+        p = inc.insert(0, 1)
+        assert 0 <= p < inc.k
+
+    def test_negative_vertex_id_rejected_before_mutation(self, community_graph):
+        base = TwoPhasePartitioner(keep_state=True).partition(community_graph, 4)
+        inc = IncrementalPartitioner.from_result(base)
+        before = _incremental_snapshot(inc)
+        with pytest.raises(PartitioningError, match="must be >= 0"):
+            inc.insert(-1, 3)
+        _assert_snapshots_equal(before, _incremental_snapshot(inc))
+
+    def test_from_result_packed_state(self, community_graph):
+        """Regression: ``from_result`` of a ``packed_state=True`` run.
+
+        Pre-fix, ``__init__``'s ``replicas.copy()`` silently densified the
+        packed matrix back to ``|V| x k`` bools, and the ``np.vstack``
+        grow path kept it dense.  The packed partitioner must stay packed
+        through growth/insert/delete and mirror the dense twin bit for
+        bit (packed and dense base runs are bit-exact by contract).
+        """
+        dense_base = TwoPhasePartitioner(keep_state=True).partition(
+            community_graph, 8
+        )
+        packed_base = TwoPhasePartitioner(
+            keep_state=True, packed_state=True
+        ).partition(community_graph, 8)
+        dense = IncrementalPartitioner.from_result(dense_base)
+        packed = IncrementalPartitioner.from_result(packed_base)
+        assert isinstance(packed.replicas, PackedReplicaMatrix)
+        dense.attach_edges(community_graph.edges, dense_base.assignments)
+        packed.attach_edges(community_graph.edges, packed_base.assignments)
+        fresh = community_graph.n_vertices + 3
+        for u, v in [(0, 1), (2, fresh), (fresh, fresh + 1)]:
+            assert dense.insert(u, v) == packed.insert(u, v)
+        p = dense.insert(5, fresh + 2)
+        assert packed.insert(5, fresh + 2) == p
+        dense.delete(5, fresh + 2, p)
+        packed.delete(5, fresh + 2, p)
+        # Growth and deletion never densified the packed representation.
+        assert isinstance(packed.replicas, PackedReplicaMatrix)
+        np.testing.assert_array_equal(np.asarray(packed.replicas), dense.replicas)
+        np.testing.assert_array_equal(packed.sizes, dense.sizes)
+        assert packed.replication_factor() == dense.replication_factor()
 
     def test_quality_degrades_gracefully(self, community_graph):
         """A churn of random inserts should not blow up RF."""

@@ -1,0 +1,308 @@
+"""Tests for the partition-serving layer (store + lookup service)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import TwoPhasePartitioner
+from repro.errors import FormatError, PartitioningError
+from repro.serving import STORE_VERSION, LookupService, PartitionStore
+from repro.serving.store import MANIFEST_NAME, edge_keys
+from tests.differential import assert_store_round_trip
+
+
+@pytest.fixture(scope="module")
+def served():
+    """A partitioned power-law graph (module-scoped: partition once)."""
+    from repro.graph.generators import chung_lu_graph
+
+    graph = chung_lu_graph(400, 4000, gamma=2.1, seed=11)
+    result = TwoPhasePartitioner(keep_state=True).partition(graph, 9)
+    return graph, result
+
+
+@pytest.fixture()
+def store_dir(served, tmp_path):
+    graph, result = served
+    path = tmp_path / "store"
+    PartitionStore.write(path, result, graph.edges)
+    return path
+
+
+class TestPartitionStore:
+    def test_round_trip_property(self, served, tmp_path):
+        """Write → mmap-reopen → every lookup bit-equal to the result."""
+        graph, result = served
+        assert_store_round_trip(result, graph.edges, "test round-trip")
+
+    def test_round_trip_off_byte_boundary_k(self, tmp_path):
+        """k values off byte boundaries exercise the packed tail bits."""
+        from repro.graph.generators import two_cluster_toy_graph
+
+        graph = two_cluster_toy_graph()
+        for k in (9, 13, 16, 17):
+            result = TwoPhasePartitioner(keep_state=True).partition(
+                graph, k
+            )
+            assert_store_round_trip(
+                result, graph.edges, f"round-trip k={k}"
+            )
+
+    def test_open_is_memory_mapped(self, store_dir):
+        store = PartitionStore.open(store_dir)
+        assert isinstance(store.assignments, np.memmap)
+        assert isinstance(store.edge_keys, np.memmap)
+        assert isinstance(store.replicas.packed, np.memmap)
+
+    def test_packed_and_dense_stores_byte_identical(self, tmp_path):
+        from repro.graph.generators import two_cluster_toy_graph
+
+        graph = two_cluster_toy_graph()
+        dense = TwoPhasePartitioner(keep_state=True).partition(graph, 11)
+        packed = TwoPhasePartitioner(
+            keep_state=True, packed_state=True
+        ).partition(graph, 11)
+        PartitionStore.write(tmp_path / "dense", dense, graph.edges)
+        PartitionStore.write(tmp_path / "packed", packed, graph.edges)
+        for name in (
+            "assignments.bin", "edge_keys.bin", "edge_parts.bin",
+            "replicas.bin", "degrees.bin", "sizes.bin",
+        ):
+            assert (tmp_path / "dense" / name).read_bytes() == (
+                tmp_path / "packed" / name
+            ).read_bytes(), name
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(FormatError):
+            PartitionStore.open(tmp_path)
+
+    def test_foreign_format_rejected(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text(json.dumps({"format": "x"}))
+        with pytest.raises(FormatError, match="not a partition store"):
+            PartitionStore.open(tmp_path)
+
+    def test_future_version_rejected(self, store_dir):
+        manifest = json.loads((store_dir / MANIFEST_NAME).read_text())
+        manifest["version"] = STORE_VERSION + 1
+        (store_dir / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(FormatError, match="unsupported store version"):
+            PartitionStore.open(store_dir)
+
+    def test_truncated_file_rejected_at_open(self, store_dir):
+        victim = store_dir / "assignments.bin"
+        victim.write_bytes(victim.read_bytes()[:-4])
+        with pytest.raises(FormatError, match="assignments.bin"):
+            PartitionStore.open(store_dir)
+
+    def test_missing_array_file_rejected(self, store_dir):
+        (store_dir / "sizes.bin").unlink()
+        with pytest.raises(FormatError, match="sizes.bin"):
+            PartitionStore.open(store_dir)
+
+    def test_corruption_caught_by_verify(self, store_dir):
+        """Same-size corruption passes open (O(1)) but fails verify()."""
+        victim = store_dir / "edge_parts.bin"
+        data = bytearray(victim.read_bytes())
+        data[0] ^= 0xFF
+        victim.write_bytes(bytes(data))
+        store = PartitionStore.open(store_dir)  # size still matches
+        with pytest.raises(FormatError, match="edge_parts.bin"):
+            store.verify()
+
+    def test_length_mismatch_rejected(self, served, tmp_path):
+        graph, result = served
+        with pytest.raises(PartitioningError):
+            PartitionStore.write(
+                tmp_path / "bad", result, graph.edges[:-1]
+            )
+
+    def test_from_assignments_matches_result_store(self, served, tmp_path):
+        """The CLI pipeline path rebuilds identical serving arrays."""
+        graph, result = served
+        a = PartitionStore.write(tmp_path / "a", result, graph.edges)
+        b = PartitionStore.from_assignments(
+            tmp_path / "b", graph.edges, result.assignments, result.k,
+            n_vertices=graph.n_vertices,
+        )
+        np.testing.assert_array_equal(a.assignments, b.assignments)
+        np.testing.assert_array_equal(a.edge_keys, b.edge_keys)
+        np.testing.assert_array_equal(a.edge_parts, b.edge_parts)
+        np.testing.assert_array_equal(a.degrees, b.degrees)
+        np.testing.assert_array_equal(a.sizes, b.sizes)
+        np.testing.assert_array_equal(
+            np.asarray(a.replicas), np.asarray(b.replicas)
+        )
+
+    def test_from_assignments_rejects_bad_partition_ids(self, tmp_path):
+        edges = np.array([[0, 1], [1, 2]], dtype=np.uint32)
+        with pytest.raises(PartitioningError):
+            PartitionStore.from_assignments(
+                tmp_path / "bad", edges, np.array([0, 4]), k=2
+            )
+
+    def test_c2p_persisted_when_kept(self, served, tmp_path):
+        graph, result = served
+        store = PartitionStore.write(tmp_path / "s", result, graph.edges)
+        assert store.c2p is not None
+        reopened = PartitionStore.open(tmp_path / "s")
+        np.testing.assert_array_equal(
+            reopened.c2p, result.artifacts.c2p
+        )
+
+    def test_nbytes_matches_disk(self, store_dir):
+        store = PartitionStore.open(store_dir)
+        on_disk = sum(
+            (store_dir / e["file"]).stat().st_size
+            for e in store.manifest["arrays"].values()
+        )
+        assert store.nbytes() == on_disk
+
+
+class TestLookupService:
+    def test_batched_equals_scalar(self, served, store_dir):
+        graph, result = served
+        svc = LookupService(PartitionStore.open(store_dir))
+        rng = np.random.default_rng(3)
+        ids = rng.integers(0, graph.n_vertices, size=200)
+        batched = svc.vertex_partitions(ids)
+        scalar = np.array([svc.vertex_partitions(int(v)) for v in ids])
+        np.testing.assert_array_equal(batched, scalar)
+        eids = rng.integers(0, graph.n_edges, size=200)
+        us, vs = graph.edges[eids, 0], graph.edges[eids, 1]
+        batched_e = svc.edge_partition(us, vs)
+        scalar_e = np.array(
+            [svc.edge_partition(int(u), int(v)) for u, v in zip(us, vs)]
+        )
+        np.testing.assert_array_equal(batched_e, scalar_e)
+
+    def test_routing_least_loaded_with_tiebreak(self, tmp_path):
+        # Hand-built store: one edge per partition pair so the replica
+        # sets and sizes are fully controlled.
+        edges = np.array(
+            [[0, 1], [0, 2], [0, 3], [1, 2]], dtype=np.uint32
+        )
+        assignments = np.array([0, 1, 2, 1], dtype=np.int32)
+        store = PartitionStore.from_assignments(
+            tmp_path / "s", edges, assignments, k=3
+        )
+        svc = LookupService(store)
+        # sizes = [1, 2, 1]; vertex 0 replicates everywhere -> least
+        # loaded, lowest id on the tie between partitions 0 and 2.
+        assert svc.vertex_partitions(0) == 0
+        # vertex 3 only lives on partition 2.
+        assert svc.vertex_partitions(3) == 2
+        # vertex 1 lives on {0, 1}: least loaded is 0.
+        assert svc.vertex_partitions(1) == 0
+
+    def test_hint_prefers_colocated_replica(self, served, store_dir):
+        graph, result = served
+        svc = LookupService(PartitionStore.open(store_dir))
+        dense = np.asarray(result.state.replicas, dtype=bool)
+        ids = np.arange(graph.n_vertices)
+        hinted = svc.vertex_partitions(ids, hint=4)
+        default = svc.vertex_partitions(ids)
+        np.testing.assert_array_equal(
+            hinted, np.where(dense[:, 4], 4, default)
+        )
+        # Per-id hint array form.
+        hints = np.full(ids.shape, 4)
+        np.testing.assert_array_equal(
+            svc.vertex_partitions(ids, hint=hints), hinted
+        )
+        # An out-of-range hint falls back to default routing.
+        np.testing.assert_array_equal(
+            svc.vertex_partitions(ids, hint=-1), default
+        )
+
+    def test_replica_free_vertex_routes_to_minus_one(self, tmp_path):
+        edges = np.array([[0, 1]], dtype=np.uint32)
+        store = PartitionStore.from_assignments(
+            tmp_path / "s", edges, np.array([0]), k=2, n_vertices=5
+        )
+        svc = LookupService(store)
+        assert svc.vertex_partitions(4) == -1
+        np.testing.assert_array_equal(
+            svc.vertex_partitions(np.array([0, 4])), [0, -1]
+        )
+
+    def test_out_of_range_vertex_rejected(self, store_dir):
+        svc = LookupService(PartitionStore.open(store_dir))
+        with pytest.raises(PartitioningError):
+            svc.vertex_partitions(svc.n_vertices)
+        with pytest.raises(PartitioningError):
+            svc.vertex_partitions(np.array([0, -1]))
+
+    def test_missing_edge_answers_minus_one(self, served, store_dir):
+        graph, _ = served
+        svc = LookupService(PartitionStore.open(store_dir))
+        n = graph.n_vertices
+        assert svc.edge_partition(n + 10, n + 11) == -1
+
+    def test_lru_eviction_and_counters(self, store_dir):
+        svc = LookupService(PartitionStore.open(store_dir), cache_size=2)
+        svc.vertex_partitions(0)  # miss -> cache [0]
+        svc.vertex_partitions(1)  # miss -> cache [0, 1]
+        svc.vertex_partitions(0)  # hit, 0 becomes MRU -> [1, 0]
+        svc.vertex_partitions(2)  # miss, evicts LRU vertex 1 -> [0, 2]
+        svc.vertex_partitions(0)  # hit: survived the eviction -> [2, 0]
+        svc.vertex_partitions(1)  # miss again: it was evicted
+        info = svc.cache_info()
+        assert info == {"hits": 2, "misses": 4, "size": 2, "capacity": 2}
+        svc.cache_clear()
+        assert svc.cache_info() == {
+            "hits": 0, "misses": 0, "size": 0, "capacity": 2,
+        }
+
+    def test_cache_disabled(self, store_dir):
+        svc = LookupService(PartitionStore.open(store_dir), cache_size=0)
+        svc.vertex_partitions(0)
+        svc.vertex_partitions(0)
+        assert svc.cache_info() == {
+            "hits": 0, "misses": 0, "size": 0, "capacity": 0,
+        }
+
+    def test_cached_rows_serve_same_answers(self, served, store_dir):
+        graph, _ = served
+        svc = LookupService(PartitionStore.open(store_dir), cache_size=8)
+        ids = [0, 1, 2, 0, 1, 2, 3, 0]
+        cold = [svc.vertex_partitions(v) for v in ids]
+        warm = [svc.vertex_partitions(v) for v in ids]
+        assert cold == warm
+        assert svc.cache_info()["hits"] > 0
+
+    def test_negative_cache_size_rejected(self, store_dir):
+        with pytest.raises(PartitioningError):
+            LookupService(PartitionStore.open(store_dir), cache_size=-1)
+
+    def test_duplicate_edges_serve_first_occurrence(self, tmp_path):
+        # The same (u, v) pair assigned to different partitions: lookups
+        # must serve the first stream occurrence (index 0 here).
+        edges = np.array(
+            [[0, 1], [2, 3], [0, 1]], dtype=np.uint32
+        )
+        assignments = np.array([2, 0, 1], dtype=np.int32)
+        store = PartitionStore.from_assignments(
+            tmp_path / "s", edges, assignments, k=3
+        )
+        svc = LookupService(store)
+        assert svc.edge_partition(0, 1) == 2
+        np.testing.assert_array_equal(
+            svc.edge_partition(edges[:, 0], edges[:, 1]), [2, 0, 2]
+        )
+
+
+class TestEdgeKeys:
+    def test_key_layout(self):
+        assert edge_keys(1, 2) == (1 << 32) | 2
+        np.testing.assert_array_equal(
+            edge_keys([0, 2**32 - 1], [2**32 - 1, 0]),
+            np.array([2**32 - 1, (2**32 - 1) << 32], dtype=np.uint64),
+        )
+
+    def test_write_rejects_oversized_ids(self, tmp_path):
+        edges = np.array([[0, 2**32]], dtype=np.uint64)
+        with pytest.raises(PartitioningError, match="32-bit"):
+            PartitionStore.from_assignments(
+                tmp_path / "bad", edges, np.array([0]), k=1
+            )

@@ -239,10 +239,23 @@ class TestPackedReplicaMatrix:
         assert state.replicas[0, 8] and state.replicas[1, 8]
         assert not state.replicas[0, 0]
 
-    def test_bit_clear_writes_rejected(self):
+    def test_scalar_bit_clear_supported(self):
+        # The incremental partitioner clears replica bits on deletion.
+        state = PartitionState(4, 9, 10, packed=True)
+        state.replicas[0, 1] = True
+        state.replicas[0, 8] = True
+        state.replicas[0, 1] = False
+        assert not state.replicas[0, 1]
+        assert state.replicas[0, 8]  # neighboring bits untouched
+
+    def test_fancy_bit_clear_writes_rejected(self):
+        # Bulk clears stay unsupported: the streaming kernels never
+        # clear bits, and a buffered fancy AND would drop duplicates.
         state = PartitionState(4, 9, 10, packed=True)
         with pytest.raises(PartitioningError):
-            state.replicas[0, 1] = False
+            state.replicas[np.asarray([0, 1]), np.asarray([1, 2])] = False
+        with pytest.raises(PartitioningError):
+            state.replicas[0, 1] = 1  # only literal booleans
 
     @pytest.mark.parametrize("seed", [0, 3, 8])
     def test_dirty_delta_merge_matches_dense(self, seed):

@@ -76,6 +76,40 @@ class TestPartitionWriter:
         writer.close()
         writer.close()
 
+    def test_raised_body_writes_no_manifest(self, tmp_path):
+        """Regression: a with-body that raises must not earn a manifest.
+
+        Pre-fix, ``__exit__`` called ``close()`` unconditionally, stamping
+        a complete-looking manifest over partition files missing whatever
+        the body never wrote, and ``load_partitioned`` would then serve
+        the truncated data without complaint.
+        """
+        with pytest.raises(RuntimeError):
+            with PartitionWriter(tmp_path, 2, buffer_edges=4) as writer:
+                writer.write(0, 1, 0)
+                writer.write(1, 2, 1)
+                raise RuntimeError("simulated mid-write crash")
+        assert not (tmp_path / "manifest.json").exists()
+        with pytest.raises(FormatError):
+            load_partitioned(tmp_path)
+
+    def test_abort_skips_manifest_and_sticks(self, tmp_path):
+        writer = PartitionWriter(tmp_path, 2)
+        writer.write(0, 1, 0)
+        writer.abort()
+        writer.abort()  # idempotent
+        # An aborted writer stays closed: close() must not resurrect it
+        # and bless the partial files with a manifest after the fact.
+        writer.close()
+        assert not (tmp_path / "manifest.json").exists()
+
+    def test_clean_body_still_writes_manifest(self, tmp_path, toy_graph):
+        with PartitionWriter(tmp_path, 2) as writer:
+            for u, v in toy_graph.edges.tolist():
+                writer.write(u, v, (u + v) % 2)
+        graphs, manifest = load_partitioned(tmp_path)
+        assert sum(manifest["edge_counts"]) == toy_graph.n_edges
+
 
 class TestGnnWorkload:
     def test_matches_dense_reference(self, community_graph):
