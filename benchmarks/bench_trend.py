@@ -1,0 +1,170 @@
+"""Bench-trend differ: fresh BENCH_*.json vs the committed snapshots.
+
+The ``BENCH_*.json`` files at the repo root are committed artifacts —
+the authoritative per-PR performance snapshots.  The nightly workflow
+regenerates them on a hosted runner and this tool diffs the fresh
+payloads against the committed baselines (``git show HEAD:<file>``),
+reporting the relative drift of every shared numeric leaf into
+``BENCH_trend_report.json``.
+
+Strictly **record-only**: hosted-runner throughput is not under our
+control, so drift is data for the trend line, not a gate — the exit
+status is always 0 (barring an unreadable working-tree payload, which
+means the bench itself failed).  Structural changes (keys added or
+removed by a code change) are listed, not flagged.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_trend.py \
+        [--files BENCH_kernels.json ...] [--out BENCH_trend_report.json] \
+        [--threshold 0.25]
+
+``--threshold`` only controls which leaves land in the report's
+``notable`` list (relative drift above it); everything is recorded
+under ``leaves`` regardless.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+
+#: Snapshots diffed by default: every committed BENCH payload that the
+#: nightly full-bench run regenerates.
+DEFAULT_FILES = (
+    "BENCH_kernels.json",
+    "BENCH_parallel.json",
+    "BENCH_storage.json",
+    "BENCH_serving.json",
+)
+
+
+def numeric_leaves(node, prefix="") -> dict:
+    """Flatten a JSON tree to {dotted.path: float} over numeric leaves.
+
+    Booleans are excluded (gate outcomes are structure, not magnitude);
+    list elements are indexed into the path.
+    """
+    leaves: dict[str, float] = {}
+    if isinstance(node, bool) or node is None:
+        return leaves
+    if isinstance(node, (int, float)):
+        leaves[prefix or "."] = float(node)
+        return leaves
+    if isinstance(node, dict):
+        for key, value in node.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            leaves.update(numeric_leaves(value, path))
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            leaves.update(numeric_leaves(value, f"{prefix}[{i}]"))
+    return leaves
+
+
+def committed_payload(path: str, ref: str = "HEAD"):
+    """The committed baseline of ``path`` at ``ref`` (None if absent)."""
+    proc = subprocess.run(
+        ["git", "show", f"{ref}:{path}"],
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        return None
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        return None
+
+
+def diff_file(path: str, ref: str, threshold: float) -> dict:
+    """One file's drift record (see the module docstring)."""
+    try:
+        with open(path) as fh:
+            fresh = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        return {"status": "unreadable", "error": str(exc)}
+    baseline = committed_payload(path, ref)
+    if baseline is None:
+        return {"status": "no-baseline", "ref": ref}
+    fresh_leaves = numeric_leaves(fresh)
+    base_leaves = numeric_leaves(baseline)
+    shared = sorted(set(fresh_leaves) & set(base_leaves))
+    leaves = {}
+    notable = []
+    for key in shared:
+        old, new = base_leaves[key], fresh_leaves[key]
+        drift = (new - old) / abs(old) if old else (0.0 if not new else None)
+        leaves[key] = {
+            "baseline": old,
+            "fresh": new,
+            "relative_drift": (
+                round(drift, 4) if drift is not None else None
+            ),
+        }
+        if drift is None or abs(drift) > threshold:
+            notable.append(key)
+    return {
+        "status": "ok",
+        "ref": ref,
+        "compared_leaves": len(shared),
+        "added_leaves": sorted(set(fresh_leaves) - set(base_leaves)),
+        "removed_leaves": sorted(set(base_leaves) - set(fresh_leaves)),
+        "notable": notable,
+        "leaves": leaves,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--files", nargs="+", default=list(DEFAULT_FILES),
+        help="BENCH payloads to diff (working tree vs committed)",
+    )
+    parser.add_argument(
+        "--ref", default="HEAD",
+        help="git ref of the committed baselines (default HEAD)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="relative drift above which a leaf is listed as notable "
+        "(record-only: never affects the exit status)",
+    )
+    parser.add_argument("--out", default="BENCH_trend_report.json")
+    args = parser.parse_args(argv)
+
+    report = {
+        "tool": "bench_trend",
+        "ref": args.ref,
+        "threshold": args.threshold,
+        "files": {
+            path: diff_file(path, args.ref, args.threshold)
+            for path in args.files
+        },
+    }
+    unreadable = [
+        path
+        for path, entry in report["files"].items()
+        if entry["status"] == "unreadable"
+    ]
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    for path, entry in report["files"].items():
+        if entry["status"] != "ok":
+            print(f"  {path}: {entry['status']}")
+            continue
+        print(
+            f"  {path}: {entry['compared_leaves']} leaves compared, "
+            f"{len(entry['notable'])} drifted past "
+            f"{args.threshold:.0%}, +{len(entry['added_leaves'])}/"
+            f"-{len(entry['removed_leaves'])} structural"
+        )
+    print(f"  wrote {args.out} (record-only)")
+    # Record-only by contract: drift never fails the run.  An unreadable
+    # working-tree payload means the bench run itself broke — surface it.
+    return 1 if unreadable else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -27,6 +27,7 @@ import sys
 import numpy as np
 
 from repro.core import ParallelTwoPhase, TwoPhasePartitioner
+from repro.core.distributed import DistributedRunner, serve_worker
 from repro.core.runners import RUNNERS
 from repro.errors import PartitioningError, ReproError
 from repro.experiments.common import ALL_PARTITIONERS, make_partitioner
@@ -89,7 +90,8 @@ def _make_cli_partitioner(args):
             f"dependency, or drop --backend to use the default "
             f"({DEFAULT_BACKEND!r})."
         )
-    parallel_flags = (args.runner, args.n_workers, args.sync_interval)
+    workers = getattr(args, "workers", None)
+    parallel_flags = (args.runner, args.n_workers, args.sync_interval, workers)
     if all(flag is None for flag in parallel_flags) and not args.parallel_phase1:
         if not args.packed_state:
             return make_partitioner(args.algorithm, backend=args.backend)
@@ -108,14 +110,31 @@ def _make_cli_partitioner(args):
             f"--runner/--n-workers/--sync-interval/--parallel-phase1 apply "
             f"only to {sorted(_PARALLEL_MODES)}, not {args.algorithm!r}"
         )
+    runner = args.runner
+    n_workers = args.n_workers
+    if workers is not None:
+        # --workers host:port,... names pre-started socket workers: it
+        # implies the distributed runner and fixes the worker count.
+        if runner not in (None, "distributed"):
+            raise ReproError(
+                f"--workers applies to --runner distributed, not {runner!r}"
+            )
+        specs = [spec for spec in workers.split(",") if spec]
+        if n_workers is not None and n_workers != len(specs):
+            raise ReproError(
+                f"--n-workers {n_workers} contradicts the "
+                f"{len(specs)} --workers specs"
+            )
+        runner = DistributedRunner(workers=specs)
+        n_workers = len(specs)
     return ParallelTwoPhase(
-        n_workers=args.n_workers if args.n_workers is not None else 4,
+        n_workers=n_workers if n_workers is not None else 4,
         sync_interval=(
             args.sync_interval if args.sync_interval is not None else 65536
         ),
         mode=mode,
         backend=args.backend,
-        runner=args.runner or "simulated",
+        runner=runner or "simulated",
         parallel_phase1=args.parallel_phase1,
         packed_state=args.packed_state,
     )
@@ -188,6 +207,24 @@ def _cmd_partition(args) -> int:
             f"partitioned data  : {sum(manifest['edge_counts'])} edges in "
             f"{args.k} files -> {args.out_dir}"
         )
+    return 0
+
+
+def _cmd_worker(args) -> int:
+    """Run a standalone distributed-partitioning socket worker."""
+
+    def ready(host: str, port: int) -> None:
+        # Machine-readable bound address, flushed before accepting, so
+        # scripts can scrape the port a port-0 worker actually got.
+        print(f"worker listening on {host}:{port}", flush=True)
+
+    served = serve_worker(
+        host=args.host,
+        port=args.port,
+        max_sessions=args.max_sessions,
+        ready=ready,
+    )
+    print(f"worker served {served} session(s)")
     return 0
 
 
@@ -418,6 +455,15 @@ def build_parser() -> argparse.ArgumentParser:
         "default 4 when --runner is given)",
     )
     part.add_argument(
+        "--workers",
+        default=None,
+        metavar="HOST:PORT,...",
+        help="comma-separated addresses of pre-started distributed "
+        "workers (the 'worker' subcommand); implies --runner "
+        "distributed with one shard per address and needs a "
+        "file-backed --input (workers stream their own shards)",
+    )
+    part.add_argument(
         "--sync-interval",
         type=int,
         default=None,
@@ -451,6 +497,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the partitioned graph (one edge file per partition + manifest)",
     )
     part.set_defaults(func=_cmd_partition)
+
+    wrk = sub.add_parser(
+        "worker",
+        help="run a distributed-partitioning worker server "
+        "(pair with partition --workers host:port,...)",
+    )
+    wrk.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (default loopback; use 0.0.0.0 to "
+        "accept coordinators from other hosts)",
+    )
+    wrk.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="port to bind (default 0: the OS picks one, printed on stdout)",
+    )
+    wrk.add_argument(
+        "--max-sessions",
+        type=int,
+        default=None,
+        help="exit after serving this many coordinator sessions "
+        "(default: serve until killed)",
+    )
+    wrk.set_defaults(func=_cmd_worker)
 
     proc = sub.add_parser(
         "process", help="run a simulated distributed workload on partitioned data"

@@ -35,6 +35,7 @@ from repro.core.runners import (
     SimulatedRunner,
     make_runner,
 )
+from repro.core.distributed import DistributedRunner
 from repro.core.parallel import ParallelTwoPhase
 
 __all__ = [
@@ -51,5 +52,6 @@ __all__ = [
     "SerialRunner",
     "SimulatedRunner",
     "ProcessRunner",
+    "DistributedRunner",
     "make_runner",
 ]

@@ -1,0 +1,804 @@
+"""Distributed runner: socket workers under the sync-window schedule.
+
+The fourth way the one deterministic schedule executes (after serial,
+simulated, and process runners): worker processes connected over TCP
+sockets speaking the :mod:`repro.core.wire` protocol.  Loopback by
+default — the coordinator listens on ``127.0.0.1`` and forks local
+workers that connect back — or against pre-started worker servers named
+by ``host:port`` specs (the CLI ``worker`` subcommand) for real
+clusters.
+
+Determinism contract
+--------------------
+``DistributedRunner`` is pinned full-state bit-exact with
+``SimulatedRunner`` and ``ProcessRunner`` per schedule (and with the
+sequential pipeline at ``n_workers=1``) by ``tests/differential.py``.
+The pin holds because every protocol round-trip is a value-preserving
+recoding of the shared-memory runners' arithmetic:
+
+- Workers reopen the job's stream from its spec, so window chunk
+  boundaries — which the vectorized kernels are sensitive to — are
+  identical to every other runner's.
+- Phase-1 merges run coordinator-side through the same kernel merge ops
+  (``merge_phase1_degrees`` / ``merge_phase1_clustering`` +
+  ``compact_clustering``), folding worker exports in task order exactly
+  like the process runner.  A single worker keeps one live clustering
+  state worker-side (no reload/merge), mirroring the simulated runner.
+- Phase-2 barriers ship each worker's **dirty replica rows only**
+  (:func:`~repro.partitioning.state.extract_replica_delta`); the
+  coordinator folds them with
+  :func:`~repro.partitioning.state.merge_replica_wire_deltas` — the
+  same OR-over-dirty-union / disjoint-size-delta arithmetic as
+  ``merge_replica_deltas`` — and broadcasts one refresh every worker
+  acknowledges before the next sweep.  A row clean in worker *w* is
+  bit-identical to the pre-merge global row, so omitting it from *w*'s
+  contribution changes no bit.  Packed replica planes cross the wire as
+  raw byte blocks and merge by byte-OR, dense rows as bool blocks — one
+  code path, like the shared-memory barrier.
+- Assignment slices come back per window and merge where ``>= 0``: the
+  two Phase-2 passes write disjoint positions (the remaining mask is
+  the complement of the prepartition mask under the frozen Phase-1
+  arrays), so last-write-wins never happens.
+
+Failure surface
+---------------
+No hangs, no leaked sockets or shm: every recv runs under the session's
+``recv_timeout``, worker death / disconnection / corruption surfaces as
+a typed :class:`~repro.errors.PartitioningError`
+(:class:`~repro.errors.WireError`), and session ``close()`` — invoked on
+every error path — shuts sockets, reaps spawned workers, and releases
+any stream segment.  ``live_connections()`` / ``live_worker_processes()``
+are the leak-check hooks, mirroring ``live_shared_segments()``.
+
+Edge data never crosses the wire: remote (``host:port``) workers must be
+handed a file-backed stream (:class:`~repro.streaming.stream.FileStreamSpec`)
+and read their own shards; loopback workers may also map a shared-memory
+edge segment, same-host by construction.
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import astuple
+
+import numpy as np
+
+from repro.core import wire
+from repro.core.runners import (
+    _LIVE_SEGMENTS,
+    PASS_METHODS,
+    RUNNERS,
+    Runner,
+    RunnerSession,
+    _DirtyMarkingStream,
+    _merge_cost,
+    _SubStream,
+    _sweep_schedule,
+    compact_clustering,
+    default_start_method,
+)
+from repro.errors import ConfigurationError, PartitioningError, WireError
+from repro.kernels import TwoPhaseContext, get_backend
+from repro.metrics.runtime import CostCounter
+from repro.partitioning.state import (
+    PartitionState,
+    apply_replica_refresh,
+    extract_replica_delta,
+    merge_replica_wire_deltas,
+    packed_row_bytes,
+)
+from repro.streaming.stream import (
+    FileStreamSpec,
+    make_stream_spec,
+    spec_from_wire,
+    spec_to_wire,
+)
+
+#: Connections currently owned by open distributed sessions (leak-check
+#: hook: must be empty whenever no session is open).
+_LIVE_CONNECTIONS: set = set()
+
+#: Locally spawned worker processes of open sessions (same contract).
+_LIVE_WORKER_PROCS: set = set()
+
+
+def live_connections() -> frozenset:
+    """Coordinator connections of open sessions (leak-check hook)."""
+    return frozenset(_LIVE_CONNECTIONS)
+
+
+def live_worker_processes() -> frozenset:
+    """Loopback worker processes of open sessions (leak-check hook)."""
+    return frozenset(_LIVE_WORKER_PROCS)
+
+
+def parse_worker_spec(spec: str) -> tuple[str, int]:
+    """Parse one ``host:port`` worker address."""
+    host, sep, port = str(spec).rpartition(":")
+    if not sep or not host:
+        raise ConfigurationError(
+            f"worker spec {spec!r} is not of the form host:port"
+        )
+    try:
+        port_no = int(port)
+    except ValueError:
+        raise ConfigurationError(
+            f"worker spec {spec!r} has a non-integer port"
+        ) from None
+    if not 0 < port_no < 65536:
+        raise ConfigurationError(
+            f"worker spec {spec!r} has an out-of-range port"
+        )
+    return host, port_no
+
+
+# ---------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------
+def _w_job(ctx, payload):
+    spec = spec_from_wire(payload["spec"])
+    ctx["stream"] = spec.open()
+    ctx["kernels"] = get_backend(payload["backend"])
+    ctx["k"] = int(payload["k"])
+    ctx["alpha"] = float(payload["alpha"])
+    ctx["n_edges"] = int(payload["n_edges"])
+    ctx["hash_seed"] = int(payload["hash_seed"])
+    ctx["hdrf_lambda"] = float(payload["hdrf_lambda"])
+    ctx["worker_index"] = int(payload["worker_index"])
+    return wire.MSG_OK, None
+
+
+def _w_degree(ctx, payload):
+    window = _SubStream(
+        ctx["stream"], int(payload["start"]), int(payload["stop"])
+    )
+    degrees = ctx["kernels"].degree_pass(window)
+    return wire.MSG_DEGREE_RESULT, {
+        "degrees": np.asarray(degrees, dtype=np.int64)
+    }
+
+
+def _w_phase1_init(ctx, payload):
+    degrees = np.asarray(payload["degrees"], dtype=np.int64)
+    ctx["p1_degrees"] = degrees
+    ctx["p1_cap"] = float(payload["cap"])
+    # A lone worker's view is never stale: keep one live clustering
+    # state across windows (the simulated runner's single-worker path).
+    ctx["cluster_state"] = (
+        ctx["kernels"].clustering_init(degrees)
+        if payload["single"]
+        else None
+    )
+    return wire.MSG_OK, None
+
+
+def _w_cluster(ctx, payload):
+    kernels = ctx["kernels"]
+    window = _SubStream(
+        ctx["stream"], int(payload["start"]), int(payload["stop"])
+    )
+    cost = CostCounter()
+    if ctx["cluster_state"] is not None:
+        kernels.clustering_true_pass(
+            window, ctx["cluster_state"], ctx["p1_cap"], cost
+        )
+        return wire.MSG_CLUSTER_RESULT, {
+            "cost": np.asarray(astuple(cost), dtype=np.int64)
+        }
+    st = kernels.clustering_load(
+        payload["v2c"], payload["volumes"], ctx["p1_degrees"]
+    )
+    kernels.clustering_true_pass(window, st, ctx["p1_cap"], cost)
+    v2c, volumes, _ = kernels.clustering_export(st)
+    return wire.MSG_CLUSTER_RESULT, {
+        "v2c": np.asarray(v2c, dtype=np.int64),
+        "volumes": np.asarray(volumes, dtype=np.int64),
+        "cost": np.asarray(astuple(cost), dtype=np.int64),
+    }
+
+
+def _w_cluster_finish(ctx, payload):
+    v2c, volumes, _ = ctx["kernels"].clustering_export(
+        ctx["cluster_state"]
+    )
+    ctx["cluster_state"] = None
+    return wire.MSG_CLUSTER_RESULT, {
+        "v2c": np.asarray(v2c, dtype=np.int64),
+        "volumes": np.asarray(volumes, dtype=np.int64),
+    }
+
+
+def _w_bind(ctx, payload):
+    ctx["view"] = PartitionState(
+        int(payload["n_vertices"]),
+        ctx["k"],
+        ctx["n_edges"],
+        ctx["alpha"],
+        track_dirty=True,
+        packed=bool(payload["packed"]),
+    )
+    ctx["phase1"] = {
+        name: np.asarray(payload[name], dtype=np.int64)
+        for name in ("v2c", "c2p", "volumes", "degrees")
+    }
+    return wire.MSG_OK, None
+
+
+def _w_window(ctx, payload):
+    view = ctx["view"]
+    start, stop = int(payload["start"]), int(payload["stop"])
+    # Fresh slice: Phase-2 kernels only ever *write* assignments, and
+    # the two passes write disjoint positions — the coordinator merges
+    # returned values where >= 0, so current values need not ship out.
+    assignments = np.full(stop - start, -1, dtype=np.int32)
+    cost = CostCounter()
+    phase1 = ctx["phase1"]
+    kernel_ctx = TwoPhaseContext(
+        k=ctx["k"],
+        v2c=phase1["v2c"],
+        c2p=phase1["c2p"],
+        volumes=phase1["volumes"],
+        degrees=phase1["degrees"],
+        state=view,
+        assignments=assignments,
+        hash_seed=ctx["hash_seed"],
+        cost=cost,
+        hdrf_lambda=ctx["hdrf_lambda"],
+    )
+    window = _DirtyMarkingStream(
+        _SubStream(ctx["stream"], start, stop), view
+    )
+    out = getattr(ctx["kernels"], PASS_METHODS[payload["pass"]])(
+        window, kernel_ctx
+    )
+    rows, rows_data, sizes = extract_replica_delta(view)
+    return wire.MSG_WINDOW_RESULT, {
+        "total": 0 if out is None else int(out),
+        "cost": np.asarray(astuple(cost), dtype=np.int64),
+        "assignments": assignments,
+        "rows": rows,
+        "rows_data": np.asarray(rows_data),
+        "sizes": sizes,
+    }
+
+
+def _w_barrier(ctx, payload):
+    apply_replica_refresh(
+        ctx["view"], payload["rows"], payload["rows_data"], payload["sizes"]
+    )
+    return wire.MSG_BARRIER_ACK, None
+
+
+#: Message dispatch for the worker loop.  Module-level and looked up per
+#: message so tests can monkeypatch handlers (fork-spawned loopback
+#: workers inherit the patched registry) to inject failures.
+_MESSAGE_HANDLERS = {
+    wire.MSG_JOB: _w_job,
+    wire.MSG_DEGREE: _w_degree,
+    wire.MSG_PHASE1_INIT: _w_phase1_init,
+    wire.MSG_CLUSTER: _w_cluster,
+    wire.MSG_CLUSTER_FINISH: _w_cluster_finish,
+    wire.MSG_BIND: _w_bind,
+    wire.MSG_WINDOW: _w_window,
+    wire.MSG_BARRIER: _w_barrier,
+}
+
+
+def _serve_connection(sock: socket.socket, version: int | None = None):
+    """Serve one coordinator session over an established socket.
+
+    Handler exceptions are reported back as ``ERROR`` frames (the
+    coordinator turns them into typed errors and tears the session
+    down); transport failures mean the coordinator is gone, so the loop
+    just exits.  ``version`` overrides the advertised wire version —
+    exists so version-negotiation tests can stand up a mismatched peer.
+    """
+    conn = wire.Connection(sock, label="coordinator")
+    ctx: dict = {}
+    try:
+        wire.handshake_server(conn, version=version)
+        while True:
+            msg_type, payload = conn.recv()
+            if msg_type == wire.MSG_SHUTDOWN:
+                conn.send(wire.MSG_OK)
+                return
+            handler = _MESSAGE_HANDLERS.get(msg_type)
+            if handler is None:
+                conn.send(
+                    wire.MSG_ERROR,
+                    {"message": f"unknown message type {msg_type}"},
+                )
+                continue
+            try:
+                out_type, out_payload = handler(ctx, payload)
+            except Exception as exc:  # noqa: BLE001 - reported to peer
+                conn.send(
+                    wire.MSG_ERROR,
+                    {"message": f"{type(exc).__name__}: {exc}"},
+                )
+                continue
+            conn.send(out_type, out_payload)
+    except WireError:
+        return  # coordinator vanished: no peer left to report to
+    finally:
+        conn.close()
+        stream = ctx.get("stream")
+        shm = getattr(stream, "_shm", None)
+        if shm is not None:
+            shm.close()
+
+
+def _loopback_worker_main(address: tuple[str, int]) -> None:
+    """Entry point of a coordinator-spawned loopback worker process."""
+    sock = socket.create_connection(address, timeout=30.0)
+    sock.settimeout(None)
+    _serve_connection(sock)
+
+
+def serve_worker(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_sessions: int | None = None,
+    version: int | None = None,
+    ready=None,
+) -> int:
+    """Run a standalone worker server; returns sessions served.
+
+    One coordinator session at a time (the protocol is session-scoped
+    lock-step; a partitioning worker has no work to interleave).  With
+    ``port=0`` the OS picks a free port — ``ready(host, port)`` is
+    called with the bound address before accepting.  ``max_sessions``
+    bounds the lifetime for tests and one-shot jobs; ``None`` serves
+    until killed.
+    """
+    server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    try:
+        server.bind((host, port))
+        server.listen()
+        bound_host, bound_port = server.getsockname()[:2]
+        if ready is not None:
+            ready(bound_host, bound_port)
+        served = 0
+        while max_sessions is None or served < max_sessions:
+            sock, _ = server.accept()
+            _serve_connection(sock, version=version)
+            served += 1
+        return served
+    finally:
+        server.close()
+
+
+# ---------------------------------------------------------------------
+# coordinator side
+# ---------------------------------------------------------------------
+class DistributedRunner(Runner):
+    """Socket workers speaking the sync-window/delta-barrier protocol.
+
+    Parameters
+    ----------
+    workers:
+        ``host:port`` specs of pre-started worker servers (the CLI
+        ``worker`` subcommand), one per shard worker.  ``None`` (the
+        default) bootstraps loopback: the coordinator listens on
+        ``127.0.0.1`` and spawns local worker processes that connect
+        back.  Remote workers need a file-backed stream — each streams
+        its own shard; edge data never crosses the wire.
+    connect_timeout:
+        Seconds to establish (or accept) each worker connection.
+    recv_timeout:
+        Seconds any single protocol reply may take.  A worker that died
+        mid-window would otherwise hang the coordinator forever; the
+        timeout converts that into a typed
+        :class:`~repro.errors.PartitioningError` and session teardown
+        closes every socket and reaps every spawned worker.
+    start_method:
+        ``multiprocessing`` start method for loopback workers (``None``
+        picks :func:`~repro.core.runners.default_start_method`).
+    """
+
+    kind = "distributed"
+    measures_wallclock = True
+
+    def __init__(
+        self,
+        workers=None,
+        connect_timeout: float = 10.0,
+        recv_timeout: float = 600.0,
+        start_method: str | None = None,
+    ) -> None:
+        if connect_timeout <= 0 or recv_timeout <= 0:
+            raise ConfigurationError(
+                "connect_timeout and recv_timeout must be positive, got "
+                f"{connect_timeout} / {recv_timeout}"
+            )
+        if start_method is not None:
+            import multiprocessing as mp
+
+            if start_method not in mp.get_all_start_methods():
+                raise ConfigurationError(
+                    f"start_method {start_method!r} not available; "
+                    f"choose from {mp.get_all_start_methods()}"
+                )
+        self.workers = (
+            None
+            if workers is None
+            else [parse_worker_spec(spec) for spec in workers]
+        )
+        self.connect_timeout = float(connect_timeout)
+        self.recv_timeout = float(recv_timeout)
+        self.start_method = start_method
+
+    def open(self, job) -> RunnerSession:
+        return _DistributedSession(self, job)
+
+
+class _DistributedSession(RunnerSession):
+    def __init__(self, runner: DistributedRunner, job) -> None:
+        self.job = job
+        self._recv_timeout = runner.recv_timeout
+        self._connect_timeout = runner.connect_timeout
+        self._conns: list[wire.Connection] = []
+        self._procs: list = []
+        self._listener = None
+        self._stream_shm = None
+        self._row_bytes = 0
+        self._closed = False
+        self.wire_barrier_delta_bytes = 0
+        self.wire_barrier_plane_bytes = 0
+        self.wire_barrier_full_bytes = 0
+        try:
+            self._setup(runner)
+        except BaseException:
+            self.close()
+            raise
+
+    # -- bootstrap -----------------------------------------------------
+    def _setup(self, runner: DistributedRunner) -> None:
+        job = self.job
+        spec, self._stream_shm = make_stream_spec(job.stream)
+        if self._stream_shm is not None:
+            _LIVE_SEGMENTS.add(self._stream_shm.name)
+        if runner.workers is not None:
+            if len(runner.workers) != job.n_workers:
+                raise ConfigurationError(
+                    f"{len(runner.workers)} worker specs for "
+                    f"n_workers={job.n_workers}; they must match"
+                )
+            if not isinstance(spec, FileStreamSpec):
+                raise ConfigurationError(
+                    "host:port workers need a file-backed stream "
+                    "(FileEdgeStream): shared-memory edge segments do "
+                    "not cross hosts — workers stream their own shards"
+                )
+            self._connect_workers(runner.workers)
+        else:
+            self._spawn_loopback_workers(runner, job.n_workers)
+        for conn in self._conns:
+            conn.settimeout(self._recv_timeout)
+            try:
+                wire.handshake_client(conn)
+            except WireError as exc:
+                raise PartitioningError(
+                    f"distributed handshake failed: {exc}"
+                ) from exc
+        job_fields = {
+            "spec": spec_to_wire(spec),
+            "n_edges": int(job.shard_bounds[-1]),
+            "k": job.k,
+            "alpha": job.alpha,
+            "backend": job.backend,
+            "hash_seed": job.hash_seed,
+            "hdrf_lambda": job.hdrf_lambda,
+        }
+        for w, conn in enumerate(self._conns):
+            self._send(w, wire.MSG_JOB, {**job_fields, "worker_index": w},
+                       "job setup")
+        for w in range(len(self._conns)):
+            self._recv(w, wire.MSG_OK, "job setup")
+
+    def _connect_workers(self, addresses) -> None:
+        for w, address in enumerate(addresses):
+            label = f"worker {w} at {address[0]}:{address[1]}"
+            try:
+                sock = socket.create_connection(
+                    address, timeout=self._connect_timeout
+                )
+            except OSError as exc:
+                raise PartitioningError(
+                    f"could not connect to distributed {label}: {exc}"
+                ) from exc
+            self._track(wire.Connection(sock, label=label))
+
+    def _spawn_loopback_workers(self, runner, n_workers: int) -> None:
+        import multiprocessing as mp
+
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(n_workers)
+        self._listener.settimeout(self._connect_timeout)
+        address = self._listener.getsockname()[:2]
+        ctx = mp.get_context(runner.start_method or default_start_method())
+        for _ in range(n_workers):
+            proc = ctx.Process(
+                target=_loopback_worker_main, args=(address,), daemon=True
+            )
+            proc.start()
+            self._procs.append(proc)
+            _LIVE_WORKER_PROCS.add(proc)
+        for w in range(n_workers):
+            try:
+                sock, _ = self._listener.accept()
+            except (TimeoutError, socket.timeout, OSError) as exc:
+                raise PartitioningError(
+                    f"loopback worker {w} did not connect within "
+                    f"{self._connect_timeout:.0f}s"
+                ) from exc
+            self._track(wire.Connection(sock, label=f"worker {w}"))
+        self._listener.close()
+        self._listener = None
+
+    def _track(self, conn: wire.Connection) -> None:
+        self._conns.append(conn)
+        _LIVE_CONNECTIONS.add(conn)
+
+    # -- protocol plumbing ---------------------------------------------
+    def _send(self, w: int, msg_type: int, payload, step: str) -> None:
+        try:
+            self._conns[w].send(msg_type, payload)
+        except WireError as exc:
+            raise PartitioningError(
+                f"distributed {step}: worker {w} unreachable: {exc}"
+            ) from exc
+
+    def _recv(self, w: int, expected: int, step: str) -> dict:
+        try:
+            msg_type, payload = self._conns[w].recv()
+        except WireError as exc:
+            raise PartitioningError(
+                f"distributed {step}: worker {w} died or stalled: {exc}"
+            ) from exc
+        if msg_type == wire.MSG_ERROR:
+            raise PartitioningError(
+                f"distributed worker {w} failed during {step}: "
+                f"{payload.get('message', 'no detail')}"
+            )
+        if msg_type != expected:
+            raise PartitioningError(
+                f"distributed {step}: worker {w} sent "
+                f"{wire.MESSAGE_NAMES.get(msg_type, msg_type)}, expected "
+                f"{wire.MESSAGE_NAMES.get(expected, expected)}"
+            )
+        return payload
+
+    def _broadcast(self, msg_type: int, payload, expected: int,
+                   step: str) -> list[dict]:
+        for w in range(len(self._conns)):
+            self._send(w, msg_type, payload, step)
+        return [
+            self._recv(w, expected, step)
+            for w in range(len(self._conns))
+        ]
+
+    # -- Phase 1 -------------------------------------------------------
+    def run_degree_pass(self, n_hint: int | None = None) -> np.ndarray:
+        job = self.job
+        active = []
+        for w in range(job.n_workers):
+            start = int(job.shard_bounds[w])
+            stop = int(job.shard_bounds[w + 1])
+            if start == stop:
+                continue
+            self._send(
+                w, wire.MSG_DEGREE, {"start": start, "stop": stop}, "degree"
+            )
+            active.append(w)
+        partials = [
+            self._recv(w, wire.MSG_DEGREE_RESULT, "degree")["degrees"]
+            for w in active
+        ]
+        return get_backend(job.backend).merge_phase1_degrees(
+            partials, n_hint
+        )
+
+    def run_clustering(self, degrees, cap, n_passes):
+        job = self.job
+        kernels = get_backend(job.backend)
+        degrees = np.asarray(degrees, dtype=np.int64)
+        single = job.n_workers == 1
+        self._broadcast(
+            wire.MSG_PHASE1_INIT,
+            {"degrees": degrees, "cap": float(cap), "single": single},
+            wire.MSG_OK,
+            "clustering",
+        )
+        v2c_g = np.full(degrees.shape[0], -1, dtype=np.int64)
+        vol_g = np.zeros(0, dtype=np.int64)
+        syncs = 0
+        for _ in range(int(n_passes)):
+            position = [
+                int(job.shard_bounds[w]) for w in range(job.n_workers)
+            ]
+            stop = [
+                int(job.shard_bounds[w + 1]) for w in range(job.n_workers)
+            ]
+            while True:
+                tasks = _sweep_schedule(
+                    position, stop, job.sync_interval, "cluster"
+                )
+                if not tasks:
+                    break
+                for w, _, t_start, t_stop in tasks:
+                    fields = {"start": t_start, "stop": t_stop}
+                    if not single:
+                        # The merged clustering the worker loads from —
+                        # the wire twin of the process runner's shared
+                        # scratch slots.
+                        fields["v2c"] = v2c_g
+                        fields["volumes"] = vol_g
+                    self._send(w, wire.MSG_CLUSTER, fields, "clustering")
+                results = [
+                    self._recv(w, wire.MSG_CLUSTER_RESULT, "clustering")
+                    for w, _, _, _ in tasks
+                ]
+                for result in results:
+                    _merge_cost(job.cost, result["cost"])
+                syncs += 1
+                if single:
+                    continue  # the lone worker's live state stays put
+                exports = [
+                    (result["v2c"], result["volumes"])
+                    for result in results
+                ]
+                v2c_g, vol_g = kernels.merge_phase1_clustering(
+                    v2c_g, vol_g, exports, degrees
+                )
+                v2c_g, vol_g = compact_clustering(v2c_g, vol_g)
+        if single:
+            self._send(0, wire.MSG_CLUSTER_FINISH, None, "clustering")
+            result = self._recv(0, wire.MSG_CLUSTER_RESULT, "clustering")
+            v2c_g = result["v2c"]
+            vol_g = result["volumes"]
+        return v2c_g, vol_g, syncs
+
+    # -- Phase 2 -------------------------------------------------------
+    def bind_phase2(self) -> None:
+        job = self.job
+        self._row_bytes = (
+            packed_row_bytes(job.k) if job.state.packed else int(job.k)
+        )
+        self._broadcast(
+            wire.MSG_BIND,
+            {
+                "n_vertices": int(job.state.n_vertices),
+                "packed": bool(job.state.packed),
+                "v2c": job.v2c,
+                "c2p": job.c2p,
+                "volumes": job.volumes,
+                "degrees": job.degrees,
+            },
+            wire.MSG_OK,
+            "phase-2 bind",
+        )
+
+    def run_pass(self, pass_name: str) -> tuple[int, int]:
+        if pass_name not in PASS_METHODS:
+            raise ConfigurationError(f"unknown pass {pass_name!r}")
+        job = self.job
+        n = int(job.state.n_vertices)
+        position = [int(job.shard_bounds[w]) for w in range(job.n_workers)]
+        stop = [int(job.shard_bounds[w + 1]) for w in range(job.n_workers)]
+        total = 0
+        syncs = 0
+        while True:
+            tasks = _sweep_schedule(
+                position, stop, job.sync_interval, pass_name
+            )
+            if not tasks:
+                break
+            for w, _, t_start, t_stop in tasks:
+                self._send(
+                    w,
+                    wire.MSG_WINDOW,
+                    {"pass": pass_name, "start": t_start, "stop": t_stop},
+                    pass_name,
+                )
+            deltas = []
+            for w, _, t_start, t_stop in tasks:
+                result = self._recv(w, wire.MSG_WINDOW_RESULT, pass_name)
+                returned = result["assignments"]
+                np.copyto(
+                    job.assignments[t_start:t_stop],
+                    returned,
+                    where=returned >= 0,
+                )
+                total += int(result["total"])
+                _merge_cost(job.cost, result["cost"])
+                deltas.append(
+                    (result["rows"], result["rows_data"], result["sizes"])
+                )
+            rows, merged, new_sizes = merge_replica_wire_deltas(
+                job.state, deltas
+            )
+            self._broadcast(
+                wire.MSG_BARRIER,
+                {"rows": rows, "rows_data": merged, "sizes": new_sizes},
+                wire.MSG_BARRIER_ACK,
+                f"{pass_name} barrier",
+            )
+            syncs += 1
+            self.barrier_rows += int(rows.size)
+            self.barrier_full_rows += n
+            # Three views of barrier traffic: the full refresh payload
+            # (row indices + row planes + sizes), the replica-plane
+            # component alone, and what a full-state re-broadcast would
+            # have shipped (every plane row + sizes, no indices needed).
+            per_worker = rows.nbytes + merged.nbytes + new_sizes.nbytes
+            self.wire_barrier_delta_bytes += per_worker * job.n_workers
+            self.wire_barrier_plane_bytes += merged.nbytes * job.n_workers
+            self.wire_barrier_full_bytes += (
+                n * self._row_bytes + new_sizes.nbytes
+            ) * job.n_workers
+        return total, syncs
+
+    # -- bookkeeping ---------------------------------------------------
+    def wire_stats(self) -> dict:
+        return {
+            "bytes_sent": sum(c.bytes_sent for c in self._conns),
+            "bytes_received": sum(c.bytes_received for c in self._conns),
+            "barrier_delta_bytes": self.wire_barrier_delta_bytes,
+            "barrier_plane_bytes": self.wire_barrier_plane_bytes,
+            "barrier_full_bytes": self.wire_barrier_full_bytes,
+        }
+
+    def extra_state_bytes(self) -> int:
+        # Worker views live in worker processes; report their logical
+        # size (what the process runner reports for its shared views).
+        job = self.job
+        if job.state is None:
+            return 0
+        return job.n_workers * PartitionState.shared_nbytes(
+            int(job.state.n_vertices),
+            job.k,
+            track_dirty=True,
+            packed=bool(job.state.packed),
+        )
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        conns, self._conns = self._conns, []
+        for conn in conns:
+            try:
+                conn.settimeout(2.0)
+                conn.send(wire.MSG_SHUTDOWN)
+                conn.recv()
+            except WireError:
+                pass  # best-effort goodbye; the close below is what counts
+            conn.close()
+            _LIVE_CONNECTIONS.discard(conn)
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+        procs, self._procs = self._procs, []
+        for proc in procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2.0)
+            if proc.is_alive():  # pragma: no cover - needs a wedged child
+                proc.kill()
+                proc.join(timeout=1.0)
+            _LIVE_WORKER_PROCS.discard(proc)
+        if self._stream_shm is not None:
+            shm, self._stream_shm = self._stream_shm, None
+            _LIVE_SEGMENTS.discard(shm.name)
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - cleanup race
+                pass
+
+
+RUNNERS["distributed"] = DistributedRunner

@@ -274,6 +274,7 @@ class ParallelTwoPhase(EdgePartitioner):
             worker_bytes = session.extra_state_bytes()
             barrier_rows = session.barrier_rows
             barrier_full_rows = session.barrier_full_rows
+            wire_stats = session.wire_stats()
             session.finalize()
         finally:
             session.close()
@@ -318,6 +319,10 @@ class ParallelTwoPhase(EdgePartitioner):
                 # = rows * k replica-matrix cells).
                 "barrier_bytes": barrier_rows * k,
                 "barrier_bytes_full": barrier_full_rows * k,
+                # Distributed sessions also report actual socket traffic
+                # (frame bytes both ways, barrier delta vs what a full
+                # state re-broadcast would have shipped).
+                **({"wire": wire_stats} if wire_stats else {}),
             },
         )
 

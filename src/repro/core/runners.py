@@ -21,6 +21,15 @@ runner from this module:
   :class:`~repro.streaming.stream.StreamSpec` (file streams stay
   out-of-core; in-memory streams ship their edges once through shared
   memory).  Parallel wall-clock is *measured*.
+- :class:`~repro.core.distributed.DistributedRunner` — worker processes
+  over TCP sockets (loopback by default, ``host:port`` specs for real
+  clusters), speaking the same schedule as an explicit versioned wire
+  format (:mod:`repro.core.wire`): length-prefixed CRC-checked frames
+  carrying window assignments, dirty replica-row deltas (packed planes
+  as raw byte-OR blocks), Phase-1 merge inputs, and barrier acks.
+  Workers reopen their own stream shards from the job's spec, so edge
+  data never crosses the wire.  Registered lazily (importing
+  :mod:`repro.core` or calling :func:`make_runner` resolves it).
 
 A session covers **both phases** of a run.  Phase 1 executes through
 :meth:`RunnerSession.run_degree_pass` (per-shard partial degree vectors,
@@ -34,21 +43,27 @@ merge contract).  Phase 2 then binds its state with
 
 Equivalence contract
 --------------------
-All three runners execute the same deterministic schedule: worker ``w``
+All four runners execute the same deterministic schedule: worker ``w``
 processes shard ``[bounds[w], bounds[w+1])`` in windows of at most
 ``sync_interval`` edges, and after every sweep a barrier merges worker
 deltas into the global state and refreshes every stale view.  Because the
 kernel contract makes chunk and window boundaries semantics-free (see
 :mod:`repro.kernels`), this pins down every output bit:
 
-- :class:`ProcessRunner` is **bit-identical** to :class:`SimulatedRunner`
-  under the same schedule — Phase-1 degrees and clustering, per-edge
-  assignments, replica matrix, partition sizes *and* cost counters (cost
-  fields are sums of per-window counts, so merge order cannot matter).
-- With ``n_workers=1`` both are bit-exact with the sequential pipeline
-  (a single worker's view is never stale), and :class:`SerialRunner` is
-  bit-exact with it for *any* worker count because it ignores sharding
-  entirely.
+- :class:`ProcessRunner` and ``DistributedRunner`` are **bit-identical**
+  to :class:`SimulatedRunner` under the same schedule — Phase-1 degrees
+  and clustering, per-edge assignments, replica matrix, partition sizes
+  *and* cost counters (cost fields are sums of per-window counts, so
+  merge order cannot matter).  For the distributed tier the wire is a
+  value-preserving recoding: barriers ship each worker's dirty rows
+  only, which is exact because a row clean in worker ``w`` equals the
+  pre-merge global row (see :mod:`repro.core.distributed` for the full
+  argument).  ``SimulatedRunner`` thereby doubles as the in-CI
+  deterministic twin of a multi-host run.
+- With ``n_workers=1`` all of them are bit-exact with the sequential
+  pipeline (a single worker's view is never stale), and
+  :class:`SerialRunner` is bit-exact with it for *any* worker count
+  because it ignores sharding entirely.
 
 ``tests/test_parallel_kernels.py`` and the randomized differential
 harness (``tests/differential.py``) enforce all of this.
@@ -307,6 +322,10 @@ class RunnerSession(ABC):
     def extra_state_bytes(self) -> int:
         """Bytes held by per-worker state views beyond the global state."""
         return 0
+
+    def wire_stats(self) -> dict | None:
+        """Wire-traffic accounting (distributed sessions only)."""
+        return None
 
 
 class Runner(ABC):
@@ -1260,11 +1279,20 @@ def make_runner(
     *,
     start_method: str | None = None,
     task_timeout: float = 600.0,
+    workers=None,
+    connect_timeout: float = 10.0,
 ) -> Runner:
     """Resolve a runner name or pass an instance through.
 
-    ``start_method``/``task_timeout`` configure the process runner and are
-    ignored by the others (they have no execution knobs).
+    ``start_method``/``task_timeout`` configure the process and
+    distributed runners (for the latter ``task_timeout`` becomes the
+    per-reply ``recv_timeout``); ``workers``/``connect_timeout``
+    configure the distributed runner only.  All are ignored by runners
+    without execution knobs.
+
+    The distributed runner lives in :mod:`repro.core.distributed`
+    (imported lazily here to keep this module import-cycle-free); naming
+    it registers it.
 
     Raises
     ------
@@ -1273,12 +1301,23 @@ def make_runner(
     """
     if isinstance(spec, Runner):
         return spec
+    if spec == "distributed" and spec not in RUNNERS:
+        import repro.core.distributed  # noqa: F401 - registers itself
     if spec not in RUNNERS:
         raise ConfigurationError(
-            f"unknown runner {spec!r}; available: {sorted(RUNNERS)}"
+            f"unknown runner {spec!r}; available: "
+            f"{sorted(set(RUNNERS) | {'distributed'})}"
         )
-    if RUNNERS[spec] is ProcessRunner:
+    cls = RUNNERS[spec]
+    if cls is ProcessRunner:
         return ProcessRunner(
             start_method=start_method, task_timeout=task_timeout
         )
-    return RUNNERS[spec]()
+    if cls.kind == "distributed":
+        return cls(
+            workers=workers,
+            connect_timeout=connect_timeout,
+            recv_timeout=task_timeout,
+            start_method=start_method,
+        )
+    return cls()

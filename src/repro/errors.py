@@ -37,6 +37,16 @@ class BalanceError(PartitioningError):
     """The hard balance cap cannot be satisfied (e.g. ``alpha * |E| < |E|``)."""
 
 
+class WireError(PartitioningError):
+    """A distributed-runner wire-protocol failure.
+
+    Covers the transport layer (peer closed the connection, recv timeout,
+    refused connect) and the framing layer (bad magic, CRC mismatch,
+    truncated frame, protocol-version mismatch).  Derives from
+    :class:`PartitioningError` so a worker death anywhere in a distributed
+    run surfaces as the one typed error every runner already raises."""
+
+
 class ConfigurationError(ReproError):
     """Invalid experiment or algorithm configuration values."""
 

@@ -149,6 +149,21 @@ each other on randomized barrier scenarios; the randomized differential
 harness (``tests/differential.py``) pins the full pipeline across
 runners, backends and seeds.
 
+The distributed runner (``repro.core.distributed``) rides these exact
+ops over its wire protocol: workers ship ``clustering_export`` payloads
+and partial degree vectors as typed wire frames, and the coordinator
+folds them with the same ``merge_phase1_degrees`` /
+``merge_phase1_clustering`` calls in the same ascending-worker order —
+so the ordered-fold contract above is also the wire contract.  Phase-2
+delta barriers likewise reuse the shared-memory merge semantics: the
+socket path (``extract_replica_delta`` -> frames ->
+``merge_replica_wire_deltas`` -> ``apply_replica_refresh``) is
+property-pinned bit-exact against in-place ``merge_replica_deltas``
+(``tests/test_state.py``), which is what lets ``DistributedRunner``
+join the ``SimulatedRunner == ProcessRunner`` equality class without
+any backend changes.  Backends never see sockets; a backend correct
+under this contract is distributed-correct for free.
+
 Packed replica rows (out-of-core states)
 ----------------------------------------
 ``PartitionState(..., packed=True)`` stores the replica matrix as

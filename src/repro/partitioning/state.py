@@ -693,3 +693,78 @@ def merge_replica_deltas(state: PartitionState, worker_states) -> int:
         ws.sizes[:] = new_sizes
         ws.dirty[:] = False
     return int(rows.size)
+
+
+# ---------------------------------------------------------------------
+# wire-delta serialization (distributed runner barriers)
+# ---------------------------------------------------------------------
+def extract_replica_delta(state: PartitionState):
+    """Serialize a worker view's barrier contribution as raw arrays.
+
+    Returns ``(rows, rows_data, sizes)``: the view's dirty row indices
+    (``int64``), the raw storage of exactly those rows (dense bool rows,
+    or the byte planes of a packed matrix — ready to ship as byte-OR
+    blocks), and the full local sizes vector.  This is one worker's term
+    of :func:`merge_replica_deltas`, flattened for a wire frame: clean
+    rows are bit-identical to the last synchronized global state, so
+    omitting them loses nothing.
+    """
+    if state.dirty is None:
+        raise PartitioningError(
+            "extract_replica_delta needs a dirty-tracking state "
+            "(track_dirty=True)"
+        )
+    rows = np.flatnonzero(state.dirty)
+    rows_data = _replica_storage(state.replicas)[rows]
+    return rows, rows_data, state.sizes.copy()
+
+
+def merge_replica_wire_deltas(state: PartitionState, deltas):
+    """Fold serialized worker deltas into ``state``; the coordinator half.
+
+    ``deltas`` is one ``(rows, rows_data, sizes)`` triple per worker, as
+    produced by :func:`extract_replica_delta` (decoded from the wire).
+    Applies the exact :func:`merge_replica_deltas` arithmetic — OR over
+    the union of dirty rows, sizes summed as disjoint deltas against the
+    last synchronized global sizes — and returns the refresh broadcast
+    ``(rows, merged_rows, new_sizes)`` every worker must apply via
+    :func:`apply_replica_refresh`.  Equivalence with the shared-memory
+    barrier is pinned by ``tests/test_state.py``; bit-exactness holds
+    because a row clean in worker *w* equals the pre-merge global row, so
+    leaving it out of *w*'s OR contribution changes no bit.
+    """
+    union = np.zeros(state.n_vertices, dtype=bool)
+    for rows_w, _, _ in deltas:
+        union[rows_w] = True
+    rows = np.flatnonzero(union)
+    new_sizes = state.sizes + sum(
+        np.asarray(sizes_w, dtype=np.int64) - state.sizes
+        for _, _, sizes_w in deltas
+    )
+    raw = _replica_storage(state.replicas)
+    merged = raw[rows]
+    for rows_w, rows_data_w, _ in deltas:
+        rows_w = np.asarray(rows_w, dtype=np.int64)
+        if rows_w.size:
+            idx = np.searchsorted(rows, rows_w)
+            merged[idx] |= np.asarray(rows_data_w)
+    if rows.size:
+        raw[rows] = merged
+    state.sizes[:] = new_sizes
+    return rows, merged, new_sizes
+
+
+def apply_replica_refresh(state: PartitionState, rows, rows_data, sizes):
+    """Apply one barrier refresh broadcast to a worker view.
+
+    After this the view is bit-identical to the merged global state on
+    every refreshed row, its sizes equal the new global sizes, and its
+    dirty bitmap is clear — the invariant :func:`merge_replica_deltas`
+    re-establishes for shared-memory views at every barrier.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    if rows.size:
+        _replica_storage(state.replicas)[rows] = np.asarray(rows_data)
+    state.sizes[:] = np.asarray(sizes, dtype=np.int64)
+    if state.dirty is not None:
+        state.dirty[:] = False

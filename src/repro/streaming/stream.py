@@ -517,6 +517,61 @@ def make_stream_spec(stream: EdgeStream):
     return spec, shm
 
 
+def spec_to_wire(spec: StreamSpec) -> dict:
+    """Flatten a stream spec into a wire-encodable field mapping.
+
+    The distributed runner ships specs inside protocol frames
+    (:mod:`repro.core.wire`), which carry typed scalars rather than
+    pickles — so specs cross the wire as tagged plain fields.  Inverse of
+    :func:`spec_from_wire`.  Note a :class:`SharedArrayStreamSpec` only
+    reopens on the host that created its segment; coordinators must send
+    remote workers file-backed specs so each worker streams its own shard
+    and no edge data crosses the wire.
+    """
+    if isinstance(spec, FileStreamSpec):
+        return {
+            "kind": "file",
+            "path": spec.path,
+            "n_vertices": spec.n_vertices,
+            "chunk_size": spec.chunk_size,
+            "prefetch": spec.prefetch,
+        }
+    if isinstance(spec, SharedArrayStreamSpec):
+        return {
+            "kind": "shared-array",
+            "shm_name": spec.shm_name,
+            "n_edges": spec.n_edges,
+            "n_vertices": spec.n_vertices,
+            "chunk_size": spec.chunk_size,
+        }
+    raise StreamError(
+        f"no wire encoding for stream spec {type(spec).__name__}"
+    )
+
+
+def spec_from_wire(fields: dict) -> StreamSpec:
+    """Rebuild a stream spec from its wire field mapping."""
+    kind = fields.get("kind")
+    n_vertices = fields.get("n_vertices")
+    if n_vertices is not None:
+        n_vertices = int(n_vertices)
+    if kind == "file":
+        return FileStreamSpec(
+            path=str(fields["path"]),
+            n_vertices=n_vertices,
+            chunk_size=int(fields["chunk_size"]),
+            prefetch=bool(fields["prefetch"]),
+        )
+    if kind == "shared-array":
+        return SharedArrayStreamSpec(
+            shm_name=str(fields["shm_name"]),
+            n_edges=int(fields["n_edges"]),
+            n_vertices=n_vertices,
+            chunk_size=int(fields["chunk_size"]),
+        )
+    raise StreamError(f"unknown stream-spec kind {kind!r}")
+
+
 def as_stream(
     source, n_vertices: int | None = None, chunk_size: int | None = None
 ) -> EdgeStream:

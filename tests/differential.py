@@ -9,8 +9,9 @@ contract of :mod:`repro.core.runners` on the **full final state**:
 
 - per-edge assignments, the replica matrix, partition sizes and the
   machine-neutral cost counters are byte-identical between
-  ``SimulatedRunner`` and ``ProcessRunner`` under the same schedule, for
-  every kernel backend;
+  ``SimulatedRunner``, ``ProcessRunner`` and ``DistributedRunner``
+  (loopback socket workers speaking the versioned wire protocol) under
+  the same schedule, for every kernel backend;
 - kernel backends are byte-identical to each other within every runner;
 - ``SerialRunner`` is byte-identical to the sequential
   ``TwoPhasePartitioner`` (for any configured worker count);
@@ -27,7 +28,8 @@ contract of :mod:`repro.core.runners` on the **full final state**:
   in-memory :class:`PartitionResult` — replica rows, degrees, sizes,
   routing, and per-edge ownership including duplicate-edge
   (first-stream-occurrence) semantics;
-- no shared-memory segment survives any process-runner session.
+- no shared-memory segment, wire connection or distributed worker
+  process survives any runner session.
 
 The backend dimension is :func:`repro.kernels.available_backends`, so the
 sweep is {python, numpy} everywhere and gains the compiled ``numba``
@@ -62,14 +64,18 @@ import numpy as np
 
 from repro.baselines import HDRF
 from repro.core import ParallelTwoPhase, TwoPhasePartitioner
+from repro.core.distributed import live_connections, live_worker_processes
 from repro.core.runners import live_shared_segments
 from repro.graph.generators import chung_lu_graph, rmat_graph
 from repro.kernels import available_backends
 from repro.streaming import FileEdgeStream
 from repro.streaming.writer import EdgeListWriter
 
-#: The full runner matrix the harness sweeps.
-RUNNERS = ("serial", "simulated", "process")
+#: The full runner matrix the harness sweeps.  ``distributed`` is the
+#: socket-protocol runner in loopback mode: same schedule, same merge
+#: ops, but every delta crosses a wire frame instead of shared memory —
+#: the sweep pins it bit-exact against the in-process runners.
+RUNNERS = ("serial", "simulated", "process", "distributed")
 
 #: Extras that must agree wherever the state agrees (schedule-derived).
 _CHECKED_EXTRAS = (
@@ -294,11 +300,30 @@ def assert_store_round_trip(result, edges, label: str) -> None:
         )
 
 
+def _active_runners(runners, include_process, include_distributed):
+    return tuple(
+        r for r in runners
+        if (include_process or r != "process")
+        and (include_distributed or r != "distributed")
+    )
+
+
+def _assert_nothing_leaked() -> None:
+    """Shared-memory, socket and worker-process hygiene after a sweep."""
+    leaked = sorted(live_shared_segments())
+    assert not leaked, f"leaked shared-memory segments: {leaked}"
+    conns = live_connections()
+    assert not conns, f"leaked wire connections: {conns}"
+    procs = live_worker_processes()
+    assert not procs, f"leaked distributed worker processes: {procs}"
+
+
 def check_seed(
     seed: int,
     runners=RUNNERS,
     backends=None,
     include_process: bool = True,
+    include_distributed: bool = True,
 ) -> DifferentialCase:
     """Run the full differential matrix for one seed.
 
@@ -308,8 +333,8 @@ def check_seed(
     case = make_case(seed)
     if backends is None:
         backends = available_backends()
-    active_runners = tuple(
-        r for r in runners if include_process or r != "process"
+    active_runners = _active_runners(
+        runners, include_process, include_distributed
     )
     try:
         results = {
@@ -360,14 +385,14 @@ def check_seed(
         assert_store_round_trip(
             seq, case.build_graph().edges, "store round-trip"
         )
-        # Contract 7: nothing leaked.
-        leaked = sorted(live_shared_segments())
-        assert not leaked, f"leaked shared-memory segments: {leaked}"
+        # Contract 7: nothing leaked — segments, sockets or workers.
+        _assert_nothing_leaked()
     except AssertionError as exc:
+        flag = " --distributed" if "distributed" in active_runners else ""
         raise AssertionError(
             f"differential seed {seed} failed ({case!r}); reproduce with: "
             f"PYTHONPATH=src python tests/differential.py --seed {seed}"
-            f"\n{exc}"
+            f"{flag}\n{exc}"
         ) from exc
     return case
 
@@ -387,10 +412,11 @@ _OOC_VARIANT_ORDER = (
     "dense/file-prefetch",
 )
 
-#: The process runner only runs the endpoints of the variant sweep (its
-#: baseline plus the fully out-of-core configuration): pool spawns
-#: dominate the tier's cost, and the intermediate variants are already
-#: pinned against the same baseline by the in-process runners.
+#: The process and distributed runners only run the endpoints of the
+#: variant sweep (their baseline plus the fully out-of-core
+#: configuration): pool/worker spawns dominate the tier's cost, and the
+#: intermediate variants are already pinned against the same baseline by
+#: the in-process runners.
 _OOC_PROCESS_VARIANTS = ("dense/in-memory", "packed/file-prefetch")
 
 
@@ -432,6 +458,7 @@ def check_out_of_core_seed(
     runners=RUNNERS,
     backends=None,
     include_process: bool = True,
+    include_distributed: bool = True,
 ) -> DifferentialCase:
     """Run the huge-shape out-of-core differential tier for one seed.
 
@@ -445,8 +472,8 @@ def check_out_of_core_seed(
     case = make_huge_case(seed)
     if backends is None:
         backends = available_backends()
-    active_runners = tuple(
-        r for r in runners if include_process or r != "process"
+    active_runners = _active_runners(
+        runners, include_process, include_distributed
     )
     graph = case.build_graph()
     try:
@@ -470,7 +497,7 @@ def check_out_of_core_seed(
             for runner in active_runners:
                 names = (
                     _OOC_PROCESS_VARIANTS
-                    if runner == "process"
+                    if runner in ("process", "distributed")
                     else _OOC_VARIANT_ORDER
                 )
                 for backend in backends:
@@ -538,13 +565,13 @@ def check_out_of_core_seed(
             assert_store_round_trip(
                 seq_dense, graph.edges, "store round-trip (dense state)"
             )
-            leaked = sorted(live_shared_segments())
-            assert not leaked, f"leaked shared-memory segments: {leaked}"
+            _assert_nothing_leaked()
     except AssertionError as exc:
+        flag = " --distributed" if "distributed" in active_runners else ""
         raise AssertionError(
             f"out-of-core differential seed {seed} failed ({case!r}); "
             f"reproduce with: PYTHONPATH=src python tests/differential.py "
-            f"--out-of-core --seed {seed}\n{exc}"
+            f"--out-of-core --seed {seed}{flag}\n{exc}"
         ) from exc
     return case
 
@@ -563,9 +590,19 @@ def main(argv=None) -> int:  # pragma: no cover - manual reproduction tool
         help="run the huge-shape out-of-core tier instead of the base "
         "matrix (packed state, file streams, prefetching)",
     )
+    parser.add_argument(
+        "--distributed", action="store_true",
+        help="include the socket-protocol distributed runner (loopback "
+        "workers) in the sweep; CI always sweeps it, the manual tool "
+        "defaults it off for faster triage",
+    )
     args = parser.parse_args(argv)
     check = check_out_of_core_seed if args.out_of_core else check_seed
-    case = check(args.seed, include_process=not args.no_process)
+    case = check(
+        args.seed,
+        include_process=not args.no_process,
+        include_distributed=args.distributed,
+    )
     print(f"seed {args.seed} OK: {case}")
     return 0
 

@@ -241,6 +241,114 @@ class TestPartition:
         assert "--runner" in capsys.readouterr().err
 
 
+class TestDistributedCli:
+    def test_loopback_runner_flag(self, graph_file, capsys):
+        code = main(
+            [
+                "partition",
+                "--input",
+                str(graph_file),
+                "--k",
+                "4",
+                "--runner",
+                "distributed",
+                "--n-workers",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "runner            : distributed" in out
+        assert "measured" in out
+
+    def test_worker_subcommand_pairs_with_workers_flag(
+        self, graph_file, capsys
+    ):
+        import re
+        import threading
+
+        from repro.cli import _cmd_worker
+
+        addrs = []
+
+        def serve():
+            _cmd_worker(
+                type(
+                    "Args",
+                    (),
+                    {"host": "127.0.0.1", "port": 0, "max_sessions": 1},
+                )
+            )
+
+        threads = [threading.Thread(target=serve) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        deadline = 40
+        while len(addrs) < 2 and deadline > 0:
+            addrs = re.findall(
+                r"worker listening on (\S+)", capsys.readouterr().out
+            ) + addrs
+            deadline -= 1
+            if len(addrs) < 2:
+                import time
+
+                time.sleep(0.1)
+        assert len(addrs) == 2, "workers never announced their ports"
+        code = main(
+            [
+                "partition",
+                "--input",
+                str(graph_file),
+                "--k",
+                "4",
+                "--workers",
+                ",".join(addrs),
+            ]
+        )
+        for thread in threads:
+            thread.join(timeout=10)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "runner            : distributed" in out
+        assert not any(thread.is_alive() for thread in threads)
+
+    def test_workers_flag_rejects_other_runner(self, graph_file, capsys):
+        code = main(
+            [
+                "partition",
+                "--input",
+                str(graph_file),
+                "--k",
+                "4",
+                "--runner",
+                "process",
+                "--workers",
+                "127.0.0.1:9001",
+            ]
+        )
+        assert code == 1
+        assert "--workers" in capsys.readouterr().err
+
+    def test_workers_flag_rejects_contradicting_count(
+        self, graph_file, capsys
+    ):
+        code = main(
+            [
+                "partition",
+                "--input",
+                str(graph_file),
+                "--k",
+                "4",
+                "--n-workers",
+                "3",
+                "--workers",
+                "127.0.0.1:9001,127.0.0.1:9002",
+            ]
+        )
+        assert code == 1
+        assert "contradicts" in capsys.readouterr().err
+
+
 class TestPartitionedOutput:
     def test_out_dir_and_process(self, graph_file, tmp_path, capsys):
         out_dir = tmp_path / "parts"

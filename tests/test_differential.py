@@ -1,10 +1,11 @@
 """Drive the randomized differential harness over a fixed seed matrix.
 
 The harness (``tests/differential.py``) derives a complete scenario from
-each seed and sweeps it through the {serial, simulated, process} x
-{python, numpy} matrix, asserting full-state equality (both phases) plus
-shared-memory hygiene.  The seed matrix is fixed so CI is deterministic;
-any failure message names the seed and the exact reproduction command.
+each seed and sweeps it through the {serial, simulated, process,
+distributed} x {python, numpy} matrix, asserting full-state equality
+(both phases) plus shared-memory/socket/worker hygiene.  The seed matrix
+is fixed so CI is deterministic; any failure message names the seed and
+the exact reproduction command.
 """
 
 import multiprocessing

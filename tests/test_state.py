@@ -527,3 +527,93 @@ class TestReplicaDeltaBarriers:
         finally:
             creator.close()
             creator.unlink()
+
+
+class TestWireDeltaBarriers:
+    """The distributed runner's wire barrier (extract -> merge -> refresh)
+    must be bit-identical to the shared-memory ``merge_replica_deltas``
+    path, barrier after barrier, dense and packed, including a trip of
+    every delta through the wire payload encoding."""
+
+    @staticmethod
+    def _universe(n, k, m, n_workers, packed):
+        state = PartitionState(n, k, m, packed=packed)
+        views = [
+            PartitionState(n, k, m, track_dirty=True, packed=packed)
+            for _ in range(n_workers)
+        ]
+        return state, views
+
+    @pytest.mark.parametrize("seed", [0, 3, 21])
+    @pytest.mark.parametrize("n_workers", [1, 3])
+    @pytest.mark.parametrize("packed", [False, True])
+    def test_wire_path_matches_shared_memory_merge(
+        self, seed, n_workers, packed
+    ):
+        from repro.core import wire
+        from repro.partitioning.state import (
+            apply_replica_refresh,
+            extract_replica_delta,
+            merge_replica_deltas,
+            merge_replica_wire_deltas,
+        )
+
+        rng = np.random.default_rng(seed)
+        n, k, m = 40, 11, 400
+        shm_state, shm_views = self._universe(n, k, m, n_workers, packed)
+        net_state, net_views = self._universe(n, k, m, n_workers, packed)
+        for _ in range(4):
+            for sv, nv in zip(shm_views, net_views):
+                c = int(rng.integers(0, 12))
+                if c:
+                    us = rng.integers(0, n, size=c)
+                    vs = rng.integers(0, n, size=c)
+                    ps = rng.integers(0, k, size=c)
+                    for view in (sv, nv):
+                        view.scatter_edges(us, vs, ps)
+                        view.mark_dirty(us)
+                        view.mark_dirty(vs)
+            # Shared-memory universe: the in-place barrier.
+            merge_replica_deltas(shm_state, shm_views)
+            # Wire universe: extract each worker's delta, round-trip it
+            # through the payload codec (as MSG_WINDOW_RESULT would),
+            # fold coordinator-side, broadcast the refresh.
+            deltas = []
+            for view in net_views:
+                rows, rows_data, sizes = extract_replica_delta(view)
+                fields = wire.decode_payload(wire.encode_payload({
+                    "rows": rows,
+                    "rows_data": np.asarray(rows_data),
+                    "sizes": sizes,
+                }))
+                deltas.append(
+                    (fields["rows"], fields["rows_data"], fields["sizes"])
+                )
+            rows, merged, new_sizes = merge_replica_wire_deltas(
+                net_state, deltas
+            )
+            refresh = wire.decode_payload(wire.encode_payload({
+                "rows": rows, "rows_data": merged, "sizes": new_sizes,
+            }))
+            for view in net_views:
+                apply_replica_refresh(
+                    view, refresh["rows"], refresh["rows_data"],
+                    refresh["sizes"],
+                )
+            np.testing.assert_array_equal(
+                np.asarray(net_state.replicas),
+                np.asarray(shm_state.replicas),
+            )
+            np.testing.assert_array_equal(net_state.sizes, shm_state.sizes)
+            for sv, nv in zip(shm_views, net_views):
+                np.testing.assert_array_equal(
+                    np.asarray(nv.replicas), np.asarray(sv.replicas)
+                )
+                np.testing.assert_array_equal(nv.sizes, sv.sizes)
+                assert not nv.dirty.any(), "refresh must clear dirt"
+
+    def test_extract_requires_dirty_tracking(self):
+        from repro.partitioning.state import extract_replica_delta
+
+        with pytest.raises(PartitioningError):
+            extract_replica_delta(PartitionState(4, 2, 10))
